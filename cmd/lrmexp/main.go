@@ -1,0 +1,106 @@
+// Command lrmexp runs the paper-reproduction experiments and prints the
+// corresponding table or figure data.
+//
+// Usage:
+//
+//	lrmexp [-size small|medium|large] [-snapshots N] <experiment-id>|all|list
+//
+// Experiment ids match the paper's artifacts: table2, fig1, fig3, fig4,
+// fig6, fig7, fig8, fig9, fig10, fig11, fig12, table4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lrm/internal/dataset"
+	"lrm/internal/experiments"
+)
+
+func main() {
+	size := flag.String("size", "small", "dataset scale: small, medium, or large")
+	snapshots := flag.Int("snapshots", 0, "snapshot count per application (0 = default; the paper uses 20)")
+	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the formatted table")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	id := flag.Arg(0)
+
+	cfg := experiments.Config{Snapshots: *snapshots}
+	switch *size {
+	case "small":
+		cfg.Size = dataset.Small
+	case "medium":
+		cfg.Size = dataset.Medium
+	case "large":
+		cfg.Size = dataset.Large
+	default:
+		fmt.Fprintf(os.Stderr, "lrmexp: unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	switch id {
+	case "list":
+		for _, eid := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", eid, experiments.Describe(eid))
+		}
+		return
+	case "all":
+		for _, eid := range experiments.IDs() {
+			if err := runOne(eid, cfg, *csvOut); err != nil {
+				fmt.Fprintf(os.Stderr, "lrmexp: %s: %v\n", eid, err)
+				os.Exit(1)
+			}
+		}
+		return
+	default:
+		if err := runOne(id, cfg, *csvOut); err != nil {
+			fmt.Fprintf(os.Stderr, "lrmexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(id string, cfg experiments.Config, csvOut bool) error {
+	start := time.Now()
+	res, err := experiments.Run(id, cfg)
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		c, ok := res.(experiments.CSVer)
+		if !ok {
+			return fmt.Errorf("experiment %s has no CSV form", id)
+		}
+		fmt.Print(c.CSV())
+		return nil
+	}
+	fmt.Printf("=== %s (%s) ===\n", id, experiments.Describe(id))
+	fmt.Println(res.Render())
+	fmt.Printf("[%s completed in %.2fs]\n\n", id, time.Since(start).Seconds())
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: lrmexp [flags] <experiment-id>|all|list
+
+Reproduces the tables and figures of "Identifying Latent Reduced Models to
+Precondition Lossy Compression" (IPDPS 2019).
+
+Flags:
+  -size string       dataset scale: small, medium, large (default "small")
+  -snapshots int     outputs per application (default 5; the paper uses 20)
+
+Examples:
+  lrmexp list
+  lrmexp fig3
+  lrmexp -size medium -snapshots 20 fig6
+  lrmexp all
+`)
+}

@@ -1,0 +1,105 @@
+// Command lrmgen generates one of the paper's nine datasets as a raw
+// little-endian float64 file plus a small .dims sidecar describing the
+// extents, suitable as input for lrmpack.
+//
+// Usage:
+//
+//	lrmgen [-size small|medium|large] [-reduced] [-o file] <dataset>|list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lrm/internal/dataset"
+)
+
+func main() {
+	size := flag.String("size", "small", "dataset scale: small, medium, or large")
+	reduced := flag.Bool("reduced", false, "emit the reduced-model output instead of the full model")
+	out := flag.String("o", "", "output path (default <dataset>.f64)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	if name == "list" {
+		for _, n := range dataset.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	msg, err := generate(name, *size, *reduced, *out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrmgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(msg)
+}
+
+// parseSize maps the CLI size name to a dataset.Size.
+func parseSize(size string) (dataset.Size, error) {
+	switch size {
+	case "small":
+		return dataset.Small, nil
+	case "medium":
+		return dataset.Medium, nil
+	case "large":
+		return dataset.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (small, medium, large)", size)
+}
+
+// generate produces the dataset files and returns the status line.
+func generate(name, size string, reduced bool, out string) (string, error) {
+	sz, err := parseSize(size)
+	if err != nil {
+		return "", err
+	}
+	pair, err := dataset.Generate(name, sz)
+	if err != nil {
+		return "", err
+	}
+	f := pair.Full
+	if reduced {
+		f = pair.Reduced
+	}
+
+	path := out
+	if path == "" {
+		suffix := ""
+		if reduced {
+			suffix = "_reduced"
+		}
+		path = strings.ToLower(name) + suffix + ".f64"
+	}
+	if err := os.WriteFile(path, f.Bytes(), 0o644); err != nil {
+		return "", err
+	}
+	dims := make([]string, len(f.Dims))
+	for i, d := range f.Dims {
+		dims[i] = fmt.Sprint(d)
+	}
+	if err := os.WriteFile(path+".dims", []byte(strings.Join(dims, "x")+"\n"), 0o644); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("wrote %s (%d float64 values, dims %s)", path, f.Len(), strings.Join(dims, "x")), nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: lrmgen [flags] <dataset>|list
+
+Generates one of the nine Table I datasets as raw float64 (little endian)
+with a .dims sidecar.
+
+Flags:
+  -size string   dataset scale: small, medium, large (default "small")
+  -reduced       emit the reduced model instead of the full model
+  -o string      output path (default <dataset>.f64)
+`)
+}

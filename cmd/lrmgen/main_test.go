@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lrm/internal/dataset"
+	"lrm/internal/grid"
+)
+
+func TestParseSize(t *testing.T) {
+	for name, want := range map[string]dataset.Size{
+		"small": dataset.Small, "medium": dataset.Medium, "large": dataset.Large,
+	} {
+		got, err := parseSize(name)
+		if err != nil || got != want {
+			t.Fatalf("parseSize(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseSize("gigantic"); err == nil {
+		t.Fatal("expected unknown-size error")
+	}
+}
+
+func TestGenerateWritesFileAndSidecar(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "lap.f64")
+	msg, err := generate("Laplace", "small", false, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "lap.f64") || !strings.Contains(msg, "64x64") {
+		t.Fatalf("status = %q", msg)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 8*64*64 {
+		t.Fatalf("raw size = %d", len(raw))
+	}
+	side, err := os.ReadFile(out + ".dims")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(side)) != "64x64" {
+		t.Fatalf("sidecar = %q", side)
+	}
+	// The bytes must parse back into a valid field.
+	if _, err := grid.FromBytes(raw, 64, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateReducedSmaller(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.f64")
+	red := filepath.Join(dir, "red.f64")
+	if _, err := generate("Yf17_temp", "small", false, full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := generate("Yf17_temp", "small", true, red); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := os.Stat(full)
+	ri, _ := os.Stat(red)
+	if ri.Size() >= fi.Size() {
+		t.Fatalf("reduced (%d) not smaller than full (%d)", ri.Size(), fi.Size())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("Martian", "small", false, ""); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+	if _, err := generate("Laplace", "huge", false, ""); err == nil {
+		t.Fatal("expected unknown-size error")
+	}
+	if _, err := generate("Laplace", "small", false, "/nonexistent-dir/x.f64"); err == nil {
+		t.Fatal("expected write error")
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lrm/internal/grid"
+	"lrm/internal/sim/laplace"
+)
+
+func writeSample(t *testing.T) (f64 string, field *grid.Field) {
+	t.Helper()
+	dir := t.TempDir()
+	field = laplace.Solve(laplace.Default(32))
+	f64 = filepath.Join(dir, "in.f64")
+	if err := os.WriteFile(f64, field.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f64+".dims", []byte("32x32\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f64, field
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	f64, field := writeSample(t)
+	lrm := f64 + ".lrm"
+	out := f64 + ".out"
+
+	if err := run(true, false, false, "one-base", "zfp", "", []string{f64, lrm}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, true, false, "", "", "", []string{lrm, out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := grid.FromBytes(raw, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i := range field.Data {
+		if d := field.Data[i] - back.Data[i]; d > maxErr {
+			maxErr = d
+		}
+	}
+	// The paper's delta codec is deliberately loose (8-bit ZFP precision),
+	// so on 0..100-range data errors of a few percent of range are the
+	// expected Fig. 10 behaviour.
+	lo, hi := field.MinMax()
+	if maxErr > 0.15*(hi-lo) {
+		t.Fatalf("round trip error %v vs range %v", maxErr, hi-lo)
+	}
+	// The archive should actually be smaller.
+	enc, _ := os.Stat(lrm)
+	if enc.Size() >= int64(8*field.Len()) {
+		t.Fatalf("no compression achieved: %d bytes", enc.Size())
+	}
+}
+
+func TestDimsFlagOverridesSidecar(t *testing.T) {
+	f64, _ := writeSample(t)
+	os.Remove(f64 + ".dims")
+	lrm := f64 + ".lrm"
+	if err := run(true, false, false, "direct", "fpc", "32x32", []string{f64, lrm}); err != nil {
+		t.Fatal(err)
+	}
+	// Without sidecar or flag: must fail with a clear error.
+	if err := run(true, false, false, "direct", "fpc", "", []string{f64, lrm}); err == nil {
+		t.Fatal("expected missing-dims error")
+	}
+	// Bad dims spec.
+	if err := run(true, false, false, "direct", "fpc", "axb", []string{f64, lrm}); err == nil {
+		t.Fatal("expected bad-dims error")
+	}
+	// Dims not matching the file size.
+	if err := run(true, false, false, "direct", "fpc", "7x7", []string{f64, lrm}); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestSelectMode(t *testing.T) {
+	f64, _ := writeSample(t)
+	if err := run(false, false, true, "", "zfp", "", []string{f64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeValidation(t *testing.T) {
+	if err := run(false, false, false, "", "", "", nil); err == nil {
+		t.Fatal("expected no-mode error")
+	}
+	if err := run(true, true, false, "", "", "", nil); err == nil {
+		t.Fatal("expected two-modes error")
+	}
+	if err := run(true, false, false, "direct", "zfp", "", []string{"only-one"}); err == nil {
+		t.Fatal("expected arg-count error")
+	}
+	if err := run(false, true, false, "", "", "", []string{"a"}); err == nil {
+		t.Fatal("expected arg-count error for -d")
+	}
+}
+
+func TestUnknownModelAndCodec(t *testing.T) {
+	f64, _ := writeSample(t)
+	if err := run(true, false, false, "martian", "zfp", "", []string{f64, f64 + ".x"}); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+	if err := run(true, false, false, "direct", "martian", "", []string{f64, f64 + ".x"}); err == nil {
+		t.Fatal("expected unknown-codec error")
+	}
+}
+
+func TestBuildOptionsAllModels(t *testing.T) {
+	for _, m := range []string{"direct", "one-base", "multi-base", "duomodel", "pca", "svd", "wavelet"} {
+		if _, err := buildOptions(m, "sz"); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestDecompressMissingFile(t *testing.T) {
+	if err := run(false, true, false, "", "", "", []string{"/nonexistent.lrm", "/dev/null"}); err == nil {
+		t.Fatal("expected read error")
+	}
+}

@@ -1,0 +1,111 @@
+// Package bitstream implements MSB-first bit-level readers and writers used
+// by the ZFP-style embedded coder and the Huffman coder.
+package bitstream
+
+import "errors"
+
+// Writer accumulates bits most-significant-bit first into a byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // pending bits, left-aligned within the low `n` bits
+	n    uint   // number of pending bits in cur (0..7)
+	bits int    // total bits written
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint64(b&1)
+	w.n++
+	w.bits++
+	if w.n == 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.n = 0, 0
+	}
+}
+
+// WriteBits appends the low `n` bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic("bitstream: WriteBits n > 64")
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i)))
+	}
+}
+
+// Len returns the total number of bits written so far.
+func (w *Writer) Len() int { return w.bits }
+
+// Bytes flushes any partial byte (padding with zeros) and returns the buffer.
+// The writer remains usable; repeated calls return the same padded content
+// until more bits are written.
+func (w *Writer) Bytes() []byte {
+	out := w.buf
+	if w.n > 0 {
+		out = append(out, byte(w.cur<<(8-w.n)))
+	}
+	return out
+}
+
+// Reset discards all written bits.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.n, w.bits = 0, 0, 0
+}
+
+// ErrOutOfBits is returned when a Reader is asked for more bits than exist.
+var ErrOutOfBits = errors.New("bitstream: out of bits")
+
+// Reader consumes bits most-significant-bit first from a byte buffer.
+type Reader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewReader returns a Reader over b. The buffer is not copied.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= 8*len(r.buf) {
+		return 0, ErrOutOfBits
+	}
+	byteIdx := r.pos >> 3
+	bitIdx := uint(7 - r.pos&7)
+	r.pos++
+	return uint(r.buf[byteIdx]>>bitIdx) & 1, nil
+}
+
+// ReadBits returns the next n bits, most significant first. n must be <= 64.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic("bitstream: ReadBits n > 64")
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return 8*len(r.buf) - r.pos }
+
+// Pos returns the current bit offset from the start of the buffer.
+func (r *Reader) Pos() int { return r.pos }
+
+// Seek jumps to an absolute bit offset. Seeking to the very end is legal
+// (subsequent reads return ErrOutOfBits); beyond it is an error.
+func (r *Reader) Seek(bitPos int) error {
+	if bitPos < 0 || bitPos > 8*len(r.buf) {
+		return ErrOutOfBits
+	}
+	r.pos = bitPos
+	return nil
+}

@@ -1,0 +1,182 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBits(t *testing.T) {
+	var w Writer
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(pattern) {
+		t.Fatalf("Len=%d, want %d", w.Len(), len(pattern))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsMSBFirst(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0b0110, 4)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0b10110110 {
+		t.Fatalf("bytes = %08b, want 10110110", b[0])
+	}
+}
+
+func TestPartialBytePadding(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b101, 3)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0b10100000 {
+		t.Fatalf("padded byte = %08b, want 10100000", b[0])
+	}
+	// Bytes must be repeatable without duplicating the pad.
+	b2 := w.Bytes()
+	if len(b2) != 1 || b2[0] != b[0] {
+		t.Fatalf("second Bytes() = %v, want %v", b2, b)
+	}
+}
+
+func TestRoundTripRandomChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type chunk struct {
+		v uint64
+		n uint
+	}
+	var chunks []chunk
+	var w Writer
+	for i := 0; i < 1000; i++ {
+		n := uint(rng.Intn(65))
+		v := rng.Uint64()
+		if n < 64 {
+			v &= (1 << n) - 1
+		}
+		chunks = append(chunks, chunk{v, n})
+		w.WriteBits(v, n)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range chunks {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.v {
+			t.Fatalf("chunk %d: got %x, want %x (n=%d)", i, got, c.v, c.n)
+		}
+	}
+}
+
+func TestQuickRoundTrip16(t *testing.T) {
+	check := func(vals []uint16) bool {
+		var w Writer
+		for _, v := range vals {
+			w.WriteBits(uint64(v), 16)
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadBits(16)
+			if err != nil || got != uint64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfBits(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("err = %v, want ErrOutOfBits", err)
+	}
+	if _, err := NewReader(nil).ReadBits(1); err != ErrOutOfBits {
+		t.Fatalf("err = %v, want ErrOutOfBits", err)
+	}
+}
+
+func TestRemainingAndPos(t *testing.T) {
+	r := NewReader([]byte{0xab, 0xcd})
+	if r.Remaining() != 16 || r.Pos() != 0 {
+		t.Fatalf("Remaining=%d Pos=%d", r.Remaining(), r.Pos())
+	}
+	if _, err := r.ReadBits(5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 11 || r.Pos() != 5 {
+		t.Fatalf("after 5: Remaining=%d Pos=%d", r.Remaining(), r.Pos())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xff, 8)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("Reset did not clear writer")
+	}
+	w.WriteBits(0b1, 1)
+	if b := w.Bytes(); len(b) != 1 || b[0] != 0x80 {
+		t.Fatalf("post-reset write = %v", b)
+	}
+}
+
+func TestZeroLengthWrite(t *testing.T) {
+	var w Writer
+	w.WriteBits(123, 0)
+	if w.Len() != 0 {
+		t.Fatal("zero-length write changed state")
+	}
+}
+
+func TestSeek(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b10110011, 8)
+	w.WriteBits(0b11110000, 8)
+	r := NewReader(w.Bytes())
+	if err := r.Seek(8); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadBits(8)
+	if err != nil || got != 0b11110000 {
+		t.Fatalf("after Seek(8): %08b, %v", got, err)
+	}
+	// Seek back.
+	if err := r.Seek(2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.ReadBits(3); got != 0b110 {
+		t.Fatalf("after Seek(2): %03b", got)
+	}
+	// End is legal, beyond is not.
+	if err := r.Seek(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatal("read at end should fail")
+	}
+	if err := r.Seek(17); err != ErrOutOfBits {
+		t.Fatal("seek beyond end should fail")
+	}
+	if err := r.Seek(-1); err != ErrOutOfBits {
+		t.Fatal("negative seek should fail")
+	}
+}

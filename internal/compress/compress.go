@@ -1,0 +1,123 @@
+// Package compress defines the common codec interface shared by the ZFP-,
+// SZ-, and FPC-style compressors and provides a flate-based lossless
+// baseline plus ratio helpers.
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"lrm/internal/grid"
+)
+
+// Codec compresses and decompresses whole fields. A codec's stream is
+// self-describing: Decompress needs no side information.
+type Codec interface {
+	// Name identifies the codec and its configuration, e.g. "zfp(p=16)".
+	Name() string
+	// Lossless reports whether Decompress(Compress(f)) is bit-exact.
+	Lossless() bool
+	Compress(f *grid.Field) ([]byte, error)
+	Decompress(b []byte) (*grid.Field, error)
+}
+
+// Ratio returns the compression ratio of a field against its encoding
+// (original bytes / compressed bytes).
+func Ratio(f *grid.Field, compressed []byte) float64 {
+	if len(compressed) == 0 {
+		return 0
+	}
+	return float64(8*f.Len()) / float64(len(compressed))
+}
+
+// RatioBytes returns origBytes/compressedBytes.
+func RatioBytes(orig, compressed int) float64 {
+	if compressed == 0 {
+		return 0
+	}
+	return float64(orig) / float64(compressed)
+}
+
+// FlateBytes deflates a raw byte slice at the given level (flate levels
+// -2..9; use flate.BestCompression for max effort).
+func FlateBytes(b []byte, level int) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(b); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// maxInflate caps decompression-bomb expansion: no legitimate stream in
+// this repository inflates beyond 8 bytes per element of MaxElements.
+const maxInflate = int64(8*MaxElements) + 1
+
+// InflateBytes reverses FlateBytes. Output is capped so a crafted tiny
+// stream cannot expand without bound.
+func InflateBytes(b []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(b))
+	defer r.Close()
+	out, err := io.ReadAll(io.LimitReader(r, maxInflate))
+	if err != nil {
+		return nil, fmt.Errorf("compress: inflate: %w", err)
+	}
+	if int64(len(out)) >= maxInflate {
+		return nil, fmt.Errorf("compress: inflated output exceeds %d bytes", maxInflate-1)
+	}
+	return out, nil
+}
+
+// Flate is a lossless general-purpose codec over the raw float64 bytes of a
+// field. It stands in for the "conventional lossless compressor" baselines
+// the paper contrasts with.
+type Flate struct {
+	Level int // flate compression level; 0 means flate.DefaultCompression
+}
+
+// NewFlate returns a Flate codec at the given level.
+func NewFlate(level int) *Flate { return &Flate{Level: level} }
+
+// Name implements Codec.
+func (c *Flate) Name() string { return fmt.Sprintf("flate(l=%d)", c.level()) }
+
+// Lossless implements Codec.
+func (c *Flate) Lossless() bool { return true }
+
+func (c *Flate) level() int {
+	if c.Level == 0 {
+		return flate.DefaultCompression
+	}
+	return c.Level
+}
+
+// Compress implements Codec.
+func (c *Flate) Compress(f *grid.Field) ([]byte, error) {
+	hdr := EncodeDimsHeader(f.Dims)
+	body, err := FlateBytes(f.Bytes(), c.level())
+	if err != nil {
+		return nil, err
+	}
+	return append(hdr, body...), nil
+}
+
+// Decompress implements Codec.
+func (c *Flate) Decompress(b []byte) (*grid.Field, error) {
+	dims, rest, err := DecodeDimsHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := InflateBytes(rest)
+	if err != nil {
+		return nil, err
+	}
+	return grid.FromBytes(raw, dims...)
+}

@@ -1,0 +1,225 @@
+// Package fpc implements the FPC lossless double-precision compressor of
+// Burtscher & Ratanaworabhan (IEEE Trans. Computers 2009), the lossless
+// comparator the paper uses in Fig. 3.
+//
+// FPC predicts each 64-bit IEEE double with two hash-table predictors — an
+// fcm (finite context method) over recent values and a dfcm (differential
+// fcm) over recent deltas — XORs the better prediction with the true bits,
+// and encodes the residual as a 4-bit header (predictor selector + count of
+// leading zero bytes) plus the non-zero residual bytes. Header nibbles are
+// packed in pairs, exactly as in the reference implementation.
+package fpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"lrm/internal/compress"
+	"lrm/internal/grid"
+)
+
+// Codec is an FPC compressor. Level selects the predictor table size:
+// 2^level entries per table (the paper runs level 20, table size 2^24
+// bytes; each entry is 8 bytes, so level = 20 gives 2*2^20*8 = 16 MiB).
+type Codec struct {
+	level uint
+}
+
+// New returns an FPC codec with 2^level-entry predictor tables.
+func New(level int) (*Codec, error) {
+	if level < 1 || level > 24 {
+		return nil, fmt.Errorf("fpc: level %d out of range [1,24]", level)
+	}
+	return &Codec{level: uint(level)}, nil
+}
+
+// MustNew is New but panics on invalid level; for use in tables.
+func MustNew(level int) *Codec {
+	c, err := New(level)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string { return fmt.Sprintf("fpc(l=%d)", c.level) }
+
+// Lossless implements compress.Codec.
+func (c *Codec) Lossless() bool { return true }
+
+// predictor state shared by encode and decode (they must evolve
+// identically).
+type predictor struct {
+	fcm, dfcm []uint64
+	fcmHash   uint64
+	dfcmHash  uint64
+	lastValue uint64
+	mask      uint64
+}
+
+func newPredictor(level uint) *predictor {
+	size := 1 << level
+	return &predictor{
+		fcm:  make([]uint64, size),
+		dfcm: make([]uint64, size),
+		mask: uint64(size - 1),
+	}
+}
+
+// predict returns the two candidate predictions for the next value.
+func (p *predictor) predict() (fcmPred, dfcmPred uint64) {
+	return p.fcm[p.fcmHash], p.dfcm[p.dfcmHash] + p.lastValue
+}
+
+// update trains both tables with the true value.
+func (p *predictor) update(trueVal uint64) {
+	p.fcm[p.fcmHash] = trueVal
+	p.fcmHash = ((p.fcmHash << 6) ^ (trueVal >> 48)) & p.mask
+
+	delta := trueVal - p.lastValue
+	p.dfcm[p.dfcmHash] = delta
+	p.dfcmHash = ((p.dfcmHash << 2) ^ (delta >> 40)) & p.mask
+
+	p.lastValue = trueVal
+}
+
+// leadingZeroBytes counts whole zero bytes from the most significant end,
+// collapsing 4 to 3 so the count fits in 3 bits (FPC's trick: the code
+// space {0,1,2,3,5,6,7,8} skips 4, which is rare).
+func leadingZeroBytes(x uint64) int {
+	n := 0
+	for n < 8 && x>>(56-8*uint(n))&0xff == 0 {
+		n++
+	}
+	if n == 4 {
+		n = 3
+	}
+	return n
+}
+
+// lzbCode maps a leading-zero-byte count to the 3-bit code and back.
+func lzbToCode(n int) uint8 {
+	if n >= 5 {
+		return uint8(n - 1)
+	}
+	return uint8(n)
+}
+
+func codeToLzb(c uint8) int {
+	if c >= 4 {
+		return int(c) + 1
+	}
+	return int(c)
+}
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
+	n := f.Len()
+	p := newPredictor(c.level)
+
+	headers := make([]byte, (n+1)/2) // one nibble per value
+	var residuals []byte
+
+	for i, v := range f.Data {
+		bits := math.Float64bits(v)
+		fcmPred, dfcmPred := p.predict()
+		xf := bits ^ fcmPred
+		xd := bits ^ dfcmPred
+
+		var sel uint8
+		var resid uint64
+		if lzf, lzd := leadingZeroBytes(xf), leadingZeroBytes(xd); lzf >= lzd {
+			sel, resid = 0, xf
+		} else {
+			sel, resid = 1, xd
+		}
+		lzb := leadingZeroBytes(resid)
+		nibble := sel<<3 | lzbToCode(lzb)
+		if i%2 == 0 {
+			headers[i/2] = nibble << 4
+		} else {
+			headers[i/2] |= nibble
+		}
+		for b := 8 - lzb - 1; b >= 0; b-- {
+			residuals = append(residuals, byte(resid>>(8*uint(b))))
+		}
+		p.update(bits)
+	}
+
+	out := compress.EncodeDimsHeader(f.Dims)
+	out = append(out, byte(c.level))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(residuals)))
+	out = append(out, headers...)
+	return append(out, residuals...), nil
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
+	dims, rest, err := compress.DecodeDimsHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 5 {
+		return nil, errors.New("fpc: truncated stream")
+	}
+	level := uint(rest[0])
+	if level < 1 || level > 24 {
+		return nil, fmt.Errorf("fpc: invalid level %d in stream", level)
+	}
+	residLen := int(binary.LittleEndian.Uint32(rest[1:5]))
+	rest = rest[5:]
+
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	headerLen := (n + 1) / 2
+	if len(rest) != headerLen+residLen {
+		return nil, fmt.Errorf("fpc: stream length %d != headers %d + residuals %d", len(rest), headerLen, residLen)
+	}
+	headers := rest[:headerLen]
+	residuals := rest[headerLen:]
+
+	p := newPredictor(level)
+	f := grid.New(dims...)
+	rp := 0
+	for i := 0; i < n; i++ {
+		var nibble uint8
+		if i%2 == 0 {
+			nibble = headers[i/2] >> 4
+		} else {
+			nibble = headers[i/2] & 0xf
+		}
+		sel := nibble >> 3
+		lzb := codeToLzb(nibble & 7)
+		count := 8 - lzb
+		if rp+count > len(residuals) {
+			return nil, errors.New("fpc: residual bytes exhausted")
+		}
+		var resid uint64
+		for b := 0; b < count; b++ {
+			resid = resid<<8 | uint64(residuals[rp])
+			rp++
+		}
+		fcmPred, dfcmPred := p.predict()
+		var bits uint64
+		if sel == 0 {
+			bits = resid ^ fcmPred
+		} else {
+			bits = resid ^ dfcmPred
+		}
+		f.Data[i] = math.Float64frombits(bits)
+		p.update(bits)
+	}
+	if rp != len(residuals) {
+		return nil, errors.New("fpc: trailing residual bytes")
+	}
+	return f, nil
+}
+
+func init() {
+	compress.RegisterDecoder("fpc", MustNew(16).Decompress)
+}

@@ -1,0 +1,53 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MaxElements caps the total element count any stream may claim. Corrupt
+// or hostile headers otherwise drive multi-gigabyte allocations before the
+// first payload byte is validated.
+const MaxElements = 1 << 28
+
+// EncodeDimsHeader serialises a rank (1 byte) followed by uvarint extents.
+// All codecs in this repository lead their streams with it.
+func EncodeDimsHeader(dims []int) []byte {
+	b := []byte{byte(len(dims))}
+	for _, d := range dims {
+		b = binary.AppendUvarint(b, uint64(d))
+	}
+	return b
+}
+
+// DecodeDimsHeader parses EncodeDimsHeader output and returns the remaining
+// bytes.
+func DecodeDimsHeader(b []byte) (dims []int, rest []byte, err error) {
+	if len(b) < 1 {
+		return nil, nil, errors.New("compress: empty stream")
+	}
+	rank := int(b[0])
+	if rank < 1 || rank > 3 {
+		return nil, nil, fmt.Errorf("compress: bad rank %d in header", rank)
+	}
+	pos := 1
+	dims = make([]int, rank)
+	total := uint64(1)
+	for i := range dims {
+		v, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			return nil, nil, errors.New("compress: truncated dims header")
+		}
+		if v == 0 || v > MaxElements {
+			return nil, nil, fmt.Errorf("compress: implausible extent %d", v)
+		}
+		total *= v
+		if total > MaxElements {
+			return nil, nil, fmt.Errorf("compress: field of %d+ elements exceeds MaxElements", total)
+		}
+		dims[i] = int(v)
+		pos += n
+	}
+	return dims, b[pos:], nil
+}

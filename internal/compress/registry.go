@@ -1,0 +1,70 @@
+package compress
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lrm/internal/grid"
+)
+
+// Decoder decompresses one self-describing stream of a codec family.
+// Streams carry their own configuration, so a single decoder per family
+// suffices regardless of how the encoder was configured.
+type Decoder func([]byte) (*grid.Field, error)
+
+var (
+	registryMu sync.RWMutex
+	decoders   = map[string]Decoder{}
+)
+
+// RegisterDecoder installs the decoder for a codec family (the part of a
+// codec name before any '('). Codec packages call this from init, so
+// importing a codec package is what makes its streams decodable.
+// Registering a family twice panics: it would silently shadow a codec.
+func RegisterDecoder(family string, d Decoder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := decoders[family]; dup {
+		panic(fmt.Sprintf("compress: decoder %q registered twice", family))
+	}
+	decoders[family] = d
+}
+
+// DecoderFor returns the decoder registered for a codec family.
+func DecoderFor(family string) (Decoder, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	d, ok := decoders[family]
+	if !ok {
+		return nil, fmt.Errorf("compress: no decoder registered for family %q (have %v)", family, Families())
+	}
+	return d, nil
+}
+
+// Families lists the registered codec families, sorted.
+func Families() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(decoders))
+	for f := range decoders {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CodecFamily strips the parameterisation from a codec name:
+// "zfp(p=16)" -> "zfp".
+func CodecFamily(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '(' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func init() {
+	RegisterDecoder("flate", NewFlate(6).Decompress)
+}

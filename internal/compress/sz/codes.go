@@ -1,0 +1,24 @@
+package sz
+
+import (
+	"fmt"
+
+	"lrm/internal/huffman"
+)
+
+// encodeCodes entropy-codes the quantization codes. Huffman is the right
+// tool here: hit codes cluster tightly around `radius`, so the common bins
+// cost only a few bits each.
+func encodeCodes(codes []int) []byte { return huffman.Encode(codes) }
+
+// decodeCodes reverses encodeCodes and validates the expected count.
+func decodeCodes(b []byte, n int) ([]int, error) {
+	codes, err := huffman.Decode(b)
+	if err != nil {
+		return nil, fmt.Errorf("sz: %w", err)
+	}
+	if len(codes) != n {
+		return nil, fmt.Errorf("sz: decoded %d codes, want %d", len(codes), n)
+	}
+	return codes, nil
+}

@@ -1,0 +1,36 @@
+package sz
+
+import (
+	"testing"
+
+	"lrm/internal/grid"
+)
+
+// FuzzDecompress asserts the sz stream parser never panics on arbitrary
+// bytes.
+func FuzzDecompress(f *testing.F) {
+	field := grid.New(5, 9)
+	for i := range field.Data {
+		field.Data[i] = float64(i%7) * 1.25
+	}
+	for _, c := range []*Codec{
+		MustNew(Abs, 1e-3),
+		MustNew(ValueRangeRel, 1e-4),
+		MustNew(PointwiseRel, 1e-3),
+		MustNewCurveFit(Abs, 1e-3),
+	} {
+		enc, err := c.Compress(field)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := MustNew(Abs, 1e-3)
+		if out, err := c.Decompress(data); err == nil && out != nil {
+			if out.Len() == 0 || out.Len() > 1<<24 {
+				t.Fatalf("implausible decode length %d", out.Len())
+			}
+		}
+	})
+}

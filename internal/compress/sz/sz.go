@@ -1,0 +1,503 @@
+// Package sz implements an error-bounded predictive compressor modeled on
+// SZ 1.4 (Di & Cappello, IPDPS 2016; Tao et al., IPDPS 2017), the second
+// lossy compressor the paper evaluates.
+//
+// The pipeline follows the four steps the paper lists (Section II-A):
+//
+//  1. Predict each point from its already-decoded neighbours with a Lorenzo
+//     (multidimensional polynomial) predictor.
+//  2. On a prediction hit, encode the point as a linear-scaling quantization
+//     code (an m-bit integer bin of the prediction error).
+//  3. On a miss, fall back to storing the value's binary representation.
+//  4. Entropy-code the quantization codes with Huffman and squeeze the
+//     remaining redundancy with a flate (LZ77-family) pass.
+//
+// Three error-bound modes are supported, matching the SZ configuration
+// surface the paper exercises: absolute, value-range-relative, and
+// point-wise relative (implemented, like SZ 2.x, with a logarithmic
+// pre-transform so the absolute machinery can bound relative error).
+package sz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"lrm/internal/compress"
+	"lrm/internal/grid"
+)
+
+// Mode selects how the error bound is interpreted.
+type Mode uint8
+
+const (
+	// Abs bounds |original - decompressed| <= Bound pointwise.
+	Abs Mode = iota
+	// ValueRangeRel bounds the absolute error by Bound * (max - min).
+	ValueRangeRel
+	// PointwiseRel bounds |original - decompressed| <= Bound * |original|
+	// for every point (zeros are preserved exactly).
+	PointwiseRel
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Abs:
+		return "abs"
+	case ValueRangeRel:
+		return "rel"
+	case PointwiseRel:
+		return "pwrel"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// quantization radius: 2^15 bins on each side of the prediction, i.e. SZ's
+// default 16-bit (65536-bin) linear-scaling quantization.
+const radius = 1 << 15
+
+// unpredictable is the quantization code reserved for prediction misses.
+const unpredictable = 2 * radius
+
+// flagCurveFit marks streams encoded with adaptive curve-fitting prediction.
+const flagCurveFit byte = 1
+
+// Codec is an SZ-style error-bounded compressor.
+type Codec struct {
+	mode     Mode
+	bound    float64
+	curveFit bool
+}
+
+// New returns a codec with the given mode and error bound.
+func New(mode Mode, bound float64) (*Codec, error) {
+	if bound <= 0 || math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return nil, fmt.Errorf("sz: invalid error bound %v", bound)
+	}
+	if mode > PointwiseRel {
+		return nil, fmt.Errorf("sz: unknown mode %d", mode)
+	}
+	return &Codec{mode: mode, bound: bound}, nil
+}
+
+// MustNew is New but panics on invalid arguments; for use in tables.
+func MustNew(mode Mode, bound float64) *Codec {
+	c, err := New(mode, bound)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewCurveFit returns a codec with SZ 1.4's adaptive curve-fitting
+// prediction for 1-D data: at each point the preceding-neighbour, linear,
+// and quadratic extrapolations compete, and the one that best predicted the
+// previous point (a hindsight rule the decoder can replay without side
+// information) is used. Multi-dimensional data keeps the Lorenzo predictor.
+func NewCurveFit(mode Mode, bound float64) (*Codec, error) {
+	c, err := New(mode, bound)
+	if err != nil {
+		return nil, err
+	}
+	c.curveFit = true
+	return c, nil
+}
+
+// MustNewCurveFit is NewCurveFit but panics on invalid arguments.
+func MustNewCurveFit(mode Mode, bound float64) *Codec {
+	c, err := NewCurveFit(mode, bound)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string {
+	if c.curveFit {
+		return fmt.Sprintf("sz(%s=%.0e,cf)", c.mode, c.bound)
+	}
+	return fmt.Sprintf("sz(%s=%.0e)", c.mode, c.bound)
+}
+
+// Lossless implements compress.Codec.
+func (c *Codec) Lossless() bool { return false }
+
+// Mode returns the configured error-bound mode.
+func (c *Codec) Mode() Mode { return c.mode }
+
+// Bound returns the configured error bound.
+func (c *Codec) Bound() float64 { return c.bound }
+
+// lorenzoPredict predicts point i of data given dims, using only indices
+// < i (already decoded). Out-of-range neighbours contribute zero, as in SZ.
+func lorenzoPredict(d []float64, dims []int, idx int) float64 {
+	switch len(dims) {
+	case 1:
+		if idx == 0 {
+			return 0
+		}
+		return d[idx-1]
+	case 2:
+		nx := dims[1]
+		i := idx % nx
+		j := idx / nx
+		var a, b, ab float64
+		if i > 0 {
+			a = d[idx-1]
+		}
+		if j > 0 {
+			b = d[idx-nx]
+		}
+		if i > 0 && j > 0 {
+			ab = d[idx-nx-1]
+		}
+		return a + b - ab
+	default: // 3-D Lorenzo: 7 neighbours of the unit cube corner.
+		nx := dims[2]
+		ny := dims[1]
+		i := idx % nx
+		j := (idx / nx) % ny
+		k := idx / (nx * ny)
+		var f100, f010, f001, f110, f101, f011, f111 float64
+		if i > 0 {
+			f100 = d[idx-1]
+		}
+		if j > 0 {
+			f010 = d[idx-nx]
+		}
+		if k > 0 {
+			f001 = d[idx-nx*ny]
+		}
+		if i > 0 && j > 0 {
+			f110 = d[idx-nx-1]
+		}
+		if i > 0 && k > 0 {
+			f101 = d[idx-nx*ny-1]
+		}
+		if j > 0 && k > 0 {
+			f011 = d[idx-nx*ny-nx]
+		}
+		if i > 0 && j > 0 && k > 0 {
+			f111 = d[idx-nx*ny-nx-1]
+		}
+		return f100 + f010 + f001 - f110 - f101 - f011 + f111
+	}
+}
+
+// predictor computes a point's prediction from already-decoded values.
+type predictor func(d []float64, dims []int, idx int) float64
+
+// curveFitPredict is SZ 1.4's adaptive 1-D prediction: candidates of order
+// 1..3 compete; the winner is whichever would have predicted the PREVIOUS
+// point best, a rule computable from decoded data alone so encoder and
+// decoder always agree. Multi-dimensional data falls back to Lorenzo.
+func curveFitPredict(d []float64, dims []int, idx int) float64 {
+	if len(dims) != 1 || idx < 2 {
+		return lorenzoPredict(d, dims, idx)
+	}
+	// Candidates for the current point.
+	c1 := d[idx-1]
+	c2 := 2*d[idx-1] - d[idx-2]
+	c3 := c2
+	if idx >= 3 {
+		c3 = 3*d[idx-1] - 3*d[idx-2] + d[idx-3]
+	}
+	// Hindsight errors: how well would each have predicted d[idx-1]?
+	e1 := math.Abs(d[idx-2] - d[idx-1])
+	e2 := e1
+	if idx >= 3 {
+		e2 = math.Abs(2*d[idx-2] - d[idx-3] - d[idx-1])
+	}
+	e3 := e2
+	if idx >= 4 {
+		e3 = math.Abs(3*d[idx-2] - 3*d[idx-3] + d[idx-4] - d[idx-1])
+	}
+	switch {
+	case e1 <= e2 && e1 <= e3:
+		return c1
+	case e2 <= e3:
+		return c2
+	default:
+		return c3
+	}
+}
+
+func (c *Codec) predictor() predictor {
+	if c.curveFit {
+		return curveFitPredict
+	}
+	return lorenzoPredict
+}
+
+// quantizeCore runs the predict–quantize loop with an absolute bound eb.
+// It returns the quantization codes and the exactly stored values for
+// misses. decoded is scratch of len(data) holding the on-the-fly
+// reconstruction, which is also the decompressor's view.
+func quantizeCore(data []float64, dims []int, eb float64, decoded []float64, pred4 predictor) (codes []int, exact []float64) {
+	codes = make([]int, len(data))
+	for idx, v := range data {
+		pred := pred4(decoded, dims, idx)
+		diff := v - pred
+		q := math.Round(diff / (2 * eb))
+		if math.Abs(q) < radius && !math.IsNaN(q) {
+			dec := pred + 2*eb*q
+			// Guard against floating-point cancellation pushing the
+			// reconstruction outside the bound.
+			if math.Abs(dec-v) <= eb {
+				codes[idx] = int(q) + radius
+				decoded[idx] = dec
+				continue
+			}
+		}
+		codes[idx] = unpredictable
+		exact = append(exact, v)
+		decoded[idx] = v
+	}
+	return codes, exact
+}
+
+// dequantizeCore reverses quantizeCore.
+func dequantizeCore(codes []int, dims []int, eb float64, exact []float64, pred4 predictor) ([]float64, error) {
+	out := make([]float64, len(codes))
+	e := 0
+	for idx, code := range codes {
+		if code == unpredictable {
+			if e >= len(exact) {
+				return nil, errors.New("sz: exact-value pool exhausted")
+			}
+			out[idx] = exact[e]
+			e++
+			continue
+		}
+		if code < 0 || code > unpredictable {
+			return nil, fmt.Errorf("sz: invalid quantization code %d", code)
+		}
+		pred := pred4(out, dims, idx)
+		out[idx] = pred + 2*eb*float64(code-radius)
+	}
+	if e != len(exact) {
+		return nil, errors.New("sz: unconsumed exact values")
+	}
+	return out, nil
+}
+
+// payload is the serialised pre-flate content.
+//
+//	uvarint exactCount | exact float64s | huffman(codes)
+func buildPayload(codes []int, exact []float64) []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(len(exact)))
+	for _, v := range exact {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return append(b, encodeCodes(codes)...)
+}
+
+func parsePayload(b []byte, n int) (codes []int, exact []float64, err error) {
+	cnt, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, errors.New("sz: truncated payload")
+	}
+	pos := sz
+	if cnt > uint64(n) {
+		return nil, nil, fmt.Errorf("sz: exact count %d exceeds points %d", cnt, n)
+	}
+	if len(b)-pos < int(cnt)*8 {
+		return nil, nil, errors.New("sz: truncated exact values")
+	}
+	exact = make([]float64, cnt)
+	for i := range exact {
+		exact[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[pos:]))
+		pos += 8
+	}
+	codes, err = decodeCodes(b[pos:], n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return codes, exact, nil
+}
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
+	for _, v := range f.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("sz: NaN/Inf not supported")
+		}
+	}
+	hdr := compress.EncodeDimsHeader(f.Dims)
+	hdr = append(hdr, byte(c.mode))
+	var flags byte
+	if c.curveFit {
+		flags |= flagCurveFit
+	}
+	hdr = append(hdr, flags)
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(c.bound))
+
+	var raw []byte
+	switch c.mode {
+	case Abs, ValueRangeRel:
+		eb := c.bound
+		if c.mode == ValueRangeRel {
+			lo, hi := f.MinMax()
+			eb = c.bound * (hi - lo)
+			if eb == 0 { // constant field: any tiny bound works
+				eb = math.SmallestNonzeroFloat64 * 1e10
+			}
+		}
+		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(eb))
+		decoded := make([]float64, f.Len())
+		codes, exact := quantizeCore(f.Data, f.Dims, eb, decoded, c.predictor())
+		raw = buildPayload(codes, exact)
+
+	case PointwiseRel:
+		// Log-domain transform: bounding |log2 x - log2 x'| <= eb' bounds
+		// the pointwise relative error by 2^eb' - 1 >= Bound.
+		ebLog := math.Log2(1+c.bound) / 2 // halved for symmetric headroom
+		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(ebLog))
+		signs := make([]byte, (f.Len()+7)/8)
+		logs := make([]float64, f.Len())
+		var exactZero []int
+		for i, v := range f.Data {
+			switch {
+			case v == 0:
+				exactZero = append(exactZero, i)
+				logs[i] = 0
+			case v < 0:
+				signs[i/8] |= 1 << uint(i%8)
+				logs[i] = math.Log2(-v)
+			default:
+				logs[i] = math.Log2(v)
+			}
+		}
+		decoded := make([]float64, f.Len())
+		codes, exact := quantizeCore(logs, f.Dims, ebLog, decoded, c.predictor())
+		// Zero positions are re-marked as unpredictable-with-zero via a
+		// dedicated list so the log path never sees them on decode.
+		var zb []byte
+		zb = binary.AppendUvarint(zb, uint64(len(exactZero)))
+		prev := 0
+		for _, z := range exactZero {
+			zb = binary.AppendUvarint(zb, uint64(z-prev))
+			prev = z
+		}
+		raw = append(zb, signs...)
+		raw = append(raw, buildPayload(codes, exact)...)
+	}
+
+	body, err := compress.FlateBytes(raw, 6)
+	if err != nil {
+		return nil, err
+	}
+	return append(hdr, body...), nil
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
+	dims, rest, err := compress.DecodeDimsHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 1+1+8+8 {
+		return nil, errors.New("sz: truncated header")
+	}
+	mode := Mode(rest[0])
+	if mode > PointwiseRel {
+		return nil, fmt.Errorf("sz: unknown mode %d in stream", rest[0])
+	}
+	flags := rest[1]
+	if flags&^flagCurveFit != 0 {
+		return nil, fmt.Errorf("sz: unknown flags %#x in stream", flags)
+	}
+	pred4 := predictor(lorenzoPredict)
+	if flags&flagCurveFit != 0 {
+		pred4 = curveFitPredict
+	}
+	// rest[2:10] is the nominal bound (informational on decode).
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(rest[10:18]))
+	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return nil, fmt.Errorf("sz: invalid effective bound %v", eb)
+	}
+	raw, err := compress.InflateBytes(rest[18:])
+	if err != nil {
+		return nil, err
+	}
+
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	// Every point costs at least one Huffman bit, so the claimed dims
+	// cannot exceed the inflated payload's bit count.
+	if n > 8*len(raw)+64 {
+		return nil, fmt.Errorf("sz: %d points exceed payload capacity", n)
+	}
+
+	switch mode {
+	case Abs, ValueRangeRel:
+		codes, exact, err := parsePayload(raw, n)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := dequantizeCore(codes, dims, eb, exact, pred4)
+		if err != nil {
+			return nil, err
+		}
+		return grid.FromData(vals, dims...)
+
+	case PointwiseRel:
+		pos := 0
+		zcnt, sz := binary.Uvarint(raw)
+		if sz <= 0 || zcnt > uint64(n) {
+			return nil, errors.New("sz: bad zero list")
+		}
+		pos += sz
+		zeros := make([]int, zcnt)
+		prev := uint64(0)
+		for i := range zeros {
+			d, s := binary.Uvarint(raw[pos:])
+			if s <= 0 {
+				return nil, errors.New("sz: truncated zero list")
+			}
+			pos += s
+			prev += d
+			if prev >= uint64(n) {
+				return nil, errors.New("sz: zero index out of range")
+			}
+			zeros[i] = int(prev)
+		}
+		signBytes := (n + 7) / 8
+		if len(raw)-pos < signBytes {
+			return nil, errors.New("sz: truncated sign bitmap")
+		}
+		signs := raw[pos : pos+signBytes]
+		pos += signBytes
+		codes, exact, err := parsePayload(raw[pos:], n)
+		if err != nil {
+			return nil, err
+		}
+		logs, err := dequantizeCore(codes, dims, eb, exact, pred4)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, n)
+		for i, lg := range logs {
+			v := math.Exp2(lg)
+			if signs[i/8]>>uint(i%8)&1 == 1 {
+				v = -v
+			}
+			vals[i] = v
+		}
+		for _, z := range zeros {
+			vals[z] = 0
+		}
+		return grid.FromData(vals, dims...)
+	}
+	return nil, fmt.Errorf("sz: unreachable mode %d", mode)
+}
+
+func init() {
+	compress.RegisterDecoder("sz", MustNew(Abs, 1e-5).Decompress)
+}

@@ -1,0 +1,33 @@
+package zfp
+
+import (
+	"testing"
+
+	"lrm/internal/grid"
+)
+
+// FuzzDecompress asserts the zfp stream parser never panics: arbitrary
+// input either decodes or errors.
+func FuzzDecompress(f *testing.F) {
+	field := grid.New(6, 6)
+	for i := range field.Data {
+		field.Data[i] = float64(i) / 7
+	}
+	for _, c := range []*Codec{MustNew(8), MustNewAccuracy(1e-3), MustNewRate(8)} {
+		enc, err := c.Compress(field)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := MustNew(16)
+		if out, err := c.Decompress(data); err == nil && out != nil {
+			if out.Len() == 0 || out.Len() > 1<<24 {
+				t.Fatalf("implausible decode length %d", out.Len())
+			}
+		}
+		_, _ = c.DecodeAt(data, 0, 0)
+		_, _ = c.DecodeAt(data, 1)
+	})
+}

@@ -1,0 +1,331 @@
+package zfp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lrm/internal/bitstream"
+	"lrm/internal/compress"
+	"lrm/internal/grid"
+)
+
+// modeRate is the fixed-rate stream mode: every block costs exactly
+// rate * 4^d bits, which makes the stream randomly accessible — the
+// defining feature of real ZFP's -r mode (compressed arrays with O(1)
+// element access).
+const modeRate byte = 2
+
+// NewRate returns a fixed-rate codec storing exactly `rate` bits per value.
+// Compression ratio is then exactly 64/rate regardless of content; quality
+// varies per block instead. Fixed-rate streams support random block access
+// via DecodeAt.
+func NewRate(rate int) (*Codec, error) {
+	if rate < 1 || rate > 62 {
+		return nil, fmt.Errorf("zfp: rate %d out of range [1,62]", rate)
+	}
+	return &Codec{mode: modeRate, rate: uint(rate)}, nil
+}
+
+// MustNewRate is NewRate but panics on invalid rate.
+func MustNewRate(rate int) *Codec {
+	c, err := NewRate(rate)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Rate returns the configured bits per value (rate mode).
+func (c *Codec) Rate() int { return int(c.rate) }
+
+// encodePlaneBudget is encodePlane with a bit budget: encoding stops the
+// moment the block's budget is exhausted, exactly mirroring ZFP's
+// encode_ints. It returns the updated significant count and remaining
+// budget.
+func encodePlaneBudget(w *bitstream.Writer, x uint64, size, n, bits int) (int, int) {
+	m := n
+	if bits < m {
+		m = bits
+	}
+	bits -= m
+	for i := 0; i < m; i++ {
+		w.WriteBit(uint(x & 1))
+		x >>= 1
+	}
+	for n < size && bits > 0 {
+		bits--
+		if x == 0 {
+			w.WriteBit(0)
+			break
+		}
+		w.WriteBit(1)
+		for n < size-1 && bits > 0 {
+			bits--
+			bit := uint(x & 1)
+			w.WriteBit(bit)
+			if bit != 0 {
+				break
+			}
+			x >>= 1
+			n++
+		}
+		x >>= 1
+		n++
+	}
+	return n, bits
+}
+
+// decodePlaneBudget mirrors encodePlaneBudget.
+func decodePlaneBudget(r *bitstream.Reader, size, n, bits int) (uint64, int, int, error) {
+	m := n
+	if bits < m {
+		m = bits
+	}
+	bits -= m
+	var x uint64
+	for i := 0; i < m; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		x |= uint64(b) << uint(i)
+	}
+	for n < size && bits > 0 {
+		bits--
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if b == 0 {
+			break
+		}
+		for n < size-1 && bits > 0 {
+			bits--
+			bb, err := r.ReadBit()
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if bb != 0 {
+				break
+			}
+			n++
+		}
+		x |= 1 << uint(n)
+		n++
+	}
+	return x, n, bits, nil
+}
+
+// blockBudgetBits returns the exact bit cost of one block in rate mode.
+func blockBudgetBits(rate uint, size int) int { return int(rate) * size }
+
+// compressRate encodes the whole field at a fixed per-block budget.
+func (c *Codec) compressRate(f *grid.Field) ([]byte, error) {
+	rank := f.Rank()
+	size := 1 << (2 * uint(rank))
+	budget := blockBudgetBits(c.rate, size)
+	if budget < 16 {
+		return nil, fmt.Errorf("zfp: rate %d leaves no room for the block exponent", c.rate)
+	}
+
+	var w bitstream.Writer
+	vals := make([]float64, size)
+	blk := make([]int64, size)
+	nb := make([]uint64, size)
+
+	for _, b := range blocks(f.Dims) {
+		gather(f, b, vals)
+		maxAbs := 0.0
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, errors.New("zfp: NaN/Inf not supported")
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		start := w.Len()
+		_, emax := math.Frexp(maxAbs)
+		if maxAbs == 0 {
+			emax = -16384 // forces all-zero planes below
+		}
+		w.WriteBits(uint64(emax+16384), 15)
+		scale := 0.0
+		if maxAbs != 0 {
+			scale = math.Ldexp(1, fixedPointBits-emax)
+		}
+		for i, v := range vals {
+			blk[i] = int64(v * scale)
+		}
+		transformForward(blk, rank)
+		perm := permFor(rank)
+		for i := range blk {
+			nb[i] = int2nb(blk[perm[i]])
+		}
+		bits := budget - 15
+		n := 0
+		for k := intprec - 1; k >= intprec-MaxPrecision && bits > 0; k-- {
+			var plane uint64
+			for i := 0; i < size; i++ {
+				plane |= (nb[i] >> uint(k) & 1) << uint(i)
+			}
+			n, bits = encodePlaneBudget(&w, plane, size, n, bits)
+		}
+		// Pad to the exact block budget: the fixed size is what makes the
+		// stream randomly accessible.
+		for w.Len() < start+budget {
+			w.WriteBit(0)
+		}
+	}
+
+	out := compress.EncodeDimsHeader(f.Dims)
+	out = append(out, modeRate, byte(c.rate))
+	return append(out, w.Bytes()...), nil
+}
+
+// decodeRateBlock decodes one fixed-budget block from r into vals.
+func decodeRateBlock(r *bitstream.Reader, rate uint, rank int, vals []float64) error {
+	size := 1 << (2 * uint(rank))
+	budget := blockBudgetBits(rate, size)
+	start := r.Pos()
+
+	e, err := r.ReadBits(15)
+	if err != nil {
+		return fmt.Errorf("zfp: truncated rate block: %w", err)
+	}
+	emax := int(e) - 16384
+
+	nb := make([]uint64, size)
+	bits := budget - 15
+	n := 0
+	for k := intprec - 1; k >= intprec-MaxPrecision && bits > 0; k-- {
+		plane, n2, bits2, err := decodePlaneBudget(r, size, n, bits)
+		if err != nil {
+			return fmt.Errorf("zfp: truncated rate block: %w", err)
+		}
+		n, bits = n2, bits2
+		for i := 0; i < size; i++ {
+			nb[i] |= (plane >> uint(i) & 1) << uint(k)
+		}
+	}
+	// Skip the padding up to the exact budget.
+	for r.Pos() < start+budget {
+		if _, err := r.ReadBit(); err != nil {
+			return fmt.Errorf("zfp: truncated rate padding: %w", err)
+		}
+	}
+
+	blk := make([]int64, size)
+	perm := permFor(rank)
+	for i, u := range nb {
+		blk[perm[i]] = nb2int(u)
+	}
+	transformInverse(blk, rank)
+	scale := math.Ldexp(1, emax-fixedPointBits)
+	if emax == -16384 {
+		scale = 0
+	}
+	for i, q := range blk {
+		vals[i] = float64(q) * scale
+	}
+	return nil
+}
+
+// DecodeAt randomly accesses a fixed-rate stream: it decodes ONLY the block
+// containing the given coordinates and returns the sample, without touching
+// the rest of the stream — ZFP's compressed-array access pattern. The
+// stream must have been produced in rate mode.
+func (c *Codec) DecodeAt(data []byte, coord ...int) (float64, error) {
+	dims, rest, err := compress.DecodeDimsHeader(data)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) < 2 || rest[0] != modeRate {
+		return 0, errors.New("zfp: DecodeAt requires a fixed-rate stream")
+	}
+	rate := uint(rest[1])
+	if rate < 1 || rate > 62 {
+		return 0, fmt.Errorf("zfp: invalid rate %d in stream", rate)
+	}
+	if len(coord) != len(dims) {
+		return 0, fmt.Errorf("zfp: coordinate rank %d != field rank %d", len(coord), len(dims))
+	}
+	for i, x := range coord {
+		if x < 0 || x >= dims[i] {
+			return 0, fmt.Errorf("zfp: coordinate %d out of range [0,%d)", x, dims[i])
+		}
+	}
+	rank := len(dims)
+	size := 1 << (2 * uint(rank))
+	budget := blockBudgetBits(rate, size)
+
+	// Locate the block in raster order and the sample within it.
+	var nz, ny, nx int
+	var cz, cy, cx int
+	switch rank {
+	case 1:
+		nz, ny, nx = 1, 1, dims[0]
+		cx = coord[0]
+	case 2:
+		nz, ny, nx = 1, dims[0], dims[1]
+		cy, cx = coord[0], coord[1]
+	default:
+		nz, ny, nx = dims[0], dims[1], dims[2]
+		cz, cy, cx = coord[0], coord[1], coord[2]
+	}
+	bz, by, bx := cz/4, cy/4, cx/4
+	bnx := (nx + 3) / 4
+	bny := (ny + 3) / 4
+	_ = nz
+	blockIdx := (bz*bny+by)*bnx + bx
+
+	payload := rest[2:]
+	r := bitstream.NewReader(payload)
+	offset := blockIdx * budget
+	if offset+budget > 8*len(payload) {
+		return 0, errors.New("zfp: stream too short for requested block")
+	}
+	// O(1) seek straight to the block: fixed-rate blocks all cost the
+	// same number of bits.
+	if err := r.Seek(offset); err != nil {
+		return 0, err
+	}
+	vals := make([]float64, size)
+	if err := decodeRateBlock(r, rate, rank, vals); err != nil {
+		return 0, err
+	}
+	lz, ly, lx := cz%4, cy%4, cx%4
+	yl, xl := 4, 4
+	if rank < 2 {
+		yl = 1
+	}
+	return vals[(lz*yl+ly)*xl+lx], nil
+}
+
+// decompressRate reverses compressRate.
+func decompressRate(dims []int, rest []byte) (*grid.Field, error) {
+	if len(rest) < 1 {
+		return nil, errors.New("zfp: truncated rate header")
+	}
+	rate := uint(rest[0])
+	if rate < 1 || rate > 62 {
+		return nil, fmt.Errorf("zfp: invalid rate %d in stream", rate)
+	}
+	rank := len(dims)
+	size := 1 << (2 * uint(rank))
+	// Rate streams have a deterministic size: validate before allocating.
+	if need := blockCount(dims) * blockBudgetBits(rate, size); need > 8*len(rest[1:]) {
+		return nil, fmt.Errorf("zfp: rate stream needs %d bits, payload has %d", need, 8*len(rest[1:]))
+	}
+	f := grid.New(dims...)
+	vals := make([]float64, size)
+	r := bitstream.NewReader(rest[1:])
+	for _, b := range blocks(dims) {
+		if err := decodeRateBlock(r, rate, rank, vals); err != nil {
+			return nil, err
+		}
+		scatter(f, b, vals)
+	}
+	return f, nil
+}

@@ -1,0 +1,636 @@
+// Package zfp implements a fixed-precision transform codec modeled on
+// Lindstrom's ZFP (TVCG 2014), the lossy compressor the paper evaluates in
+// fixed-precision mode.
+//
+// The pipeline follows the three steps the paper describes (Section II-A):
+//
+//  1. Alignment: each 4^d block is aligned to a common exponent and
+//     converted to fixed-point signed integers.
+//  2. Decorrelation: a reversible integer lifting transform (ZFP's
+//     orthogonal-ish basis) is applied along each dimension, concentrating
+//     block energy into few low-frequency coefficients.
+//  3. Embedded encoding: coefficients are mapped to negabinary and coded one
+//     bit plane at a time with group testing, keeping exactly `Precision`
+//     planes per block.
+//
+// Compression is therefore data dependent exactly like real ZFP: smooth
+// blocks produce long zero runs in the high bit planes and cost almost
+// nothing, while noisy blocks pay the full bit budget.
+package zfp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"lrm/internal/bitstream"
+	"lrm/internal/compress"
+	"lrm/internal/grid"
+)
+
+// Codec is a ZFP-style compressor in one of two modes, mirroring real
+// ZFP's fixed-precision and fixed-accuracy modes. The zero value is not
+// usable; construct with New or NewAccuracy.
+type Codec struct {
+	mode      byte    // modePrecision, modeAccuracy, or modeRate
+	precision uint    // bit planes kept per block (precision mode), 1..60
+	tolerance float64 // absolute error tolerance (accuracy mode)
+	rate      uint    // bits per value (rate mode), 1..62
+}
+
+// Stream/codec modes.
+const (
+	modePrecision byte = 0
+	modeAccuracy  byte = 1
+)
+
+// MaxPrecision is the largest representable number of bit planes.
+const MaxPrecision = 60
+
+// fixedPointBits positions block values at 2^fixedPointBits, leaving
+// headroom for the lifting transform's range expansion (< 4x in 3-D).
+const fixedPointBits = 60
+
+// intprec is the total number of negabinary bit planes per coefficient.
+const intprec = 64
+
+// New returns a codec that keeps precision bit planes per block (the
+// paper's "16 bits of precision" corresponds to New(16)).
+func New(precision int) (*Codec, error) {
+	if precision < 1 || precision > MaxPrecision {
+		return nil, fmt.Errorf("zfp: precision %d out of range [1,%d]", precision, MaxPrecision)
+	}
+	return &Codec{mode: modePrecision, precision: uint(precision)}, nil
+}
+
+// NewAccuracy returns a fixed-accuracy codec: every decompressed value is
+// within tol of the original (absolute error bound), with the bit budget
+// varying per block — large-magnitude blocks spend more planes. This is
+// ZFP's -a mode.
+func NewAccuracy(tol float64) (*Codec, error) {
+	if tol <= 0 || math.IsNaN(tol) || math.IsInf(tol, 0) {
+		return nil, fmt.Errorf("zfp: invalid tolerance %v", tol)
+	}
+	return &Codec{mode: modeAccuracy, tolerance: tol}, nil
+}
+
+// MustNewAccuracy is NewAccuracy but panics on invalid tolerance.
+func MustNewAccuracy(tol float64) *Codec {
+	c, err := NewAccuracy(tol)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustNew is New but panics on invalid precision; for use in tables.
+func MustNew(precision int) *Codec {
+	c, err := New(precision)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements compress.Codec.
+func (c *Codec) Name() string {
+	switch c.mode {
+	case modeAccuracy:
+		return fmt.Sprintf("zfp(a=%.0e)", c.tolerance)
+	case modeRate:
+		return fmt.Sprintf("zfp(r=%d)", c.rate)
+	default:
+		return fmt.Sprintf("zfp(p=%d)", c.precision)
+	}
+}
+
+// Lossless implements compress.Codec.
+func (c *Codec) Lossless() bool { return false }
+
+// Precision returns the configured number of bit planes (precision mode).
+func (c *Codec) Precision() int { return int(c.precision) }
+
+// kminFor returns the lowest bit plane to encode for a block with max
+// exponent emax. In precision mode it is a fixed count from the top; in
+// accuracy mode it is the plane whose weight (in value units, after the
+// transform's <8x amplification headroom) first drops below the tolerance.
+func kminFor(mode byte, precision uint, tolerance float64, emax int) int {
+	if mode == modePrecision {
+		return intprec - int(precision)
+	}
+	// tolerance = f * 2^e with f in [0.5,1), so floor(log2 tol) = e-1.
+	_, e := math.Frexp(tolerance)
+	// Plane k carries value weight 2^(k - fixedPointBits + emax); reserve
+	// 4 bits for negabinary carry + inverse-transform amplification in 3-D.
+	kmin := (e - 1) + fixedPointBits - 4 - emax
+	if kmin < intprec-MaxPrecision {
+		kmin = intprec - MaxPrecision
+	}
+	if kmin > intprec {
+		kmin = intprec
+	}
+	return kmin
+}
+
+// negabinary mask: converts two's complement to negabinary and back.
+const nbmask = 0xaaaaaaaaaaaaaaaa
+
+func int2nb(i int64) uint64 { return (uint64(i) + nbmask) ^ nbmask }
+func nb2int(u uint64) int64 { return int64((u ^ nbmask) - nbmask) }
+
+// fwdLift applies ZFP's forward decorrelating lifting step to a stride-s
+// 4-vector in p.
+func fwdLift(p []int64, base, s int) {
+	x := p[base]
+	y := p[base+s]
+	z := p[base+2*s]
+	w := p[base+3*s]
+
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+
+	p[base] = x
+	p[base+s] = y
+	p[base+2*s] = z
+	p[base+3*s] = w
+}
+
+// invLift is the exact inverse of fwdLift.
+func invLift(p []int64, base, s int) {
+	x := p[base]
+	y := p[base+s]
+	z := p[base+2*s]
+	w := p[base+3*s]
+
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+
+	p[base] = x
+	p[base+s] = y
+	p[base+2*s] = z
+	p[base+3*s] = w
+}
+
+// transformForward decorrelates a 4^rank block along every dimension.
+func transformForward(blk []int64, rank int) {
+	switch rank {
+	case 1:
+		fwdLift(blk, 0, 1)
+	case 2:
+		for y := 0; y < 4; y++ { // along x
+			fwdLift(blk, 4*y, 1)
+		}
+		for x := 0; x < 4; x++ { // along y
+			fwdLift(blk, x, 4)
+		}
+	case 3:
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				fwdLift(blk, 16*z+4*y, 1)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(blk, 16*z+x, 4)
+			}
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(blk, 4*y+x, 16)
+			}
+		}
+	}
+}
+
+// transformInverse undoes transformForward (reverse order, inverse steps).
+func transformInverse(blk []int64, rank int) {
+	switch rank {
+	case 1:
+		invLift(blk, 0, 1)
+	case 2:
+		for x := 0; x < 4; x++ {
+			invLift(blk, x, 4)
+		}
+		for y := 0; y < 4; y++ {
+			invLift(blk, 4*y, 1)
+		}
+	case 3:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				invLift(blk, 4*y+x, 16)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				invLift(blk, 16*z+x, 4)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				invLift(blk, 16*z+4*y, 1)
+			}
+		}
+	}
+}
+
+// encodePlane writes one bit plane x (bit i of x = plane bit of value i)
+// using ZFP's verbatim-prefix + group-tested run-length scheme. n is the
+// count of values already known significant; the updated n is returned.
+func encodePlane(w *bitstream.Writer, x uint64, size, n int) int {
+	for i := 0; i < n; i++ {
+		w.WriteBit(uint(x & 1))
+		x >>= 1
+	}
+	for n < size {
+		if x == 0 {
+			w.WriteBit(0)
+			break
+		}
+		w.WriteBit(1)
+		for n < size-1 {
+			bit := uint(x & 1)
+			w.WriteBit(bit)
+			if bit != 0 {
+				break
+			}
+			x >>= 1
+			n++
+		}
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// decodePlane mirrors encodePlane.
+func decodePlane(r *bitstream.Reader, size, n int) (uint64, int, error) {
+	var x uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, 0, err
+		}
+		x |= uint64(b) << uint(i)
+	}
+	for n < size {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, 0, err
+		}
+		if b == 0 {
+			break
+		}
+		for n < size-1 {
+			bb, err := r.ReadBit()
+			if err != nil {
+				return 0, 0, err
+			}
+			if bb != 0 {
+				break
+			}
+			n++
+		}
+		x |= 1 << uint(n)
+		n++
+	}
+	return x, n, nil
+}
+
+// Sequency-order permutations: after the decorrelating transform,
+// coefficients are stored ordered by total sequency (the sum of per-
+// dimension frequency indices), exactly like real ZFP's PERM tables. Low
+// frequencies — the large coefficients of smooth blocks — cluster at the
+// front, so the group-tested bit-plane coder terminates its scans early.
+var (
+	perm1 = sequencyPerm(1)
+	perm2 = sequencyPerm(2)
+	perm3 = sequencyPerm(3)
+)
+
+// permFor returns the coefficient permutation for a rank.
+func permFor(rank int) []int {
+	switch rank {
+	case 1:
+		return perm1
+	case 2:
+		return perm2
+	default:
+		return perm3
+	}
+}
+
+// sequencyPerm builds the index ordering by total sequency with index
+// order as the (stable) tie-break.
+func sequencyPerm(rank int) []int {
+	size := 1 << (2 * uint(rank))
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	seq := func(i int) int {
+		s := 0
+		for d := 0; d < rank; d++ {
+			s += (i >> (2 * uint(d))) & 3
+		}
+		return s
+	}
+	// Stable insertion sort by sequency (tiny fixed-size input).
+	for a := 1; a < size; a++ {
+		for b := a; b > 0 && seq(idx[b]) < seq(idx[b-1]); b-- {
+			idx[b], idx[b-1] = idx[b-1], idx[b]
+		}
+	}
+	return idx
+}
+
+// blockShape describes the valid extents of one (possibly partial) block.
+type blockShape struct {
+	origin [3]int // block origin in field coordinates (unused dims = 0)
+	size   [3]int // valid samples per dim, 1..4 (unused dims = 1)
+}
+
+// blockCount returns the number of 4^rank blocks covering dims without
+// materialising them (hostile headers can claim millions of blocks).
+func blockCount(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		n *= (d + 3) / 4
+	}
+	return n
+}
+
+// blocks enumerates the block grid of a field in raster order.
+func blocks(dims []int) []blockShape {
+	d := [3]int{1, 1, 1}
+	for i, v := range dims {
+		d[3-len(dims)+i] = v
+	}
+	var out []blockShape
+	for z := 0; z < d[0]; z += 4 {
+		for y := 0; y < d[1]; y += 4 {
+			for x := 0; x < d[2]; x += 4 {
+				b := blockShape{origin: [3]int{z, y, x}}
+				b.size[0] = min(4, d[0]-z)
+				b.size[1] = min(4, d[1]-y)
+				b.size[2] = min(4, d[2]-x)
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// gather copies one block into blk (64 entries max used: 4^rank), padding
+// partial blocks by replicating the last valid sample along each dimension.
+func gather(f *grid.Field, b blockShape, vals []float64) {
+	rank := f.Rank()
+	size := 1 << (2 * uint(rank)) // 4^rank
+	_ = size
+	// Normalised dims: treat every field as (nz, ny, nx) with leading 1s.
+	var nz, ny, nx int
+	switch rank {
+	case 1:
+		nz, ny, nx = 1, 1, f.Dims[0]
+	case 2:
+		nz, ny, nx = 1, f.Dims[0], f.Dims[1]
+	default:
+		nz, ny, nx = f.Dims[0], f.Dims[1], f.Dims[2]
+	}
+	at := func(z, y, x int) float64 {
+		return f.Data[(z*ny+y)*nx+x]
+	}
+	zl, yl, xl := 4, 4, 4
+	if rank < 3 {
+		zl = 1
+	}
+	if rank < 2 {
+		yl = 1
+	}
+	_ = nz
+	for z := 0; z < zl; z++ {
+		sz := b.origin[0] + min(z, b.size[0]-1)
+		for y := 0; y < yl; y++ {
+			sy := b.origin[1] + min(y, b.size[1]-1)
+			for x := 0; x < xl; x++ {
+				sx := b.origin[2] + min(x, b.size[2]-1)
+				vals[(z*yl+y)*xl+x] = at(sz, sy, sx)
+			}
+		}
+	}
+}
+
+// scatter writes the valid region of a decoded block back into f.
+func scatter(f *grid.Field, b blockShape, vals []float64) {
+	rank := f.Rank()
+	var ny, nx int
+	switch rank {
+	case 1:
+		ny, nx = 1, f.Dims[0]
+	case 2:
+		ny, nx = f.Dims[0], f.Dims[1]
+	default:
+		ny, nx = f.Dims[1], f.Dims[2]
+	}
+	yl, xl := 4, 4
+	if rank < 2 {
+		yl = 1
+	}
+	for z := 0; z < b.size[0]; z++ {
+		for y := 0; y < b.size[1]; y++ {
+			for x := 0; x < b.size[2]; x++ {
+				f.Data[((b.origin[0]+z)*ny+(b.origin[1]+y))*nx+(b.origin[2]+x)] = vals[(z*yl+y)*xl+x]
+			}
+		}
+	}
+}
+
+// Compress implements compress.Codec.
+func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
+	if c.mode == modeRate {
+		return c.compressRate(f)
+	}
+	rank := f.Rank()
+	size := 1 << (2 * uint(rank)) // 4, 16, or 64
+
+	var w bitstream.Writer
+	vals := make([]float64, size)
+	blk := make([]int64, size)
+	nb := make([]uint64, size)
+
+	for _, b := range blocks(f.Dims) {
+		gather(f, b, vals)
+
+		// Step 1: common-exponent alignment.
+		maxAbs := 0.0
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, errors.New("zfp: NaN/Inf not supported")
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			w.WriteBit(0) // empty block
+			continue
+		}
+		w.WriteBit(1)
+		_, emax := math.Frexp(maxAbs) // maxAbs = f * 2^emax, f in [0.5, 1)
+		w.WriteBits(uint64(emax+16384), 15)
+
+		scale := math.Ldexp(1, fixedPointBits-emax)
+		for i, v := range vals {
+			blk[i] = int64(v * scale)
+		}
+
+		// Step 2: decorrelating transform, then reorder coefficients by
+		// total sequency so significant bits cluster at low indices.
+		transformForward(blk, rank)
+		perm := permFor(rank)
+		for i := range blk {
+			nb[i] = int2nb(blk[perm[i]])
+		}
+
+		// Step 3: embedded bit-plane coding down to the mode's floor plane.
+		n := 0
+		for k := intprec - 1; k >= kminFor(c.mode, c.precision, c.tolerance, emax); k-- {
+			var plane uint64
+			for i := 0; i < size; i++ {
+				plane |= (nb[i] >> uint(k) & 1) << uint(i)
+			}
+			n = encodePlane(&w, plane, size, n)
+		}
+	}
+
+	out := compress.EncodeDimsHeader(f.Dims)
+	out = append(out, c.mode)
+	if c.mode == modeAccuracy {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c.tolerance))
+	} else {
+		out = append(out, byte(c.precision))
+	}
+	return append(out, w.Bytes()...), nil
+}
+
+// Decompress implements compress.Codec.
+func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
+	dims, rest, err := compress.DecodeDimsHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 2 {
+		return nil, errors.New("zfp: truncated stream")
+	}
+	mode := rest[0]
+	var precision uint
+	var tolerance float64
+	switch mode {
+	case modePrecision:
+		precision = uint(rest[1])
+		if precision < 1 || precision > MaxPrecision {
+			return nil, fmt.Errorf("zfp: invalid precision %d in stream", precision)
+		}
+		rest = rest[2:]
+	case modeAccuracy:
+		if len(rest) < 9 {
+			return nil, errors.New("zfp: truncated tolerance")
+		}
+		tolerance = math.Float64frombits(binary.LittleEndian.Uint64(rest[1:9]))
+		if tolerance <= 0 || math.IsNaN(tolerance) || math.IsInf(tolerance, 0) {
+			return nil, fmt.Errorf("zfp: invalid tolerance %v in stream", tolerance)
+		}
+		rest = rest[9:]
+	case modeRate:
+		return decompressRate(dims, rest[1:])
+	default:
+		return nil, fmt.Errorf("zfp: unknown mode %d in stream", mode)
+	}
+	r := bitstream.NewReader(rest)
+
+	// Every block costs at least one bit, so the claimed dims cannot imply
+	// more blocks than the payload has bits.
+	if nb := blockCount(dims); nb > 8*len(rest) {
+		return nil, fmt.Errorf("zfp: %d blocks exceed payload capacity", nb)
+	}
+	f := grid.New(dims...)
+	rank := f.Rank()
+	size := 1 << (2 * uint(rank))
+	vals := make([]float64, size)
+	blk := make([]int64, size)
+	nb := make([]uint64, size)
+
+	for _, b := range blocks(dims) {
+		nonEmpty, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("zfp: truncated stream: %w", err)
+		}
+		if nonEmpty == 0 {
+			for i := range vals {
+				vals[i] = 0
+			}
+			scatter(f, b, vals)
+			continue
+		}
+		e, err := r.ReadBits(15)
+		if err != nil {
+			return nil, fmt.Errorf("zfp: truncated exponent: %w", err)
+		}
+		emax := int(e) - 16384
+
+		for i := range nb {
+			nb[i] = 0
+		}
+		n := 0
+		for k := intprec - 1; k >= kminFor(mode, precision, tolerance, emax); k-- {
+			plane, n2, err := decodePlane(r, size, n)
+			if err != nil {
+				return nil, fmt.Errorf("zfp: truncated plane: %w", err)
+			}
+			n = n2
+			for i := 0; i < size; i++ {
+				nb[i] |= (plane >> uint(i) & 1) << uint(k)
+			}
+		}
+
+		perm := permFor(rank)
+		for i, u := range nb {
+			blk[perm[i]] = nb2int(u)
+		}
+		transformInverse(blk, rank)
+		scale := math.Ldexp(1, emax-fixedPointBits)
+		for i, q := range blk {
+			vals[i] = float64(q) * scale
+		}
+		scatter(f, b, vals)
+	}
+	return f, nil
+}
+
+func init() {
+	compress.RegisterDecoder("zfp", MustNew(16).Decompress)
+}

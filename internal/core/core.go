@@ -1,0 +1,332 @@
+// Package core implements the paper's end-to-end preconditioning pipeline
+// (Fig. 5):
+//
+//	reduction phase:      data -> reduced representation -> inverse
+//	                      transform -> delta = data - reconstruction;
+//	                      store compressed(rep) + compressed(delta)
+//	reconstruction phase: decompress rep -> inverse transform ->
+//	                      apply decompressed delta -> data
+//
+// The reduced representation's numeric payload and the delta are both
+// compressed — the rep with the primary codec configuration and the delta
+// with a looser bound, following Section V-B's observation that the delta's
+// smaller magnitude warrants a looser relative bound (16 vs 8 bits for ZFP,
+// 1e-5 vs 1e-3 for SZ).
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lrm/internal/compress"
+	"lrm/internal/grid"
+	"lrm/internal/reduce"
+)
+
+// Options configures one compression run.
+type Options struct {
+	// Model preconditions the data; nil compresses directly.
+	Model reduce.Model
+	// DataCodec compresses the data directly (Model == nil) or the reduced
+	// representation's numeric payload (Model != nil).
+	DataCodec compress.Codec
+	// DeltaCodec compresses the delta. nil falls back to DataCodec. The
+	// paper uses a looser bound here (Section V-B).
+	DeltaCodec compress.Codec
+}
+
+// Result is a compression outcome with the per-part byte accounting the
+// experiments report (Fig. 9 plots RepBytes; Fig. 6 uses Ratio).
+type Result struct {
+	// Archive is the self-describing compressed container.
+	Archive []byte
+	// OriginalBytes is 8 * number of points.
+	OriginalBytes int
+	// RepMetaBytes, RepValueBytes are the stored reduced-representation
+	// sizes (0 for direct compression).
+	RepMetaBytes, RepValueBytes int
+	// DeltaBytes is the stored delta stream size (0 for direct).
+	DeltaBytes int
+}
+
+// Ratio returns the end-to-end compression ratio.
+func (r *Result) Ratio() float64 {
+	return compress.RatioBytes(r.OriginalBytes, len(r.Archive))
+}
+
+// RepBytes returns the total reduced-representation footprint.
+func (r *Result) RepBytes() int { return r.RepMetaBytes + r.RepValueBytes }
+
+const magic = "LRM1"
+
+const (
+	modeDirect        = 0
+	modePreconditoned = 1
+)
+
+// Compress runs the pipeline on f.
+func Compress(f *grid.Field, opts Options) (*Result, error) {
+	if opts.DataCodec == nil {
+		return nil, errors.New("core: DataCodec is required")
+	}
+	res := &Result{OriginalBytes: 8 * f.Len()}
+
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+
+	if opts.Model == nil {
+		buf.WriteByte(modeDirect)
+		writeString(&buf, codecBase(opts.DataCodec.Name()))
+		stream, err := opts.DataCodec.Compress(f)
+		if err != nil {
+			return nil, fmt.Errorf("core: direct compression: %w", err)
+		}
+		writeBytes(&buf, stream)
+		res.Archive = buf.Bytes()
+		return res, nil
+	}
+
+	deltaCodec := opts.DeltaCodec
+	if deltaCodec == nil {
+		deltaCodec = opts.DataCodec
+	}
+
+	// Reduction phase.
+	rep, err := opts.Model.Reduce(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: reduce: %w", err)
+	}
+
+	// The delta must be computed against the representation AS STORED:
+	// if the rep's values are lossily compressed, reconstruction at
+	// decompression time sees the perturbed values, so the delta has to be
+	// taken against the same perturbed reconstruction or the error would
+	// double-count. Compress the rep first, then reconstruct from the
+	// decompressed rep to compute the delta.
+	repValStream, storedRep, err := storeRepValues(rep, opts.DataCodec)
+	if err != nil {
+		return nil, err
+	}
+	recon, err := reduce.Reconstruct(storedRep)
+	if err != nil {
+		return nil, fmt.Errorf("core: reconstruct stored rep: %w", err)
+	}
+	delta, err := f.Sub(recon)
+	if err != nil {
+		return nil, err
+	}
+	deltaStream, err := deltaCodec.Compress(delta)
+	if err != nil {
+		return nil, fmt.Errorf("core: delta compression: %w", err)
+	}
+	metaStream, err := compress.FlateBytes(rep.Meta, 6)
+	if err != nil {
+		return nil, err
+	}
+
+	buf.WriteByte(modePreconditoned)
+	writeString(&buf, codecBase(opts.DataCodec.Name()))
+	writeString(&buf, rep.Model)
+	buf.WriteByte(byte(len(rep.Dims)))
+	for _, d := range rep.Dims {
+		writeUvarint(&buf, uint64(d))
+	}
+	writeUvarint(&buf, uint64(len(rep.Meta))) // pre-flate size for exactness
+	writeBytes(&buf, metaStream)
+	writeBytes(&buf, repValStream)
+	writeString(&buf, codecBase(deltaCodec.Name()))
+	writeBytes(&buf, deltaStream)
+
+	res.Archive = buf.Bytes()
+	res.RepMetaBytes = len(metaStream)
+	res.RepValueBytes = len(repValStream)
+	res.DeltaBytes = len(deltaStream)
+	return res, nil
+}
+
+// storeRepValues compresses the representation's numeric payload with the
+// codec and returns both the stream and the representation as it will look
+// after decompression (meta intact, values re-read from the codec).
+func storeRepValues(rep *reduce.Rep, codec compress.Codec) (stream []byte, stored *reduce.Rep, err error) {
+	cp := *rep
+	if len(rep.Values) == 0 {
+		return nil, &cp, nil
+	}
+	vf, err := grid.FromData(rep.Values, len(rep.Values))
+	if err != nil {
+		return nil, nil, err
+	}
+	stream, err = codec.Compress(vf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: rep compression: %w", err)
+	}
+	back, err := codec.Decompress(stream)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: rep verify: %w", err)
+	}
+	cp.Values = back.Data
+	return stream, &cp, nil
+}
+
+// Decompress reverses Compress and CompressChunked. Archives are fully
+// self-describing; the container magic selects the format.
+func Decompress(archive []byte) (*grid.Field, error) {
+	if len(archive) >= 4 && string(archive[:4]) == chunkedMagic {
+		return decompressChunked(archive)
+	}
+	r := &reader{buf: archive}
+	if string(r.take(4)) != magic {
+		return nil, errors.New("core: bad magic")
+	}
+	mode := r.byte()
+	dataCodecName := r.string()
+	dataDecode, err := decoderFor(dataCodecName)
+	if err != nil {
+		return nil, err
+	}
+
+	switch mode {
+	case modeDirect:
+		stream := r.bytes()
+		if r.err != nil {
+			return nil, fmt.Errorf("core: corrupt archive: %w", r.err)
+		}
+		return dataDecode(stream)
+
+	case modePreconditoned:
+		modelName := r.string()
+		rank := int(r.byte())
+		if r.err != nil {
+			return nil, fmt.Errorf("core: corrupt archive: %w", r.err)
+		}
+		if rank < 1 || rank > 3 {
+			return nil, fmt.Errorf("core: bad rank %d", rank)
+		}
+		dims := make([]int, rank)
+		for i := range dims {
+			v := r.uvarint()
+			if v == 0 || v > 1<<32 {
+				return nil, errors.New("core: bad dims")
+			}
+			dims[i] = int(v)
+		}
+		metaLen := int(r.uvarint())
+		metaStream := r.bytes()
+		repValStream := r.bytes()
+		deltaCodecName := r.string()
+		deltaStream := r.bytes()
+		if r.err != nil {
+			return nil, fmt.Errorf("core: corrupt archive: %w", r.err)
+		}
+
+		meta, err := compress.InflateBytes(metaStream)
+		if err != nil {
+			return nil, fmt.Errorf("core: rep meta: %w", err)
+		}
+		if len(meta) != metaLen {
+			return nil, fmt.Errorf("core: rep meta length %d != %d", len(meta), metaLen)
+		}
+		rep := &reduce.Rep{Model: modelName, Dims: dims, Meta: meta}
+		if len(repValStream) > 0 {
+			vf, err := dataDecode(repValStream)
+			if err != nil {
+				return nil, fmt.Errorf("core: rep values: %w", err)
+			}
+			rep.Values = vf.Data
+		}
+		recon, err := reduce.Reconstruct(rep)
+		if err != nil {
+			return nil, fmt.Errorf("core: reconstruct: %w", err)
+		}
+		deltaDecode, err := decoderFor(deltaCodecName)
+		if err != nil {
+			return nil, err
+		}
+		delta, err := deltaDecode(deltaStream)
+		if err != nil {
+			return nil, fmt.Errorf("core: delta: %w", err)
+		}
+		if err := recon.AddInPlace(delta); err != nil {
+			return nil, fmt.Errorf("core: apply delta: %w", err)
+		}
+		return recon, nil
+	}
+	return nil, fmt.Errorf("core: unknown mode %d", mode)
+}
+
+// --- binary helpers ---
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	writeUvarint(buf, uint64(len(b)))
+	buf.Write(b)
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || r.pos+n > len(r.buf) {
+		r.setErr()
+		return nil
+	}
+	out := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *reader) setErr() {
+	if r.err == nil {
+		r.err = errors.New("truncated")
+	}
+}
+
+func (r *reader) byte() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.setErr()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.setErr()
+		return nil
+	}
+	return r.take(int(n))
+}
+
+func (r *reader) string() string { return string(r.bytes()) }

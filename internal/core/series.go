@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"lrm/internal/grid"
+)
+
+// seriesMagic marks the time-series container format.
+const seriesMagic = "LRMS"
+
+// SeriesResult is the outcome of CompressSeries.
+type SeriesResult struct {
+	// Archive is the self-describing multi-frame container.
+	Archive []byte
+	// OriginalBytes is the total raw size across frames.
+	OriginalBytes int
+	// FrameBytes records each stored frame's compressed size.
+	FrameBytes []int
+}
+
+// Ratio returns the whole-series compression ratio.
+func (r *SeriesResult) Ratio() float64 {
+	if len(r.Archive) == 0 {
+		return 0
+	}
+	return float64(r.OriginalBytes) / float64(len(r.Archive))
+}
+
+// CompressSeries compresses a simulation output time series using the
+// previous frame as the reduced model: frame 0 goes through the normal
+// pipeline (with opts.Model, if any), and every later frame stores only its
+// delta against the previous frame's *reconstruction*, compressed with the
+// delta codec. This is the temporal cousin of the paper's spatial reduced
+// models — successive outputs of a simulation are themselves highly similar
+// (the delta-snapshot idea the paper's introduction cites), so the temporal
+// delta is small and smooth.
+//
+// Computing each delta against the previous reconstruction (not the
+// previous original) stops quantisation error from accumulating across
+// frames: every frame's error is bounded by a single delta-codec pass.
+//
+// Note that even with a lossless delta codec the series is only
+// near-exact, not bit-exact: (f - prev) + prev re-rounds in floating
+// point. Use per-frame Compress when bit-exactness matters.
+func CompressSeries(snaps []*grid.Field, opts Options) (*SeriesResult, error) {
+	if len(snaps) == 0 {
+		return nil, errors.New("core: empty series")
+	}
+	if opts.DataCodec == nil {
+		return nil, errors.New("core: DataCodec is required")
+	}
+	deltaCodec := opts.DeltaCodec
+	if deltaCodec == nil {
+		deltaCodec = opts.DataCodec
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(seriesMagic)
+	writeUvarint(&buf, uint64(len(snaps)))
+	writeString(&buf, codecBase(deltaCodec.Name()))
+
+	res := &SeriesResult{}
+
+	// Frame 0: the full pipeline.
+	first, err := Compress(snaps[0], opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: series frame 0: %w", err)
+	}
+	writeBytes(&buf, first.Archive)
+	res.FrameBytes = append(res.FrameBytes, len(first.Archive))
+	res.OriginalBytes += 8 * snaps[0].Len()
+
+	// The rolling reconstruction the decoder will hold.
+	prev, err := Decompress(first.Archive)
+	if err != nil {
+		return nil, fmt.Errorf("core: series frame 0 verify: %w", err)
+	}
+
+	for i := 1; i < len(snaps); i++ {
+		f := snaps[i]
+		res.OriginalBytes += 8 * f.Len()
+		delta, err := f.Sub(prev)
+		if err != nil {
+			return nil, fmt.Errorf("core: series frame %d: %w", i, err)
+		}
+		stream, err := deltaCodec.Compress(delta)
+		if err != nil {
+			return nil, fmt.Errorf("core: series frame %d: %w", i, err)
+		}
+		writeBytes(&buf, stream)
+		res.FrameBytes = append(res.FrameBytes, len(stream))
+
+		// Advance the rolling reconstruction exactly as the decoder will.
+		dhat, err := deltaCodec.Decompress(stream)
+		if err != nil {
+			return nil, fmt.Errorf("core: series frame %d verify: %w", i, err)
+		}
+		if err := prev.AddInPlace(dhat); err != nil {
+			return nil, err
+		}
+	}
+	res.Archive = buf.Bytes()
+	return res, nil
+}
+
+// DecompressSeries reverses CompressSeries, returning every frame.
+func DecompressSeries(archive []byte) ([]*grid.Field, error) {
+	r := &reader{buf: archive}
+	if string(r.take(4)) != seriesMagic {
+		return nil, errors.New("core: bad series magic")
+	}
+	count := int(r.uvarint())
+	deltaCodecName := r.string()
+	if r.err != nil {
+		return nil, fmt.Errorf("core: corrupt series header: %w", r.err)
+	}
+	if count < 1 || count > 1<<24 {
+		return nil, fmt.Errorf("core: implausible frame count %d", count)
+	}
+	deltaDecode, err := decoderFor(deltaCodecName)
+	if err != nil {
+		return nil, err
+	}
+
+	frames := make([]*grid.Field, 0, count)
+	firstArchive := r.bytes()
+	if r.err != nil {
+		return nil, fmt.Errorf("core: truncated series frame 0: %w", r.err)
+	}
+	cur, err := Decompress(firstArchive)
+	if err != nil {
+		return nil, fmt.Errorf("core: series frame 0: %w", err)
+	}
+	frames = append(frames, cur.Clone())
+
+	for i := 1; i < count; i++ {
+		stream := r.bytes()
+		if r.err != nil {
+			return nil, fmt.Errorf("core: truncated series frame %d: %w", i, r.err)
+		}
+		delta, err := deltaDecode(stream)
+		if err != nil {
+			return nil, fmt.Errorf("core: series frame %d: %w", i, err)
+		}
+		if err := cur.AddInPlace(delta); err != nil {
+			return nil, fmt.Errorf("core: series frame %d: %w", i, err)
+		}
+		frames = append(frames, cur.Clone())
+	}
+	if r.pos != len(r.buf) {
+		return nil, fmt.Errorf("core: %d trailing bytes after series", len(r.buf)-r.pos)
+	}
+	return frames, nil
+}

@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/stats"
+)
+
+func TestNamesCount(t *testing.T) {
+	if len(Names()) != 9 {
+		t.Fatalf("Table I lists 9 datasets, got %d", len(Names()))
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := Generate("Nope", Small); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if _, err := Snapshots("Nope", Small, 3); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestGenerateAllSmall(t *testing.T) {
+	pairs, err := GenerateAll(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 9 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Full == nil || p.Reduced == nil {
+			t.Fatalf("%s: missing field", p.Name)
+		}
+		if p.Reduced.Len() >= p.Full.Len() {
+			t.Fatalf("%s: reduced (%d) not smaller than full (%d)",
+				p.Name, p.Reduced.Len(), p.Full.Len())
+		}
+		for i, v := range p.Full.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: bad value at %d", p.Name, i)
+			}
+		}
+	}
+}
+
+func TestFullReducedSimilarity(t *testing.T) {
+	// The paper's Fig. 1 claim: full and reduced models share data
+	// characteristics. Verify the KS distance between value distributions
+	// is small for the PDE datasets (where the claim is strongest).
+	for _, name := range []string{"Heat3d", "Laplace", "Sedov_pres", "Yf17_temp"} {
+		p, err := Generate(name, Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normalise both to [0,1] before comparing shapes: the reduced
+		// model may sit at a slightly different amplitude.
+		norm := func(d []float64) []float64 {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, v := range d {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			out := make([]float64, len(d))
+			if hi > lo {
+				for i, v := range d {
+					out[i] = (v - lo) / (hi - lo)
+				}
+			}
+			return out
+		}
+		d := stats.CDFDistance(norm(p.Full.Data), norm(p.Reduced.Data))
+		if d > 0.35 {
+			t.Errorf("%s: full/reduced KS distance %v too large", name, d)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Generate("Astro", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("Astro", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Full.Data {
+		if a.Full.Data[i] != b.Full.Data[i] {
+			t.Fatal("dataset generation not deterministic")
+		}
+	}
+}
+
+func TestSnapshotsAllDatasets(t *testing.T) {
+	for _, name := range Names() {
+		snaps, err := Snapshots(name, Small, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(snaps) != 3 {
+			t.Fatalf("%s: %d snapshots", name, len(snaps))
+		}
+	}
+}
+
+func TestSizeOrdering(t *testing.T) {
+	small, err := Generate("Yf17_temp", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := Generate("Yf17_temp", Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Full.Len() <= small.Full.Len() {
+		t.Fatalf("medium (%d) not larger than small (%d)", med.Full.Len(), small.Full.Len())
+	}
+	if Small.String() != "small" || Medium.String() != "medium" || Large.String() != "large" {
+		t.Fatal("Size.String broken")
+	}
+}
+
+func TestFishKeepsZeros(t *testing.T) {
+	p, err := Generate("Fish", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, v := range p.Full.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if float64(zeros)/float64(p.Full.Len()) < 0.5 {
+		t.Fatalf("Fish lost its zeros: %d/%d", zeros, p.Full.Len())
+	}
+}
+
+func TestLargeSizeBranches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large datasets")
+	}
+	// Exercise the Large-scale extents on the cheap generators.
+	wave, err := Generate("Wave", Large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wave.Full.Len() != 32768 {
+		t.Fatalf("large Wave = %d points", wave.Full.Len())
+	}
+	lap, err := Generate("Laplace", Large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lap.Full.Dims[0] != 256 {
+		t.Fatalf("large Laplace dims = %v", lap.Full.Dims)
+	}
+	if lap.Reduced.Dims[0] != 64 {
+		t.Fatalf("large Laplace reduced dims = %v", lap.Reduced.Dims)
+	}
+}

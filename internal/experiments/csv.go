@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSVer is implemented by experiment results that can emit their data in
+// machine-readable form for external plotting (the figures are bar charts
+// and scatter plots in the paper; `lrmexp -csv <id>` feeds any plotting
+// tool).
+type CSVer interface {
+	CSV() string
+}
+
+func csvRows(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV implements CSVer.
+func (r *Table2Result) CSV() string {
+	return csvRows(
+		[]string{"metric", "full", "reduced"},
+		[][]string{
+			{"problem_size", fmt.Sprint(r.FullN), fmt.Sprint(r.ReducedN)},
+			{"steps", fmt.Sprint(r.FullSteps), fmt.Sprint(r.ReducedSteps)},
+			{"dt", e2(r.FullDt), e2(r.ReducedDt)},
+			{"byte_entropy", f3(r.Full.ByteEntropy), f3(r.Reduced.ByteEntropy)},
+			{"byte_mean", f3(r.Full.ByteMean), f3(r.Reduced.ByteMean)},
+			{"serial_correlation", f3(r.Full.SerialCorrelation), f3(r.Reduced.SerialCorrelation)},
+		})
+}
+
+// CSV implements CSVer.
+func (r *Fig1Result) CSV() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset,
+			f3(row.Full.ByteEntropy), f3(row.Reduced.ByteEntropy),
+			f3(row.Full.ByteMean), f3(row.Reduced.ByteMean),
+			f3(row.Full.SerialCorrelation), f3(row.Reduced.SerialCorrelation),
+			f3(row.CDFDistance),
+		})
+	}
+	return csvRows([]string{
+		"dataset", "ent_full", "ent_reduced", "mean_full", "mean_reduced",
+		"corr_full", "corr_reduced", "ks_distance"}, rows)
+}
+
+// CSV implements CSVer.
+func (r *Fig3Result) CSV() string {
+	var rows [][]string
+	for _, c := range r.Cells {
+		rows = append(rows, []string{c.Dataset, c.Compressor, c.Method, f3(c.Ratio)})
+	}
+	return csvRows([]string{"dataset", "compressor", "method", "ratio"}, rows)
+}
+
+// CSV implements CSVer.
+func (r *Fig4Result) CSV() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{p.Dataset, f3(p.BaseRatio), f3(p.Improvement)})
+	}
+	return csvRows([]string{"dataset", "zfp_ratio_original", "improvement"}, rows)
+}
+
+func (s *DimredSweep) csv() string {
+	var rows [][]string
+	for _, c := range s.Cells {
+		rows = append(rows, []string{
+			c.Dataset, c.Method, c.Compressor,
+			f3(c.Ratio), e2(c.RMSE), fmt.Sprint(c.RepBytes),
+			fmt.Sprintf("%.6f", c.CompressSec), fmt.Sprintf("%.6f", c.DecompressSec),
+		})
+	}
+	return csvRows([]string{
+		"dataset", "method", "compressor", "ratio", "rmse", "rep_bytes",
+		"compress_sec", "decompress_sec"}, rows)
+}
+
+// CSV implements CSVer.
+func (r *Fig6Result) CSV() string { return r.Sweep.csv() }
+
+// CSV implements CSVer.
+func (r *Fig9Result) CSV() string { return r.Sweep.csv() }
+
+// CSV implements CSVer.
+func (r *Fig10Result) CSV() string { return r.Sweep.csv() }
+
+// CSV implements CSVer.
+func (r *Fig12Result) CSV() string { return r.Sweep.csv() }
+
+func spectraCSV(rows []SpectrumRow) string {
+	var out [][]string
+	for _, r := range rows {
+		for i, p := range r.Proportions {
+			out = append(out, []string{r.Dataset, fmt.Sprint(i + 1), f3(p)})
+		}
+	}
+	return csvRows([]string{"dataset", "component", "proportion"}, out)
+}
+
+// CSV implements CSVer.
+func (r *Fig7Result) CSV() string { return spectraCSV(r.Rows) }
+
+// CSV implements CSVer.
+func (r *Fig8Result) CSV() string { return spectraCSV(r.Rows) }
+
+// CSV implements CSVer.
+func (r *Fig11Result) CSV() string {
+	var rows [][]string
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			rows = append(rows, []string{
+				c.Dataset, c.Method, fmt.Sprint(p.Precision), e2(p.RMSE), f3(p.Ratio),
+			})
+		}
+	}
+	return csvRows([]string{"dataset", "method", "precision", "rmse", "ratio"}, rows)
+}
+
+// CSV implements CSVer.
+func (r *Table4Result) CSV() string {
+	var rows [][]string
+	for _, e := range r.Entries {
+		rows = append(rows, []string{
+			strings.ReplaceAll(e.Method, ",", ";"),
+			fmt.Sprintf("%.3f", e.CompressTime),
+			fmt.Sprintf("%.3f", e.IOTime),
+			fmt.Sprintf("%.3f", e.TotalTime),
+		})
+	}
+	return csvRows([]string{"method", "compress_sec", "io_sec", "total_sec"}, rows)
+}

@@ -1,0 +1,121 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment has a typed result and a Render method that
+// prints the same rows/series the paper reports, so `cmd/lrmexp <id>`
+// regenerates the artifact and EXPERIMENTS.md records paper-vs-measured.
+//
+// Experiment ids: table2, fig1, fig3, fig4, fig6, fig7, fig8, fig9, fig10,
+// fig11, fig12, table4.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lrm/internal/dataset"
+)
+
+// Config scales the experiments. Zero value = Small datasets, 5 snapshots
+// (fast enough for CI); the paper protocol uses 20 snapshots and larger
+// grids.
+type Config struct {
+	// Size selects the dataset generation scale.
+	Size dataset.Size
+	// Snapshots is the per-application output count (the paper uses 20).
+	Snapshots int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Snapshots <= 0 {
+		c.Snapshots = 5
+	}
+	return c
+}
+
+// PaperConfig runs at the paper's protocol scale.
+func PaperConfig() Config { return Config{Size: dataset.Medium, Snapshots: 20} }
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	Render() string
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) (Renderer, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{}
+
+// descriptions maps ids to one-line descriptions for listings.
+var descriptions = map[string]string{}
+
+func registerExperiment(id, desc string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = run
+	descriptions[id] = desc
+}
+
+// IDs lists the registered experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of an experiment id.
+func Describe(id string) string { return descriptions[id] }
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (Renderer, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(cfg.withDefaults())
+}
+
+// --- text-table rendering helpers ---
+
+// table renders rows of cells with aligned columns.
+func table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func e2(v float64) string { return fmt.Sprintf("%.2e", v) }

@@ -1,0 +1,543 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lrm/internal/dataset"
+)
+
+// testCfg keeps experiment tests fast: small datasets, 3 snapshots.
+func testCfg() Config { return Config{Size: dataset.Small, Snapshots: 3} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig10", "fig11", "fig12", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "summary", "table2", "table3", "table4"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+	for _, id := range got {
+		if Describe(id) == "" {
+			t.Fatalf("missing description for %s", id)
+		}
+	}
+	if _, err := Run("nope", testCfg()); err == nil {
+		t.Fatal("expected unknown-id error")
+	}
+}
+
+func TestTable2ShapeClaims(t *testing.T) {
+	r, err := RunTable2(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reduced model takes far fewer, larger steps (Table II).
+	if r.ReducedSteps >= r.FullSteps {
+		t.Fatalf("reduced steps %d >= full %d", r.ReducedSteps, r.FullSteps)
+	}
+	if r.ReducedDt <= r.FullDt {
+		t.Fatalf("reduced dt %v <= full %v", r.ReducedDt, r.FullDt)
+	}
+	// Byte statistics "nearly the same".
+	if math.Abs(r.Full.ByteEntropy-r.Reduced.ByteEntropy) > 1.0 {
+		t.Fatalf("byte entropies diverge: %v vs %v", r.Full.ByteEntropy, r.Reduced.ByteEntropy)
+	}
+	if math.Abs(r.Full.ByteMean-r.Reduced.ByteMean) > 25 {
+		t.Fatalf("byte means diverge: %v vs %v", r.Full.ByteMean, r.Reduced.ByteMean)
+	}
+	out := r.Render()
+	for _, want := range []string{"Problem size", "Byte entropy", "Serial correlation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1ShapeClaims(t *testing.T) {
+	r, err := RunFig1(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Full and reduced models share characteristics: entropy within
+		// ~1.5 bits, KS distance bounded.
+		if math.Abs(row.Full.ByteEntropy-row.Reduced.ByteEntropy) > 1.5 {
+			t.Errorf("%s: entropy gap %v vs %v", row.Dataset, row.Full.ByteEntropy, row.Reduced.ByteEntropy)
+		}
+		if row.CDFDistance > 0.4 {
+			t.Errorf("%s: KS distance %v too large", row.Dataset, row.CDFDistance)
+		}
+		if len(row.FullCDF) == 0 || len(row.RedCDF) == 0 {
+			t.Errorf("%s: missing CDF points", row.Dataset)
+		}
+	}
+	if !strings.Contains(r.Render(), "Heat3d") {
+		t.Fatal("render missing dataset names")
+	}
+}
+
+func TestFig3ShapeClaims(t *testing.T) {
+	r, err := RunFig3(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 datasets x 3 compressors x 4 methods.
+	if len(r.Cells) != 24 {
+		t.Fatalf("cells = %d", len(r.Cells))
+	}
+	// Shape claim 1: one-base and multi-base beat direct compression for
+	// the lossy codecs on both PDE datasets.
+	for _, ds := range []string{"Heat3d", "Laplace"} {
+		for _, comp := range []string{"zfp", "sz"} {
+			orig, _ := r.Ratio(ds, comp, "original")
+			one, _ := r.Ratio(ds, comp, "one-base")
+			multi, _ := r.Ratio(ds, comp, "multi-base")
+			if one <= orig {
+				t.Errorf("%s/%s: one-base %v did not beat original %v", ds, comp, one, orig)
+			}
+			if multi <= orig {
+				t.Errorf("%s/%s: multi-base %v did not beat original %v", ds, comp, multi, orig)
+			}
+			// Shape claim 2: one-base beats DuoModel. In 3-D this holds only
+			// when one plane (N^2) is smaller than the coarse cube
+			// ((N/4)^3), i.e. N > 64 — true at the paper's 192^3 but not at
+			// the test grid, so assert it on the 2-D Laplace where the
+			// plane is smaller at every N (see EXPERIMENTS.md).
+			if ds == "Laplace" {
+				duo, _ := r.Ratio(ds, comp, "duomodel")
+				if one <= duo {
+					t.Errorf("%s/%s: one-base %v did not beat duomodel %v", ds, comp, one, duo)
+				}
+			}
+		}
+	}
+	if !strings.Contains(r.Render(), "Heat3d+ZFP") {
+		t.Fatalf("render:\n%s", r.Render())
+	}
+}
+
+func TestFig4ImprovementAcrossLifetimes(t *testing.T) {
+	r, err := RunFig4(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2*3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// The robust Fig. 4 claim at any scale: one-base improves every
+	// snapshot of both compressible PDE lifetimes substantially. (The
+	// paper's positive improvement-vs-compressibility slope inverts at our
+	// small grids because the stored base plane is a much larger fraction
+	// of the data — documented divergence #4 in EXPERIMENTS.md.)
+	for _, p := range r.Points {
+		if p.Improvement < 1.5 {
+			t.Errorf("%s: improvement %v < 1.5x at base ratio %v", p.Dataset, p.Improvement, p.BaseRatio)
+		}
+		if p.BaseRatio <= 1 {
+			t.Errorf("%s: implausible base ratio %v", p.Dataset, p.BaseRatio)
+		}
+	}
+	if !strings.Contains(r.Render(), "Pearson") {
+		t.Fatal("render missing correlation")
+	}
+}
+
+// sharedSweep caches the dimension-reduction sweep across tests (it is the
+// most expensive computation in the package).
+var sharedSweep *DimredSweep
+
+func getSweep(t *testing.T) *DimredSweep {
+	t.Helper()
+	if sharedSweep == nil {
+		s, err := runDimredSweep(testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedSweep = s
+	}
+	return sharedSweep
+}
+
+func TestFig6ShapeClaims(t *testing.T) {
+	s := getSweep(t)
+	r := &Fig6Result{Sweep: s}
+	// 9 datasets x 2 compressors x 4 methods.
+	if len(s.Cells) != 72 {
+		t.Fatalf("cells = %d", len(s.Cells))
+	}
+	// Shape claim: PCA and SVD significantly improve the strongly
+	// structured datasets under at least one codec.
+	for _, ds := range []string{"Heat3d", "Laplace", "Sedov_pres"} {
+		improvedSomewhere := false
+		for _, comp := range []string{"zfp", "sz"} {
+			orig, _ := s.Cell(ds, "original", comp)
+			for _, m := range []string{"pca", "svd"} {
+				c, ok := s.Cell(ds, m, comp)
+				if ok && c.Ratio > orig.Ratio*1.1 {
+					improvedSomewhere = true
+				}
+			}
+		}
+		if !improvedSomewhere {
+			t.Errorf("%s: neither PCA nor SVD improved compression", ds)
+		}
+	}
+	// Shape claim: Fish (many zeros) does not benefit much from PCA/SVD
+	// preconditioning. (Our synthetic Fish's all-zero matricized rows let
+	// the wavelet model win somewhat more than the paper's real Fish —
+	// documented divergence #3 in EXPERIMENTS.md — so it gets a looser
+	// ceiling.)
+	for _, comp := range []string{"zfp"} {
+		orig, _ := s.Cell("Fish", "original", comp)
+		for _, m := range []string{"pca", "svd"} {
+			c, _ := s.Cell("Fish", m, comp)
+			if c.Ratio > orig.Ratio*1.5 {
+				t.Errorf("Fish/%s/%s: unexpected large improvement %v vs %v", m, comp, c.Ratio, orig.Ratio)
+			}
+		}
+		if c, _ := s.Cell("Fish", "wavelet", comp); c.Ratio > orig.Ratio*2.5 {
+			t.Errorf("Fish/wavelet/%s: improvement %v vs %v beyond documented divergence", comp, c.Ratio, orig.Ratio)
+		}
+	}
+	if !strings.Contains(r.Render(), "pca+ZFP") {
+		t.Fatalf("fig6 render:\n%s", r.Render())
+	}
+}
+
+func TestFig9RepSizeShapes(t *testing.T) {
+	s := getSweep(t)
+	r := &Fig9Result{Sweep: s}
+	// Table III ordering: SVD stores three factor matrices, PCA two, so
+	// SVD reps are at least as large as PCA's on most datasets.
+	svdLarger, total := 0, 0
+	for _, ds := range dataset.Names() {
+		pca, ok1 := s.Cell(ds, "pca", "zfp")
+		svd, ok2 := s.Cell(ds, "svd", "zfp")
+		if !ok1 || !ok2 {
+			continue
+		}
+		total++
+		if svd.RepBytes >= pca.RepBytes*3/4 {
+			svdLarger++
+		}
+	}
+	if svdLarger*2 <= total {
+		t.Errorf("SVD rep comparable-or-larger than PCA on only %d/%d datasets", svdLarger, total)
+	}
+	// Divergence from the paper, asserted so it stays understood: on our
+	// cleaner synthetic data the 5%% threshold leaves FEW wavelet
+	// coefficients, so the wavelet rep is small — but it pays with the
+	// LARGEST RMSE (the paper reaches the same "wavelet is a poor
+	// preconditioner" conclusion through a big sparse matrix instead; see
+	// EXPERIMENTS.md).
+	wavWorse, total2 := 0, 0
+	for _, ds := range dataset.Names() {
+		pca, ok1 := s.Cell(ds, "pca", "zfp")
+		wav, ok2 := s.Cell(ds, "wavelet", "zfp")
+		if !ok1 || !ok2 {
+			continue
+		}
+		total2++
+		if wav.RMSE >= pca.RMSE {
+			wavWorse++
+		}
+	}
+	if wavWorse*3 < total2*2 {
+		t.Errorf("wavelet RMSE above PCA on only %d/%d datasets", wavWorse, total2)
+	}
+	if !strings.Contains(r.Render(), "Wavelet") {
+		t.Fatal("fig9 render broken")
+	}
+}
+
+func TestFig10RMSEClaims(t *testing.T) {
+	s := getSweep(t)
+	r := &Fig10Result{Sweep: s}
+	// Shape claim: preconditioned pipelines generally have higher RMSE
+	// than direct compression at the paper's nominal bounds.
+	higher := 0
+	total := 0
+	for _, ds := range dataset.Names() {
+		for _, comp := range []string{"zfp", "sz"} {
+			orig, ok := s.Cell(ds, "original", comp)
+			if !ok {
+				continue
+			}
+			for _, m := range []string{"pca", "svd", "wavelet"} {
+				c, ok := s.Cell(ds, m, comp)
+				if !ok {
+					continue
+				}
+				total++
+				if c.RMSE >= orig.RMSE {
+					higher++
+				}
+			}
+		}
+	}
+	if higher*3 < total*2 { // at least ~2/3 of combinations
+		t.Errorf("preconditioning raised RMSE in only %d/%d cases", higher, total)
+	}
+	if !strings.Contains(r.Render(), "RMSE") {
+		t.Fatal("fig10 render broken")
+	}
+}
+
+func TestFig12OverheadClaims(t *testing.T) {
+	s := getSweep(t)
+	r := &Fig12Result{Sweep: s}
+	// Shape claim: SVD preconditioning costs more compression time than
+	// direct; decompression overhead is smaller than compression overhead.
+	baseC, baseD := r.MeanTimes("original", "zfp")
+	svdC, svdD := r.MeanTimes("svd", "zfp")
+	if svdC <= baseC {
+		t.Errorf("svd compression %v not slower than direct %v", svdC, baseC)
+	}
+	if baseC <= 0 || baseD <= 0 {
+		t.Fatalf("missing baseline times: %v %v", baseC, baseD)
+	}
+	// Decompression multiplier below compression multiplier (Fig. 12's
+	// asymmetry: the expensive factorisation happens at compression).
+	if svdD/baseD > svdC/baseC*2 {
+		t.Errorf("svd decompression multiplier %v unexpectedly above compression %v",
+			svdD/baseD, svdC/baseC)
+	}
+	if !strings.Contains(r.Render(), "compress(s)") {
+		t.Fatal("fig12 render broken")
+	}
+}
+
+func TestFig7Fig8Spectra(t *testing.T) {
+	r7, err := RunFig7(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := RunFig8(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r7.Rows) != 9 || len(r8.Rows) != 9 {
+		t.Fatalf("rows = %d, %d", len(r7.Rows), len(r8.Rows))
+	}
+	first := func(rows []SpectrumRow, ds string) float64 {
+		for _, r := range rows {
+			if r.Dataset == ds {
+				return r.Proportions[0]
+			}
+		}
+		return -1
+	}
+	// Shape claim: the strongly structured datasets have dominant first
+	// components; MD data does not.
+	for _, rows := range [][]SpectrumRow{r7.Rows, r8.Rows} {
+		if first(rows, "Laplace") < 0.4 {
+			t.Errorf("Laplace first component %v not dominant", first(rows, "Laplace"))
+		}
+		if first(rows, "Umbrella") > first(rows, "Laplace") {
+			t.Errorf("Umbrella (%v) should be less dominant than Laplace (%v)",
+				first(rows, "Umbrella"), first(rows, "Laplace"))
+		}
+	}
+	if !strings.Contains(r7.Render(), "PC1") || !strings.Contains(r8.Render(), "SV1") {
+		t.Fatal("spectra render broken")
+	}
+}
+
+func TestFig11MatchedRMSE(t *testing.T) {
+	r, err := RunFig11(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 datasets x 3 methods.
+	if len(r.Curves) != 27 {
+		t.Fatalf("curves = %d", len(r.Curves))
+	}
+	// RMSE must decrease (weakly) as precision grows along each curve.
+	for _, c := range r.Curves {
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].RMSE > c.Points[i-1].RMSE*1.5+1e-12 {
+				t.Errorf("%s/%s: RMSE grew with precision: %v -> %v",
+					c.Dataset, c.Method, c.Points[i-1].RMSE, c.Points[i].RMSE)
+			}
+		}
+	}
+	// Shape claim: PCA or SVD beats direct at matched RMSE on at least one
+	// of the strongly structured datasets.
+	wins := 0
+	for _, ds := range []string{"Heat3d", "Laplace", "Wave", "Astro", "Sedov_pres"} {
+		if r.BeatsDirectAtMatchedRMSE(ds, "pca") || r.BeatsDirectAtMatchedRMSE(ds, "svd") {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Error("no dataset where PCA/SVD beats direct at matched RMSE")
+	}
+	if !strings.Contains(r.Render(), "precision") {
+		t.Fatal("fig11 render broken")
+	}
+}
+
+func TestTable4Orderings(t *testing.T) {
+	r, err := RunTable4(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 6 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	base, _ := r.Entry("Baseline")
+	zfpE, _ := r.Entry("ZFP")
+	pcaE, _ := r.Entry("PCA(ZFP)")
+	staging, _ := r.Entry("Staging")
+	// Claims from Table IV: direct compression beats the baseline; the
+	// PCA pipeline's compression is slower than plain ZFP; PCA's I/O time
+	// is lower than plain ZFP's (better ratio); staging is fastest.
+	if zfpE.TotalTime >= base.TotalTime {
+		t.Errorf("ZFP total %v did not beat baseline %v", zfpE.TotalTime, base.TotalTime)
+	}
+	if pcaE.CompressTime <= zfpE.CompressTime {
+		t.Errorf("PCA compression %v not slower than ZFP %v", pcaE.CompressTime, zfpE.CompressTime)
+	}
+	if pcaE.IOTime >= zfpE.IOTime {
+		t.Errorf("PCA I/O %v not below ZFP %v", pcaE.IOTime, zfpE.IOTime)
+	}
+	if staging.TotalTime >= base.TotalTime {
+		t.Errorf("staging %v did not beat baseline %v", staging.TotalTime, base.TotalTime)
+	}
+	if !strings.Contains(r.Render(), "Staging+PCA+I/O") {
+		t.Fatal("table4 render broken")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	// Smoke-run the cheapest experiment through the public dispatcher.
+	r, err := Run("table2", testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestAllResultsImplementCSV(t *testing.T) {
+	// Every experiment result must be exportable as CSV for plotting.
+	for _, id := range IDs() {
+		if id == "fig6" || id == "fig9" || id == "fig10" || id == "fig12" {
+			continue // covered by the shared-sweep CSV check below
+		}
+		res, err := Run(id, testCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		c, ok := res.(CSVer)
+		if !ok {
+			t.Fatalf("%s result does not implement CSVer", id)
+		}
+		out := c.CSV()
+		if len(out) == 0 || !strings.Contains(out, ",") || !strings.Contains(out, "\n") {
+			t.Fatalf("%s: implausible CSV output %q", id, out[:min(len(out), 60)])
+		}
+	}
+	s := getSweep(t)
+	for _, r := range []CSVer{&Fig6Result{Sweep: s}, &Fig9Result{Sweep: s}, &Fig10Result{Sweep: s}, &Fig12Result{Sweep: s}} {
+		if !strings.Contains(r.CSV(), "rep_bytes") {
+			t.Fatal("sweep CSV missing header")
+		}
+	}
+}
+
+func TestTable3ComplexityOrdering(t *testing.T) {
+	r, err := RunTable3(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 { // 3 sizes x 3 methods at Small
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Table III's complexity ordering at the largest measured size: the
+	// SVD factorisation costs the most, the Haar transform the least.
+	const m = 2048
+	pca, ok1 := r.Time("pca", m)
+	svd, ok2 := r.Time("svd", m)
+	wav, ok3 := r.Time("wavelet", m)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("missing measurements")
+	}
+	if !(svd > pca) {
+		t.Errorf("SVD (%v) should cost more than PCA (%v)", svd, pca)
+	}
+	if !(wav < svd) {
+		t.Errorf("Wavelet (%v) should cost less than SVD (%v)", wav, svd)
+	}
+	// Cost grows with m for every method.
+	for _, method := range []string{"pca", "svd", "wavelet"} {
+		small, _ := r.Time(method, 256)
+		large, _ := r.Time(method, 2048)
+		if large <= small {
+			t.Errorf("%s: time did not grow with size (%v -> %v)", method, small, large)
+		}
+	}
+	if !strings.Contains(r.Render(), "reduce(s)") || !strings.Contains(r.CSV(), "reduce_sec") {
+		t.Fatal("table3 render/CSV broken")
+	}
+}
+
+func TestCoarseSnapshotsProtocol(t *testing.T) {
+	for _, name := range []string{"Heat3d", "Laplace"} {
+		coarse, err := dataset.CoarseSnapshots(name, dataset.Small, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := dataset.Snapshots(name, dataset.Small, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(coarse) != 4 {
+			t.Fatalf("%s: %d coarse snapshots", name, len(coarse))
+		}
+		for i := range coarse {
+			if coarse[i].Len() >= full[i].Len() {
+				t.Fatalf("%s: coarse frame %d not smaller (%d vs %d)",
+					name, i, coarse[i].Len(), full[i].Len())
+			}
+		}
+	}
+	if _, err := dataset.CoarseSnapshots("Astro", dataset.Small, 2); err == nil {
+		t.Fatal("expected no-protocol error for Astro")
+	}
+}
+
+func TestSummaryAllNonDivergenceClaimsHold(t *testing.T) {
+	r, err := RunSummary(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Claims) < 12 {
+		t.Fatalf("only %d claims checked", len(r.Claims))
+	}
+	for _, c := range r.Claims {
+		if strings.Contains(c.Statement, "(divergence") {
+			continue // documented scale effects; may fail at Small
+		}
+		if !c.Holds {
+			t.Errorf("%s: %q failed (%s)", c.Artifact, c.Statement, c.Detail)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "non-divergence claims hold") {
+		t.Fatal("summary render broken")
+	}
+	if !strings.Contains(r.CSV(), "holds") {
+		t.Fatal("summary CSV broken")
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+
+	"lrm/internal/dataset"
+	"lrm/internal/stats"
+)
+
+// Fig1Row is one dataset's full-vs-reduced data characteristics (Fig. 1).
+type Fig1Row struct {
+	Dataset         string
+	Full, Reduced   stats.Characteristics
+	CDFDistance     float64 // KS distance between normalised value CDFs
+	FullCDF, RedCDF [][2]float64
+}
+
+// Fig1Result reproduces Fig. 1 over the nine datasets.
+type Fig1Result struct {
+	Rows []Fig1Row
+}
+
+func init() {
+	registerExperiment("fig1",
+		"Fig. 1: data characteristics (CDF, byte entropy/mean, serial correlation) of full vs reduced models, 9 datasets",
+		func(cfg Config) (Renderer, error) { return RunFig1(cfg) })
+}
+
+// RunFig1 executes the Fig. 1 experiment.
+func RunFig1(cfg Config) (*Fig1Result, error) {
+	cfg = cfg.withDefaults()
+	pairs, err := dataset.GenerateAll(cfg.Size)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1Result{}
+	for _, p := range pairs {
+		row := Fig1Row{
+			Dataset: p.Name,
+			Full:    stats.Characterize(p.Full.Bytes()),
+			Reduced: stats.Characterize(p.Reduced.Bytes()),
+		}
+		fn := normalizeRange(p.Full.Data)
+		rn := normalizeRange(p.Reduced.Data)
+		row.CDFDistance = stats.CDFDistance(fn, rn)
+		row.FullCDF = cdfPoints(fn, 32)
+		row.RedCDF = cdfPoints(rn, 32)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// normalizeRange maps values to [0,1] so full and reduced CDF shapes can be
+// compared even when amplitudes differ.
+func normalizeRange(vals []float64) []float64 {
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]float64, len(vals))
+	if hi > lo {
+		for i, v := range vals {
+			out[i] = (v - lo) / (hi - lo)
+		}
+	}
+	return out
+}
+
+func cdfPoints(vals []float64, n int) [][2]float64 {
+	xs, ps := stats.CDF(vals, n)
+	out := make([][2]float64, len(xs))
+	for i := range xs {
+		out[i] = [2]float64{xs[i], ps[i]}
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 1: data characteristics of full model vs reduced model\n")
+	b.WriteString("(ent = byte entropy, mean = byte mean, corr = serial correlation,\n")
+	b.WriteString(" KS = distance between normalised value CDFs; small KS = similar distributions)\n\n")
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset,
+			f3(row.Full.ByteEntropy), f3(row.Reduced.ByteEntropy),
+			f2(row.Full.ByteMean), f2(row.Reduced.ByteMean),
+			f3(row.Full.SerialCorrelation), f3(row.Reduced.SerialCorrelation),
+			f3(row.CDFDistance),
+		})
+	}
+	b.WriteString(table(
+		[]string{"dataset", "ent(full)", "ent(red)", "mean(full)", "mean(red)", "corr(full)", "corr(red)", "KS"},
+		rows))
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lrm/internal/dataset"
+	"lrm/internal/grid"
+	"lrm/internal/reduce"
+)
+
+// SpectrumRow is one dataset's leading-component proportions.
+type SpectrumRow struct {
+	Dataset     string
+	Proportions []float64
+}
+
+// Fig7Result reproduces Fig. 7: the proportion of variance captured by the
+// leading principal components per dataset. The paper's reading: the more
+// dominant PC1 is, the more PCA preconditioning helps.
+type Fig7Result struct {
+	Rows []SpectrumRow
+}
+
+// Fig8Result reproduces Fig. 8: the proportion of the total singular-value
+// mass per leading singular value.
+type Fig8Result struct {
+	Rows []SpectrumRow
+}
+
+const spectrumComponents = 8
+
+func init() {
+	registerExperiment("fig7",
+		"Fig. 7: PCA proportion of variance of the leading principal components, 9 datasets",
+		func(cfg Config) (Renderer, error) { return RunFig7(cfg) })
+	registerExperiment("fig8",
+		"Fig. 8: SVD proportion of the leading singular values, 9 datasets",
+		func(cfg Config) (Renderer, error) { return RunFig8(cfg) })
+}
+
+// RunFig7 executes the Fig. 7 experiment.
+func RunFig7(cfg Config) (*Fig7Result, error) {
+	rows, err := spectra(cfg, reduce.PCASpectrum)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{Rows: rows}, nil
+}
+
+// RunFig8 executes the Fig. 8 experiment.
+func RunFig8(cfg Config) (*Fig8Result, error) {
+	rows, err := spectra(cfg, reduce.SVDSpectrum)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{Rows: rows}, nil
+}
+
+func spectra(cfg Config, fn func(f *grid.Field, maxN int) ([]float64, error)) ([]SpectrumRow, error) {
+	cfg = cfg.withDefaults()
+	pairs, err := dataset.GenerateAll(cfg.Size)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SpectrumRow
+	for _, p := range pairs {
+		spec, err := fn(p.Full, spectrumComponents)
+		if err != nil {
+			return nil, fmt.Errorf("spectrum %s: %w", p.Name, err)
+		}
+		rows = append(rows, SpectrumRow{Dataset: p.Name, Proportions: spec})
+	}
+	return rows, nil
+}
+
+func renderSpectra(title, unit string, rows []SpectrumRow) string {
+	var b strings.Builder
+	b.WriteString(title + "\n\n")
+	header := []string{"dataset"}
+	for i := 1; i <= spectrumComponents; i++ {
+		header = append(header, fmt.Sprintf("%s%d", unit, i))
+	}
+	var out [][]string
+	for _, r := range rows {
+		row := []string{r.Dataset}
+		for i := 0; i < spectrumComponents; i++ {
+			if i < len(r.Proportions) {
+				row = append(row, f3(r.Proportions[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		out = append(out, row)
+	}
+	b.WriteString(table(header, out))
+	return b.String()
+}
+
+// Render implements Renderer.
+func (r *Fig7Result) Render() string {
+	return renderSpectra("Fig. 7: PCA proportion of variance of the primary components", "PC", r.Rows)
+}
+
+// Render implements Renderer.
+func (r *Fig8Result) Render() string {
+	return renderSpectra("Fig. 8: SVD proportion of the singular values", "SV", r.Rows)
+}

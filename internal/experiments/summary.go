@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lrm/internal/dataset"
+)
+
+// Claim is one machine-checked reproduction verdict.
+type Claim struct {
+	Artifact  string
+	Statement string
+	Holds     bool
+	Detail    string
+}
+
+// SummaryResult runs the whole evaluation once and checks every shape claim
+// from EXPERIMENTS.md programmatically — the one-page paper-vs-measured
+// verdict. Claims marked with (divergence) are the documented scale
+// effects; they are reported but expected to be false at small grids.
+type SummaryResult struct {
+	Claims []Claim
+}
+
+func init() {
+	registerExperiment("summary",
+		"One-page machine-checked verdict on every paper shape claim",
+		func(cfg Config) (Renderer, error) { return RunSummary(cfg) })
+}
+
+// RunSummary executes the summary.
+func RunSummary(cfg Config) (*SummaryResult, error) {
+	cfg = cfg.withDefaults()
+	out := &SummaryResult{}
+	add := func(artifact, statement string, holds bool, detail string) {
+		out.Claims = append(out.Claims, Claim{Artifact: artifact, Statement: statement, Holds: holds, Detail: detail})
+	}
+
+	// Table II.
+	t2, err := RunTable2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	add("Table II", "reduced model takes fewer, larger steps",
+		t2.ReducedSteps < t2.FullSteps && t2.ReducedDt > t2.FullDt,
+		fmt.Sprintf("steps %d vs %d, dt %.2e vs %.2e", t2.FullSteps, t2.ReducedSteps, t2.FullDt, t2.ReducedDt))
+	add("Table II", "full/reduced byte statistics nearly the same",
+		abs(t2.Full.ByteEntropy-t2.Reduced.ByteEntropy) < 1.0,
+		fmt.Sprintf("entropy %.2f vs %.2f", t2.Full.ByteEntropy, t2.Reduced.ByteEntropy))
+
+	// Fig. 1.
+	f1, err := RunFig1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	worstKS := 0.0
+	for _, row := range f1.Rows {
+		if row.CDFDistance > worstKS {
+			worstKS = row.CDFDistance
+		}
+	}
+	add("Fig. 1", "full and reduced value distributions similar on all 9 datasets",
+		worstKS < 0.4, fmt.Sprintf("worst KS distance %.2f", worstKS))
+
+	// Fig. 3.
+	f3, err := RunFig3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	oneBeatsOrig := true
+	for _, ds := range []string{"Heat3d", "Laplace"} {
+		for _, comp := range []string{"zfp", "sz"} {
+			orig, _ := f3.Ratio(ds, comp, "original")
+			one, _ := f3.Ratio(ds, comp, "one-base")
+			if one <= orig {
+				oneBeatsOrig = false
+			}
+		}
+	}
+	add("Fig. 3", "one-base beats direct compression (lossy codecs, both PDEs)", oneBeatsOrig, "")
+	lapOne, _ := f3.Ratio("Laplace", "zfp", "one-base")
+	lapDuo, _ := f3.Ratio("Laplace", "zfp", "duomodel")
+	add("Fig. 3", "one-base beats DuoModel (2-D Laplace)", lapOne > lapDuo,
+		fmt.Sprintf("%.1fx vs %.1fx", lapOne, lapDuo))
+	heatOne, _ := f3.Ratio("Heat3d", "zfp", "one-base")
+	heatDuo, _ := f3.Ratio("Heat3d", "zfp", "duomodel")
+	add("Fig. 3", "(divergence 1) one-base beats DuoModel on 3-D Heat3d — needs N > 64",
+		heatOne > heatDuo, fmt.Sprintf("%.1fx vs %.1fx", heatOne, heatDuo))
+
+	// Fig. 4.
+	f4, err := RunFig4(cfg)
+	if err != nil {
+		return nil, err
+	}
+	allImprove := true
+	for _, p := range f4.Points {
+		if p.Improvement < 1.5 {
+			allImprove = false
+		}
+	}
+	add("Fig. 4", "one-base improves every PDE snapshot substantially", allImprove, "")
+	add("Fig. 4", "(divergence 4) improvement grows with compressibility within a trajectory",
+		f4.Correlation() > 0, fmt.Sprintf("correlation %.2f", f4.Correlation()))
+
+	// Figs. 6-10, 12 share the sweep.
+	sweep, err := runDimredSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	improved := 0
+	for _, ds := range []string{"Heat3d", "Laplace", "Wave", "Astro", "Sedov_pres"} {
+		orig, _ := sweep.Cell(ds, "original", "zfp")
+		pca, _ := sweep.Cell(ds, "pca", "zfp")
+		if pca.Ratio > orig.Ratio*1.1 {
+			improved++
+		}
+	}
+	add("Fig. 6", "PCA improves the structured datasets (ZFP)",
+		improved >= 4, fmt.Sprintf("%d/5 improved", improved))
+	uo, _ := sweep.Cell("Umbrella", "original", "zfp")
+	up, _ := sweep.Cell("Umbrella", "pca", "zfp")
+	add("Fig. 6", "MD data does not benefit from PCA", up.Ratio < uo.Ratio*1.3,
+		fmt.Sprintf("%.1fx vs %.1fx", up.Ratio, uo.Ratio))
+
+	f7, err := RunFig7(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pc1 := map[string]float64{}
+	for _, row := range f7.Rows {
+		pc1[row.Dataset] = row.Proportions[0]
+	}
+	add("Fig. 7", "PC1 dominant exactly where preconditioning wins",
+		pc1["Laplace"] > 0.9 && pc1["Umbrella"] < 0.6,
+		fmt.Sprintf("Laplace PC1 %.2f, Umbrella PC1 %.2f", pc1["Laplace"], pc1["Umbrella"]))
+
+	higherRMSE, totalRMSE := 0, 0
+	for _, ds := range dataset.Names() {
+		orig, ok := sweep.Cell(ds, "original", "zfp")
+		if !ok {
+			continue
+		}
+		for _, m := range []string{"pca", "svd", "wavelet"} {
+			if c, ok := sweep.Cell(ds, m, "zfp"); ok {
+				totalRMSE++
+				if c.RMSE >= orig.RMSE {
+					higherRMSE++
+				}
+			}
+		}
+	}
+	add("Fig. 10", "preconditioning raises RMSE at nominal bounds",
+		higherRMSE*3 >= totalRMSE*2, fmt.Sprintf("%d/%d combinations", higherRMSE, totalRMSE))
+
+	f11, err := RunFig11(cfg)
+	if err != nil {
+		return nil, err
+	}
+	wins := 0
+	for _, ds := range []string{"Heat3d", "Laplace", "Wave", "Astro", "Sedov_pres"} {
+		if f11.BeatsDirectAtMatchedRMSE(ds, "pca") || f11.BeatsDirectAtMatchedRMSE(ds, "svd") {
+			wins++
+		}
+	}
+	add("Fig. 11", "PCA/SVD beat direct ZFP at matched RMSE on some datasets",
+		wins >= 1, fmt.Sprintf("%d/5 structured datasets", wins))
+
+	f12 := &Fig12Result{Sweep: sweep}
+	baseC, _ := f12.MeanTimes("original", "zfp")
+	svdC, _ := f12.MeanTimes("svd", "zfp")
+	pcaC, _ := f12.MeanTimes("pca", "zfp")
+	add("Fig. 12", "compression overhead ordering SVD > PCA > direct",
+		svdC > pcaC && pcaC > baseC,
+		fmt.Sprintf("x%.1f / x%.1f / x1.0", svdC/baseC, pcaC/baseC))
+
+	// Table IV.
+	t4, err := RunTable4(cfg)
+	if err != nil {
+		return nil, err
+	}
+	base, _ := t4.Entry("Baseline")
+	zfpE, _ := t4.Entry("ZFP")
+	staging, _ := t4.Entry("Staging")
+	add("Table IV", "direct lossy compression beats raw I/O; staging fastest",
+		zfpE.TotalTime < base.TotalTime && staging.TotalTime < zfpE.TotalTime,
+		fmt.Sprintf("%.1fs vs %.1fs vs %.1fs", base.TotalTime, zfpE.TotalTime, staging.TotalTime))
+
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Render implements Renderer.
+func (r *SummaryResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Reproduction summary: machine-checked paper claims\n")
+	b.WriteString("((divergence N) rows are the scale effects documented in EXPERIMENTS.md;\n")
+	b.WriteString(" they are expected to fail at small grids and flip at the paper's scale)\n\n")
+	var rows [][]string
+	holds, total := 0, 0
+	for _, c := range r.Claims {
+		mark := "FAIL"
+		if c.Holds {
+			mark = "ok"
+		}
+		expected := !strings.Contains(c.Statement, "(divergence")
+		if expected {
+			total++
+			if c.Holds {
+				holds++
+			}
+		}
+		rows = append(rows, []string{c.Artifact, c.Statement, mark, c.Detail})
+	}
+	b.WriteString(table([]string{"artifact", "claim", "verdict", "measured"}, rows))
+	fmt.Fprintf(&b, "\n%d/%d non-divergence claims hold\n", holds, total)
+	return b.String()
+}
+
+// CSV implements CSVer.
+func (r *SummaryResult) CSV() string {
+	var rows [][]string
+	for _, c := range r.Claims {
+		rows = append(rows, []string{
+			c.Artifact, strings.ReplaceAll(c.Statement, ",", ";"),
+			fmt.Sprint(c.Holds), strings.ReplaceAll(c.Detail, ",", ";"),
+		})
+	}
+	return csvRows([]string{"artifact", "claim", "holds", "measured"}, rows)
+}

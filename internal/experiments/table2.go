@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lrm/internal/dataset"
+	"lrm/internal/sim/heat3d"
+	"lrm/internal/stats"
+)
+
+// Table2Result reproduces Table II: the Heat3d full model vs its projected
+// 2-D reduced model — problem sizes, step counts, time steps, and the three
+// byte-level data characteristics.
+type Table2Result struct {
+	FullN, ReducedN         int
+	FullSteps, ReducedSteps int
+	FullDt, ReducedDt       float64
+	Full, Reduced           stats.Characteristics
+}
+
+func init() {
+	registerExperiment("table2",
+		"Table II: Heat3d full vs projected 2-D reduced model setup and byte statistics",
+		func(cfg Config) (Renderer, error) { return RunTable2(cfg) })
+}
+
+// RunTable2 executes the Table II experiment.
+func RunTable2(cfg Config) (*Table2Result, error) {
+	cfg = cfg.withDefaults()
+	n := heatN(cfg.Size)
+	hc := heat3d.Default(n)
+	hc.Steps = heatSteps(cfg.Size)
+
+	full := heat3d.Solve(hc)
+	reduced := heat3d.SolveReduced2D(hc)
+
+	return &Table2Result{
+		FullN: hc.N, ReducedN: hc.N,
+		FullSteps: hc.Steps, ReducedSteps: heat3d.ReducedSteps(hc),
+		FullDt:    0.9 * hc.StabilityDt3D(),
+		ReducedDt: 0.9 * hc.StabilityDt2D(),
+		Full:      stats.Characterize(full.Bytes()),
+		Reduced:   stats.Characterize(reduced.Bytes()),
+	}, nil
+}
+
+func heatN(size dataset.Size) int {
+	switch size {
+	case dataset.Small:
+		return 24
+	case dataset.Medium:
+		return 48
+	default:
+		return 96
+	}
+}
+
+func heatSteps(size dataset.Size) int {
+	switch size {
+	case dataset.Small:
+		return 80
+	case dataset.Medium:
+		return 300
+	default:
+		return 1000
+	}
+}
+
+// Render implements Renderer.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table II: Heat3d full model and reduced model\n\n")
+	rows := [][]string{
+		{"Problem size", fmt.Sprintf("%d x %d x %d", r.FullN, r.FullN, r.FullN), fmt.Sprintf("%d x %d", r.ReducedN, r.ReducedN)},
+		{"# of steps", fmt.Sprintf("%d", r.FullSteps), fmt.Sprintf("%d", r.ReducedSteps)},
+		{"Time step", e2(r.FullDt), e2(r.ReducedDt)},
+		{"Byte entropy", f3(r.Full.ByteEntropy), f3(r.Reduced.ByteEntropy)},
+		{"Byte mean", f3(r.Full.ByteMean), f3(r.Reduced.ByteMean)},
+		{"Serial correlation", f3(r.Full.SerialCorrelation), f3(r.Reduced.SerialCorrelation)},
+	}
+	b.WriteString(table([]string{"", "Full model", "Reduced model"}, rows))
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lrm/internal/core"
+	"lrm/internal/iosim"
+	"lrm/internal/reduce"
+	"lrm/internal/sim/heat3d"
+)
+
+// Table4Result reproduces Table IV: compression and I/O time for the six
+// end-to-end schemes on a Titan/Lustre-shaped platform model, using
+// compression throughputs and ratios measured on a Heat3d subdomain.
+type Table4Result struct {
+	Platform iosim.Config
+	Entries  []iosim.Entry
+}
+
+func init() {
+	registerExperiment("table4",
+		"Table IV: end-to-end compression + I/O time (baseline, ZFP, SZ, PCA(ZFP), PCA(SZ), staging)",
+		func(cfg Config) (Renderer, error) { return RunTable4(cfg) })
+}
+
+// RunTable4 executes the Table IV experiment.
+func RunTable4(cfg Config) (*Table4Result, error) {
+	cfg = cfg.withDefaults()
+	// The measured sample: one rank's Heat3d subdomain.
+	hc := heat3d.Default(heatN(cfg.Size))
+	hc.Steps = heatSteps(cfg.Size) / 2
+	sample := heat3d.Solve(hc)
+
+	zfpData, zfpDelta, err := core.PaperCodecs("zfp")
+	if err != nil {
+		return nil, err
+	}
+	szData, szDelta, err := core.PaperCodecs("sz")
+	if err != nil {
+		return nil, err
+	}
+
+	measure := func(name string, opts core.Options) (iosim.Method, error) {
+		return iosim.MeasureMethod(name, sample, opts, false)
+	}
+	zfpM, err := measure("ZFP+I/O", core.Options{DataCodec: zfpData})
+	if err != nil {
+		return nil, err
+	}
+	szM, err := measure("SZ+I/O", core.Options{DataCodec: szData})
+	if err != nil {
+		return nil, err
+	}
+	pcaZfpM, err := measure("PCA(ZFP)+I/O", core.Options{Model: reduce.PCA{}, DataCodec: zfpData, DeltaCodec: zfpDelta})
+	if err != nil {
+		return nil, err
+	}
+	pcaSzM, err := measure("PCA(SZ)+I/O", core.Options{Model: reduce.PCA{}, DataCodec: szData, DeltaCodec: szDelta})
+	if err != nil {
+		return nil, err
+	}
+
+	platform := iosim.TitanLike()
+	methods := []iosim.Method{
+		iosim.Baseline(),
+		zfpM, szM, pcaZfpM, pcaSzM,
+		iosim.StagedMethod("Staging+PCA+I/O"),
+	}
+	entries, err := iosim.EndToEnd(platform, methods)
+	if err != nil {
+		return nil, err
+	}
+	return &Table4Result{Platform: platform, Entries: entries}, nil
+}
+
+// Entry looks up a row by method name prefix.
+func (r *Table4Result) Entry(prefix string) (iosim.Entry, bool) {
+	for _, e := range r.Entries {
+		if strings.HasPrefix(e.Method, prefix) {
+			return e, true
+		}
+	}
+	return iosim.Entry{}, false
+}
+
+// Render implements Renderer.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table IV: compression and I/O time (modeled platform, measured codecs)\n")
+	fmt.Fprintf(&b, "(%d ranks, %.1f GB/rank, PFS %.0f GB/s aggregate, staging link %.1f GB/s)\n\n",
+		r.Platform.Ranks, r.Platform.BytesPerRank/1e9,
+		r.Platform.AggregateBandwidth/1e9, r.Platform.StagingBandwidth/1e9)
+	var rows [][]string
+	for _, e := range r.Entries {
+		comp := "N/A"
+		if e.CompressTime > 0 {
+			comp = f2(e.CompressTime)
+		}
+		rows = append(rows, []string{e.Method, comp, f2(e.IOTime), f2(e.TotalTime)})
+	}
+	b.WriteString(table([]string{"Method", "Compression time(s)", "I/O time(s)", "Total time(s)"}, rows))
+	return b.String()
+}

@@ -1,0 +1,265 @@
+// Package huffman implements a canonical Huffman coder over integer symbol
+// alphabets. It is the entropy-coding stage of the SZ-style compressor: SZ
+// quantization codes are highly skewed (most predictions hit bin 0), which
+// is exactly the regime where Huffman coding shines.
+//
+// The encoded stream is self-describing: a compact header stores the code
+// lengths (canonical codes are reconstructed from lengths alone), followed
+// by the bit-packed payload.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"lrm/internal/bitstream"
+)
+
+// maxCodeLen caps code lengths so the decoder tables stay small. 57 bits is
+// far beyond anything reachable with realistic symbol counts but keeps the
+// canonical-code arithmetic safely inside uint64.
+const maxCodeLen = 57
+
+type node struct {
+	count       int
+	symbol      int // valid for leaves
+	left, right *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	// Tie-break on symbol for determinism.
+	return h[i].symbol < h[j].symbol
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// codeLengths computes Huffman code lengths for each distinct symbol.
+func codeLengths(symbols []int) map[int]int {
+	counts := make(map[int]int)
+	for _, s := range symbols {
+		counts[s]++
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	if len(counts) == 1 {
+		for s := range counts {
+			return map[int]int{s: 1}
+		}
+	}
+	h := make(nodeHeap, 0, len(counts))
+	for s, c := range counts {
+		h = append(h, &node{count: c, symbol: s})
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{count: a.count + b.count, symbol: min(a.symbol, b.symbol), left: a, right: b})
+	}
+	root := h[0]
+	lengths := make(map[int]int)
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.left == nil {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonical assigns canonical codes (numeric order by (length, symbol)).
+func canonical(lengths map[int]int) (map[int]uint64, []symLen) {
+	sl := make([]symLen, 0, len(lengths))
+	for s, l := range lengths {
+		sl = append(sl, symLen{s, l})
+	}
+	sort.Slice(sl, func(i, j int) bool {
+		if sl[i].length != sl[j].length {
+			return sl[i].length < sl[j].length
+		}
+		return sl[i].symbol < sl[j].symbol
+	})
+	codes := make(map[int]uint64, len(sl))
+	var code uint64
+	prevLen := 0
+	for _, e := range sl {
+		code <<= uint(e.length - prevLen)
+		codes[e.symbol] = code
+		code++
+		prevLen = e.length
+	}
+	return codes, sl
+}
+
+type symLen struct {
+	symbol, length int
+}
+
+// Encode compresses symbols into a self-describing byte stream.
+func Encode(symbols []int) []byte {
+	lengths := codeLengths(symbols)
+	codes, sl := canonical(lengths)
+
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(len(symbols)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(sl)))
+	for _, e := range sl {
+		hdr = binary.AppendVarint(hdr, int64(e.symbol))
+		hdr = binary.AppendUvarint(hdr, uint64(e.length))
+	}
+
+	var w bitstream.Writer
+	for _, s := range symbols {
+		l := lengths[s]
+		w.WriteBits(codes[s], uint(l))
+	}
+	payload := w.Bytes()
+
+	out := make([]byte, 0, len(hdr)+len(payload)+4)
+	out = append(out, hdr...)
+	out = append(out, payload...)
+	return out
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) ([]int, error) {
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, errors.New("huffman: truncated header")
+		}
+		pos += n
+		return v, nil
+	}
+	readVarint := func() (int64, error) {
+		v, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return 0, errors.New("huffman: truncated header")
+		}
+		pos += n
+		return v, nil
+	}
+
+	count, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	nsyms, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return []int{}, nil
+	}
+	if nsyms == 0 {
+		return nil, errors.New("huffman: empty alphabet with nonzero count")
+	}
+	// Bound both counts against the data that must back them, so corrupt
+	// headers cannot drive huge allocations: every alphabet entry costs at
+	// least 2 header bytes and every encoded symbol at least 1 payload bit.
+	if nsyms > uint64(len(data)-pos)/2 {
+		return nil, fmt.Errorf("huffman: alphabet size %d exceeds header data", nsyms)
+	}
+	if count > 8*uint64(len(data)) {
+		return nil, fmt.Errorf("huffman: symbol count %d exceeds payload capacity", count)
+	}
+	sl := make([]symLen, nsyms)
+	for i := range sl {
+		s, err := readVarint()
+		if err != nil {
+			return nil, err
+		}
+		l, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if l == 0 || l > maxCodeLen {
+			return nil, fmt.Errorf("huffman: invalid code length %d", l)
+		}
+		sl[i] = symLen{int(s), int(l)}
+	}
+	// Header order must already be canonical; enforce it.
+	for i := 1; i < len(sl); i++ {
+		if sl[i].length < sl[i-1].length ||
+			(sl[i].length == sl[i-1].length && sl[i].symbol <= sl[i-1].symbol) {
+			return nil, errors.New("huffman: header not in canonical order")
+		}
+	}
+
+	// Rebuild canonical codes and index them by (length, code value).
+	type lenGroup struct {
+		first  uint64 // first code of this length
+		offset int    // index into ordered symbols of first code
+		count  int
+	}
+	groups := make(map[int]*lenGroup)
+	ordered := make([]int, len(sl))
+	var code uint64
+	prevLen := 0
+	for i, e := range sl {
+		code <<= uint(e.length - prevLen)
+		if g, ok := groups[e.length]; ok {
+			g.count++
+		} else {
+			groups[e.length] = &lenGroup{first: code, offset: i, count: 1}
+		}
+		ordered[i] = e.symbol
+		code++
+		prevLen = e.length
+	}
+
+	r := bitstream.NewReader(data[pos:])
+	out := make([]int, 0, count)
+	for uint64(len(out)) < count {
+		var v uint64
+		l := 0
+		decoded := false
+		for l < maxCodeLen {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("huffman: truncated payload after %d symbols", len(out))
+			}
+			v = v<<1 | uint64(b)
+			l++
+			g, ok := groups[l]
+			if !ok {
+				continue
+			}
+			idx := v - g.first
+			if v >= g.first && idx < uint64(g.count) {
+				out = append(out, ordered[g.offset+int(idx)])
+				decoded = true
+				break
+			}
+		}
+		if !decoded {
+			return nil, errors.New("huffman: invalid code in payload")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package iosim
+
+import (
+	"math"
+	"testing"
+
+	"lrm/internal/compress/zfp"
+	"lrm/internal/core"
+	"lrm/internal/grid"
+	"lrm/internal/reduce"
+	"lrm/internal/sim/heat3d"
+)
+
+func TestEffectiveBandwidthContention(t *testing.T) {
+	cfg := Config{Ranks: 100, BytesPerRank: 1, PerRankBandwidth: 1e9, AggregateBandwidth: 10e9}
+	// 100 ranks sharing 10 GB/s -> 100 MB/s each, below the 1 GB/s link.
+	if bw := cfg.effectiveBandwidth(); bw != 1e8 {
+		t.Fatalf("effective bw = %v, want 1e8", bw)
+	}
+	cfg.Ranks = 2
+	// 2 ranks sharing 10 GB/s -> 5 GB/s each, capped by the 1 GB/s link.
+	if bw := cfg.effectiveBandwidth(); bw != 1e9 {
+		t.Fatalf("effective bw = %v, want 1e9", bw)
+	}
+}
+
+func TestEndToEndArithmetic(t *testing.T) {
+	cfg := Config{
+		Ranks: 10, BytesPerRank: 1e9,
+		PerRankBandwidth: 1e8, AggregateBandwidth: 1e12, StagingBandwidth: 5e8,
+	}
+	methods := []Method{
+		Baseline(),
+		{Name: "fast codec", Throughput: 1e9, Ratio: 4},
+		StagedMethod("staged"),
+	}
+	entries, err := EndToEnd(cfg, methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: 1e9 / 1e8 = 10 s of I/O, no compression.
+	if entries[0].CompressTime != 0 || math.Abs(entries[0].IOTime-10) > 1e-9 {
+		t.Fatalf("baseline = %+v", entries[0])
+	}
+	// Codec: 1 s compress + 10/4 s I/O = 3.5 s.
+	if math.Abs(entries[1].CompressTime-1) > 1e-9 || math.Abs(entries[1].IOTime-2.5) > 1e-9 ||
+		math.Abs(entries[1].TotalTime-3.5) > 1e-9 {
+		t.Fatalf("codec = %+v", entries[1])
+	}
+	// Staged: 1e9 / 5e8 = 2 s, nothing else on the critical path.
+	if math.Abs(entries[2].TotalTime-2) > 1e-9 || entries[2].CompressTime != 0 {
+		t.Fatalf("staged = %+v", entries[2])
+	}
+}
+
+func TestCompressionPaysWhenRatioHighEnough(t *testing.T) {
+	cfg := TitanLike()
+	fast := Method{Name: "fast", Throughput: 2e9, Ratio: 10}
+	slow := Method{Name: "slow", Throughput: 2e7, Ratio: 10}
+	entries, err := EndToEnd(cfg, []Method{Baseline(), fast, slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, fastE, slowE := entries[0], entries[1], entries[2]
+	if fastE.TotalTime >= base.TotalTime {
+		t.Fatalf("fast codec (%v) should beat baseline (%v)", fastE.TotalTime, base.TotalTime)
+	}
+	// The Table IV crossover: an expensive preconditioner can lose to the
+	// baseline even at the same ratio.
+	if slowE.TotalTime <= base.TotalTime {
+		t.Fatalf("slow codec (%v) should lose to baseline (%v) — the paper's crossover", slowE.TotalTime, base.TotalTime)
+	}
+	// And staging must rescue it.
+	staged, err := EndToEnd(cfg, []Method{StagedMethod("staging")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged[0].TotalTime >= base.TotalTime {
+		t.Fatalf("staging (%v) should beat baseline (%v)", staged[0].TotalTime, base.TotalTime)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := EndToEnd(Config{}, []Method{Baseline()}); err == nil {
+		t.Fatal("expected invalid-config error")
+	}
+	cfg := TitanLike()
+	if _, err := EndToEnd(cfg, []Method{{Name: "bad", Throughput: 1, Ratio: 0}}); err == nil {
+		t.Fatal("expected invalid-ratio error")
+	}
+	cfg.StagingBandwidth = 0
+	if _, err := EndToEnd(cfg, []Method{StagedMethod("s")}); err == nil {
+		t.Fatal("expected staging-bandwidth error")
+	}
+}
+
+func TestMeasureMethodProducesSaneNumbers(t *testing.T) {
+	hc := heat3d.Default(16)
+	hc.Steps = 30
+	f := heat3d.Solve(hc)
+	m, err := MeasureMethod("PCA(ZFP)", f, core.Options{
+		Model: reduce.PCA{}, DataCodec: zfp.MustNew(16), DeltaCodec: zfp.MustNew(8),
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput <= 0 || m.Ratio <= 0 || m.Staged {
+		t.Fatalf("method = %+v", m)
+	}
+	// Feed it through the model.
+	entries, err := EndToEnd(TitanLike(), []Method{Baseline(), m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[1].CompressTime <= 0 || entries[1].IOTime <= 0 {
+		t.Fatalf("entry = %+v", entries[1])
+	}
+	// Compressed I/O must be cheaper than baseline I/O.
+	if entries[1].IOTime >= entries[0].IOTime {
+		t.Fatal("compression did not reduce I/O time")
+	}
+}
+
+func TestMeasureMethodError(t *testing.T) {
+	f := grid.New(4)
+	if _, err := MeasureMethod("x", f, core.Options{}, false); err == nil {
+		t.Fatal("expected error from missing codec")
+	}
+}

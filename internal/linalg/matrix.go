@@ -1,0 +1,197 @@
+// Package linalg implements the dense linear algebra used by the PCA and
+// SVD reduced models: matrix products, covariance matrices, a symmetric
+// Jacobi eigendecomposition, and a one-sided Jacobi thin SVD.
+//
+// Everything is written for correctness and clarity at the matrix sizes the
+// paper exercises (matricized fields with a few hundred columns); no BLAS
+// is used, stdlib only.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, element (i,j) at i*Cols+j
+}
+
+// NewMatrix returns a zero-filled rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFromData wraps data (not copied) as a rows×cols matrix.
+func MatrixFromData(data []float64, rows, cols int) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 || len(data) != rows*cols {
+		return nil, fmt.Errorf("linalg: data length %d does not fit %dx%d", len(data), rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m · b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("linalg: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sub returns m - b.
+func (m *Matrix) Sub(b *Matrix) (*Matrix, error) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return nil, fmt.Errorf("linalg: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := m.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out, nil
+}
+
+// Col returns column j as a slice copy.
+func (m *Matrix) Col(j int) []float64 {
+	c := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		c[i] = m.At(i, j)
+	}
+	return c
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference.
+func (m *Matrix) MaxAbsDiff(b *Matrix) float64 {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	d := 0.0
+	for i := range m.Data {
+		if v := math.Abs(m.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// ColumnMeans returns the mean of each column of m.
+func ColumnMeans(m *Matrix) []float64 {
+	means := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(m.Rows)
+	}
+	return means
+}
+
+// CenterColumns subtracts means[j] from every element of column j in place.
+func CenterColumns(m *Matrix, means []float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+}
+
+// Covariance returns the Cols×Cols sample covariance matrix of the columns
+// of m (columns are variables, rows are observations). m is not modified.
+func Covariance(m *Matrix) *Matrix {
+	means := ColumnMeans(m)
+	n := m.Cols
+	cov := NewMatrix(n, n)
+	denom := float64(m.Rows - 1)
+	if m.Rows < 2 {
+		denom = 1
+	}
+	// Accumulate upper triangle, then mirror.
+	row := make([]float64, n)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Data[i*n : (i+1)*n]
+		for j := range src {
+			row[j] = src[j] - means[j]
+		}
+		for a := 0; a < n; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			crow := cov.Data[a*n : (a+1)*n]
+			for b := a; b < n; b++ {
+				crow[b] += va * row[b]
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			v := cov.At(a, b) / denom
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return cov
+}

@@ -1,0 +1,189 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// SVDResult holds a thin singular value decomposition A = U · diag(S) · Vᵀ,
+// with U of shape m×r, S of length r, and V of shape n×r, where
+// r = min(m, n). Singular values are non-negative and descending.
+type SVDResult struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVD computes a thin singular value decomposition of a using the one-sided
+// Jacobi method (Hestenes): columns of a working copy of A are repeatedly
+// orthogonalised by plane rotations; at convergence the column norms are the
+// singular values, the normalised columns are U, and the accumulated
+// rotations give V.
+//
+// For m < n the decomposition of Aᵀ is computed and the factors swapped.
+func SVD(a *Matrix) (*SVDResult, error) {
+	if a.Rows == 0 || a.Cols == 0 {
+		return nil, errors.New("linalg: SVD of empty matrix")
+	}
+	if a.Rows < a.Cols {
+		r, err := SVD(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVDResult{U: r.V, S: r.S, V: r.U}, nil
+	}
+
+	m, n := a.Rows, a.Cols
+	w := a.Clone()
+	v := Identity(n)
+
+	// Column-major access helpers over the row-major store.
+	colDot := func(p, q int) float64 {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += w.Data[i*n+p] * w.Data[i*n+q]
+		}
+		return s
+	}
+
+	scale := a.FrobeniusNorm()
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				alpha := colDot(p, p)
+				beta := colDot(q, q)
+				gamma := colDot(p, q)
+				if math.Abs(gamma) <= 1e-15*math.Sqrt(alpha*beta)+1e-300 {
+					continue
+				}
+				rotated = true
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta >= 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				for i := 0; i < m; i++ {
+					wp := w.Data[i*n+p]
+					wq := w.Data[i*n+q]
+					w.Data[i*n+p] = c*wp - s*wq
+					w.Data[i*n+q] = s*wp + c*wq
+				}
+				for i := 0; i < n; i++ {
+					vp := v.Data[i*n+p]
+					vq := v.Data[i*n+q]
+					v.Data[i*n+p] = c*vp - s*vq
+					v.Data[i*n+q] = s*vp + c*vq
+				}
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+
+	// Extract singular values and left vectors.
+	sv := make([]float64, n)
+	for j := 0; j < n; j++ {
+		sv[j] = math.Sqrt(colDot(j, j))
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return sv[order[i]] > sv[order[j]] })
+
+	u := NewMatrix(m, n)
+	vOut := NewMatrix(n, n)
+	sOut := make([]float64, n)
+	for newJ, oldJ := range order {
+		sOut[newJ] = sv[oldJ]
+		if sv[oldJ] > 1e-300*(scale+1) && sv[oldJ] > 0 {
+			inv := 1 / sv[oldJ]
+			for i := 0; i < m; i++ {
+				u.Data[i*n+newJ] = w.Data[i*n+oldJ] * inv
+			}
+		}
+		for i := 0; i < n; i++ {
+			vOut.Data[i*n+newJ] = v.Data[i*n+oldJ]
+		}
+	}
+	return &SVDResult{U: u, S: sOut, V: vOut}, nil
+}
+
+// Truncate returns the rank-k factors (U m×k, S k, V n×k) of r.
+// k is clamped to the available rank.
+func (r *SVDResult) Truncate(k int) (*Matrix, []float64, *Matrix) {
+	if k > len(r.S) {
+		k = len(r.S)
+	}
+	if k < 1 {
+		k = 1
+	}
+	uk := NewMatrix(r.U.Rows, k)
+	vk := NewMatrix(r.V.Rows, k)
+	for i := 0; i < r.U.Rows; i++ {
+		for j := 0; j < k; j++ {
+			uk.Set(i, j, r.U.At(i, j))
+		}
+	}
+	for i := 0; i < r.V.Rows; i++ {
+		for j := 0; j < k; j++ {
+			vk.Set(i, j, r.V.At(i, j))
+		}
+	}
+	return uk, append([]float64(nil), r.S[:k]...), vk
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ from possibly truncated factors.
+func Reconstruct(u *Matrix, s []float64, v *Matrix) (*Matrix, error) {
+	if u.Cols != len(s) || v.Cols != len(s) {
+		return nil, errors.New("linalg: factor shape mismatch")
+	}
+	out := NewMatrix(u.Rows, v.Rows)
+	for i := 0; i < u.Rows; i++ {
+		for k := 0; k < len(s); k++ {
+			f := u.At(i, k) * s[k]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < v.Rows; j++ {
+				out.Data[i*out.Cols+j] += f * v.At(j, k)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RankForEnergy returns the smallest k such that the first k values of the
+// (descending, non-negative) spectrum carry at least `fraction` of the total
+// sum. This is the paper's 95 % rule for choosing the number of retained
+// components. It returns at least 1.
+func RankForEnergy(spectrum []float64, fraction float64) int {
+	total := 0.0
+	for _, s := range spectrum {
+		if s > 0 {
+			total += s
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	acc := 0.0
+	for i, s := range spectrum {
+		if s > 0 {
+			acc += s
+		}
+		if acc/total >= fraction {
+			return i + 1
+		}
+	}
+	return len(spectrum)
+}

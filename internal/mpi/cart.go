@@ -1,0 +1,57 @@
+package mpi
+
+import "fmt"
+
+// Cart3D is a 3-D Cartesian decomposition of a world, the processor
+// topology Heat3d uses (the paper runs 8x8x8 ranks for the full model).
+type Cart3D struct {
+	Px, Py, Pz int // ranks along each axis; Px*Py*Pz == world size
+}
+
+// NewCart3D validates a topology against a world size.
+func NewCart3D(size, px, py, pz int) (*Cart3D, error) {
+	if px < 1 || py < 1 || pz < 1 || px*py*pz != size {
+		return nil, fmt.Errorf("mpi: topology %dx%dx%d does not match world size %d", px, py, pz, size)
+	}
+	return &Cart3D{Px: px, Py: py, Pz: pz}, nil
+}
+
+// Coords returns the (cx, cy, cz) coordinates of a rank (x fastest).
+func (t *Cart3D) Coords(rank int) (cx, cy, cz int) {
+	cx = rank % t.Px
+	cy = (rank / t.Px) % t.Py
+	cz = rank / (t.Px * t.Py)
+	return cx, cy, cz
+}
+
+// Rank is the inverse of Coords.
+func (t *Cart3D) Rank(cx, cy, cz int) int {
+	return (cz*t.Py+cy)*t.Px + cx
+}
+
+// Neighbor returns the rank offset by (dx, dy, dz), or -1 at the domain
+// boundary (non-periodic, like the heat equation's insulated walls).
+func (t *Cart3D) Neighbor(rank, dx, dy, dz int) int {
+	cx, cy, cz := t.Coords(rank)
+	cx += dx
+	cy += dy
+	cz += dz
+	if cx < 0 || cx >= t.Px || cy < 0 || cy >= t.Py || cz < 0 || cz >= t.Pz {
+		return -1
+	}
+	return t.Rank(cx, cy, cz)
+}
+
+// Slab1D computes the half-open index range [lo, hi) that rank owns when n
+// points are block-distributed over p ranks (remainder spread over the
+// leading ranks).
+func Slab1D(n, p, rank int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = rank*base + min(rank, rem)
+	size := base
+	if rank < rem {
+		size++
+	}
+	return lo, lo + size
+}

@@ -1,0 +1,252 @@
+// Package mpi provides an in-process message-passing runtime with the MPI
+// collective semantics the paper's codes rely on: point-to-point send/recv,
+// broadcast, gather, all-reduce, and barriers over a fixed set of ranks,
+// each running in its own goroutine.
+//
+// The paper runs Heat3d on 512 MPI processors and Algorithm 1 broadcasts the
+// mid-plane from the owning rank to all others before each rank computes its
+// local deltas. This package reproduces those communication patterns
+// faithfully at laptop scale: the code paths (who sends what to whom, and
+// when ranks synchronise) are identical, only the transport is channels
+// instead of a network.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is a tagged payload between two ranks.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// World owns the communication fabric for a fixed number of ranks.
+type World struct {
+	size  int
+	chans [][]chan message // chans[src][dst]
+	bar   *barrier
+}
+
+// NewWorld creates a world with n ranks. Each pair of ranks gets a buffered
+// channel so sends of modest size do not block (mirroring MPI's eager
+// protocol for small messages).
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", n))
+	}
+	w := &World{size: n, bar: newBarrier(n)}
+	w.chans = make([][]chan message, n)
+	for s := 0; s < n; s++ {
+		w.chans[s] = make([]chan message, n)
+		for d := 0; d < n; d++ {
+			w.chans[s][d] = make(chan message, 16)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run starts one goroutine per rank, invokes f with that rank's
+// communicator, and blocks until every rank returns. Panics inside a rank
+// are re-raised on the caller after all other ranks finish or deadlock is
+// avoided by the panic propagation.
+func (w *World) Run(f func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]interface{}, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			f(&Comm{world: w, rank: rank, pending: make(map[int][]message)})
+		}(r)
+	}
+	wg.Wait()
+	for rank, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", rank, p))
+		}
+	}
+}
+
+// Comm is one rank's endpoint into the world.
+type Comm struct {
+	world *World
+	rank  int
+	// pending holds received-but-unmatched messages per source rank, so
+	// tag matching never re-queues into the transport (which could block).
+	pending map[int][]message
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers data to dst with the given tag. The slice is copied, so the
+// caller may reuse it immediately (MPI buffered-send semantics).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.world.chans[c.rank][dst] <- message{tag: tag, data: cp}
+}
+
+// Recv blocks until a message with the given tag arrives from src.
+// Messages with other tags from the same source are queued and delivered to
+// later matching Recv calls, mirroring MPI tag matching.
+func (c *Comm) Recv(src, tag int) []float64 {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
+	}
+	// Check messages already pulled off the wire for other tags.
+	for i, m := range c.pending[src] {
+		if m.tag == tag {
+			c.pending[src] = append(c.pending[src][:i], c.pending[src][i+1:]...)
+			return m.data
+		}
+	}
+	ch := c.world.chans[src][c.rank]
+	for {
+		m := <-ch
+		if m.tag == tag {
+			return m.data
+		}
+		c.pending[src] = append(c.pending[src], m)
+	}
+}
+
+// SendRecv exchanges data with a partner rank (deadlock-free pairwise
+// exchange, the halo-swap primitive).
+func (c *Comm) SendRecv(partner, tag int, data []float64) []float64 {
+	c.Send(partner, tag, data)
+	return c.Recv(partner, tag)
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.world.bar.await() }
+
+// Bcast distributes root's data to every rank. All ranks must call it; the
+// returned slice is each rank's private copy. This is the primitive of
+// Algorithm 1 (the mid-plane broadcast).
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.Send(r, tagBcast, data)
+			}
+		}
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return cp
+	}
+	return c.Recv(root, tagBcast)
+}
+
+// Gather collects each rank's contribution at root (rank order). Non-root
+// ranks receive nil. This is Algorithm 1's final "gather the delta" step.
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	if c.rank == root {
+		out := make([][]float64, c.world.size)
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		out[root] = cp
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				out[r] = c.Recv(r, tagGather)
+			}
+		}
+		return out
+	}
+	c.Send(root, tagGather, data)
+	return nil
+}
+
+// ReduceOp is a binary associative reduction operator.
+type ReduceOp func(a, b float64) float64
+
+// Standard reduction operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Allreduce reduces each element of data across all ranks and returns the
+// result on every rank (gather-to-0 then broadcast; the collective contract
+// matches MPI_Allreduce).
+func (c *Comm) Allreduce(op ReduceOp, data []float64) []float64 {
+	parts := c.Gather(0, data)
+	var acc []float64
+	if c.rank == 0 {
+		acc = make([]float64, len(data))
+		copy(acc, parts[0])
+		for r := 1; r < c.world.size; r++ {
+			if len(parts[r]) != len(acc) {
+				panic("mpi: Allreduce length mismatch across ranks")
+			}
+			for i, v := range parts[r] {
+				acc[i] = op(acc[i], v)
+			}
+		}
+	}
+	return c.Bcast(0, acc)
+}
+
+// Reserved collective tags, outside the user tag space.
+const (
+	tagBcast  = -1
+	tagGather = -2
+)
+
+// barrier is a reusable n-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+}

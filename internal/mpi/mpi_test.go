@@ -1,0 +1,284 @@
+package mpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorldSizeAndRanks(t *testing.T) {
+	w := NewWorld(4)
+	if w.Size() != 4 {
+		t.Fatalf("Size = %d", w.Size())
+	}
+	var seen [4]int32
+	w.Run(func(c *Comm) {
+		if c.Size() != 4 {
+			t.Errorf("comm size = %d", c.Size())
+		}
+		atomic.AddInt32(&seen[c.Rank()], 1)
+	})
+	for r, n := range seen {
+		if n != 1 {
+			t.Fatalf("rank %d ran %d times", r, n)
+		}
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got := c.Recv(0, 7)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("recv = %v", got)
+			}
+		}
+	})
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, 0, buf)
+			buf[0] = -1 // must not affect the message
+			c.Barrier()
+		} else {
+			c.Barrier()
+			if got := c.Recv(0, 0); got[0] != 42 {
+				t.Errorf("send did not copy: got %v", got[0])
+			}
+		}
+	})
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+			c.Send(1, 2, []float64{2})
+			c.Send(1, 3, []float64{3})
+		} else {
+			// Receive in reverse tag order; matching must hold.
+			if v := c.Recv(0, 3); v[0] != 3 {
+				t.Errorf("tag 3 = %v", v)
+			}
+			if v := c.Recv(0, 1); v[0] != 1 {
+				t.Errorf("tag 1 = %v", v)
+			}
+			if v := c.Recv(0, 2); v[0] != 2 {
+				t.Errorf("tag 2 = %v", v)
+			}
+		}
+	})
+}
+
+func TestSameTagOrderingPreserved(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				c.Send(1, 5, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				if v := c.Recv(0, 5); v[0] != float64(i) {
+					t.Errorf("message %d out of order: %v", i, v[0])
+				}
+			}
+		}
+	})
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		partner := 1 - c.Rank()
+		got := c.SendRecv(partner, 9, []float64{float64(c.Rank())})
+		if got[0] != float64(partner) {
+			t.Errorf("rank %d got %v", c.Rank(), got[0])
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(8)
+	w.Run(func(c *Comm) {
+		var data []float64
+		if c.Rank() == 3 {
+			data = []float64{3.14, 2.71}
+		}
+		got := c.Bcast(3, data)
+		if len(got) != 2 || got[0] != 3.14 || got[1] != 2.71 {
+			t.Errorf("rank %d bcast = %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(c *Comm) {
+		parts := c.Gather(2, []float64{float64(c.Rank() * 10)})
+		if c.Rank() == 2 {
+			if len(parts) != 5 {
+				t.Errorf("gather returned %d parts", len(parts))
+				return
+			}
+			for r, p := range parts {
+				if len(p) != 1 || p[0] != float64(r*10) {
+					t.Errorf("part %d = %v", r, p)
+				}
+			}
+		} else if parts != nil {
+			t.Errorf("non-root rank %d got parts", c.Rank())
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	w := NewWorld(6)
+	w.Run(func(c *Comm) {
+		sum := c.Allreduce(OpSum, []float64{1, float64(c.Rank())})
+		if sum[0] != 6 {
+			t.Errorf("sum[0] = %v, want 6", sum[0])
+		}
+		if sum[1] != 15 { // 0+1+...+5
+			t.Errorf("sum[1] = %v, want 15", sum[1])
+		}
+		mx := c.Allreduce(OpMax, []float64{float64(c.Rank())})
+		if mx[0] != 5 {
+			t.Errorf("max = %v, want 5", mx[0])
+		}
+		mn := c.Allreduce(OpMin, []float64{float64(c.Rank())})
+		if mn[0] != 0 {
+			t.Errorf("min = %v, want 0", mn[0])
+		}
+	})
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	w := NewWorld(4)
+	var before, after int32
+	w.Run(func(c *Comm) {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		// After the barrier, every rank must have incremented.
+		if atomic.LoadInt32(&before) != 4 {
+			t.Errorf("barrier released early: before=%d", atomic.LoadInt32(&before))
+		}
+		atomic.AddInt32(&after, 1)
+		c.Barrier()
+		c.Barrier() // reusability
+	})
+	if after != 4 {
+		t.Fatalf("after = %d", after)
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic propagation")
+		}
+	}()
+	// Single-rank world so no peer is left blocked.
+	NewWorld(1).Run(func(c *Comm) { panic("boom") })
+}
+
+func TestHaloExchangePattern(t *testing.T) {
+	// 1-D ring halo swap, the heat-solver pattern: each rank exchanges its
+	// boundary value with both neighbours via paired SendRecv.
+	const n = 5
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		r := c.Rank()
+		mine := []float64{float64(r)}
+		if r > 0 {
+			got := c.SendRecv(r-1, 0, mine)
+			if got[0] != float64(r-1) {
+				t.Errorf("rank %d left halo = %v", r, got[0])
+			}
+		}
+		if r < n-1 {
+			got := c.SendRecv(r+1, 0, mine)
+			if got[0] != float64(r+1) {
+				t.Errorf("rank %d right halo = %v", r, got[0])
+			}
+		}
+	})
+}
+
+func TestCart3D(t *testing.T) {
+	topo, err := NewCart3D(24, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 24; r++ {
+		cx, cy, cz := topo.Coords(r)
+		if topo.Rank(cx, cy, cz) != r {
+			t.Fatalf("coords/rank not inverse at %d", r)
+		}
+	}
+	if _, err := NewCart3D(24, 2, 3, 5); err == nil {
+		t.Fatal("expected topology mismatch error")
+	}
+	// Neighbours.
+	if n := topo.Neighbor(0, -1, 0, 0); n != -1 {
+		t.Fatalf("boundary neighbour = %d, want -1", n)
+	}
+	if n := topo.Neighbor(0, 1, 0, 0); n != 1 {
+		t.Fatalf("x+ neighbour = %d, want 1", n)
+	}
+	if n := topo.Neighbor(0, 0, 1, 0); n != 2 {
+		t.Fatalf("y+ neighbour = %d, want 2", n)
+	}
+	if n := topo.Neighbor(0, 0, 0, 1); n != 6 {
+		t.Fatalf("z+ neighbour = %d, want 6", n)
+	}
+}
+
+func TestSlab1D(t *testing.T) {
+	// Slabs must tile [0, n) exactly, in order, with sizes differing by <= 1.
+	for _, tc := range [][2]int{{100, 7}, {64, 8}, {5, 5}, {3, 8}} {
+		n, p := tc[0], tc[1]
+		pos := 0
+		minSz, maxSz := math.MaxInt32, 0
+		for r := 0; r < p; r++ {
+			lo, hi := Slab1D(n, p, r)
+			if lo != pos {
+				t.Fatalf("n=%d p=%d rank %d: lo=%d, want %d", n, p, r, lo, pos)
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			pos = hi
+		}
+		if pos != n {
+			t.Fatalf("n=%d p=%d: slabs cover %d", n, p, pos)
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("n=%d p=%d: imbalance %d vs %d", n, p, minSz, maxSz)
+		}
+	}
+}
+
+func TestAllreduceManyRanks(t *testing.T) {
+	// Stress the collective fabric at the paper's reduced-model scale.
+	const n = 64
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		got := c.Allreduce(OpSum, []float64{1})
+		if got[0] != n {
+			t.Errorf("sum = %v, want %d", got[0], n)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package mpi
+
+import "fmt"
+
+// Request is a handle for a nonblocking operation; Wait blocks until the
+// operation completes and, for receives, returns the data.
+type Request struct {
+	done <-chan []float64
+}
+
+// Wait blocks until the operation completes. For an ISend the returned
+// slice is nil; for an IRecv it is the received payload.
+func (r *Request) Wait() []float64 {
+	return <-r.done
+}
+
+// ISend starts a nonblocking send. The data is copied immediately, so the
+// caller may reuse the buffer right away; Wait confirms hand-off to the
+// transport (MPI_Ibsend semantics).
+func (c *Comm) ISend(dst, tag int, data []float64) *Request {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: isend to invalid rank %d", dst))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	done := make(chan []float64, 1)
+	go func() {
+		c.world.chans[c.rank][dst] <- message{tag: tag, data: cp}
+		done <- nil
+	}()
+	return &Request{done: done}
+}
+
+// IRecv starts a nonblocking receive for a message from src with the given
+// tag. The matching rules are the same as Recv's.
+//
+// Note: IRecv consumes from the same per-pair stream as Recv, so a rank
+// must not have a blocking Recv and an outstanding IRecv for the same
+// source simultaneously — exactly MPI's "no two pending receives race for
+// one envelope" discipline.
+func (c *Comm) IRecv(src, tag int) *Request {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: irecv from invalid rank %d", src))
+	}
+	done := make(chan []float64, 1)
+	// Drain the pending stash synchronously: the stash belongs to this
+	// goroutine's Comm and must not be touched concurrently.
+	for i, m := range c.pending[src] {
+		if m.tag == tag {
+			c.pending[src] = append(c.pending[src][:i], c.pending[src][i+1:]...)
+			done <- m.data
+			return &Request{done: done}
+		}
+	}
+	ch := c.world.chans[src][c.rank]
+	go func() {
+		m := <-ch
+		if m.tag != tag {
+			// The background goroutine cannot stash into the Comm (it is
+			// single-goroutine state), so IRecv's contract is stricter than
+			// Recv's: the next in-flight message from src must carry the
+			// awaited tag. Regular halo-exchange patterns satisfy this;
+			// anything else is a protocol bug worth failing loudly on.
+			panic(fmt.Sprintf("mpi: IRecv(src=%d, tag=%d) matched message with tag %d", src, tag, m.tag))
+		}
+		done <- m.data
+	}()
+	return &Request{done: done}
+}
+
+// WaitAll waits on every request in order.
+func WaitAll(reqs []*Request) [][]float64 {
+	out := make([][]float64, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}
+
+// Scatter distributes root's per-rank slices: rank i receives parts[i].
+// Non-root ranks pass nil parts. Returns each rank's slice.
+func (c *Comm) Scatter(root int, parts [][]float64) []float64 {
+	if c.rank == root {
+		if len(parts) != c.world.size {
+			panic(fmt.Sprintf("mpi: scatter needs %d parts, got %d", c.world.size, len(parts)))
+		}
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.Send(r, tagScatter, parts[r])
+			}
+		}
+		cp := make([]float64, len(parts[root]))
+		copy(cp, parts[root])
+		return cp
+	}
+	return c.Recv(root, tagScatter)
+}
+
+// Reduce combines each element of data across ranks at root with op;
+// non-root ranks receive nil.
+func (c *Comm) Reduce(root int, op ReduceOp, data []float64) []float64 {
+	parts := c.Gather(root, data)
+	if c.rank != root {
+		return nil
+	}
+	acc := make([]float64, len(data))
+	copy(acc, parts[root])
+	for r := 0; r < c.world.size; r++ {
+		if r == root {
+			continue
+		}
+		if len(parts[r]) != len(acc) {
+			panic("mpi: Reduce length mismatch across ranks")
+		}
+		for i, v := range parts[r] {
+			acc[i] = op(acc[i], v)
+		}
+	}
+	return acc
+}
+
+// tagScatter is the reserved collective tag for Scatter.
+const tagScatter = -3

@@ -1,0 +1,150 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestISendIRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.ISend(1, 5, []float64{1, 2, 3})
+			if got := req.Wait(); got != nil {
+				t.Errorf("ISend Wait returned data %v", got)
+			}
+		} else {
+			req := c.IRecv(0, 5)
+			got := req.Wait()
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("IRecv = %v", got)
+			}
+		}
+	})
+}
+
+func TestISendCopiesBuffer(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{7}
+			req := c.ISend(1, 0, buf)
+			buf[0] = -1
+			req.Wait()
+		} else {
+			if got := c.IRecv(0, 0).Wait(); got[0] != 7 {
+				t.Errorf("ISend did not copy: %v", got[0])
+			}
+		}
+	})
+}
+
+func TestIRecvDrainsPendingStash(t *testing.T) {
+	// A blocking Recv for tag 2 stashes the tag-1 message; a later IRecv
+	// must find it in the stash.
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{11})
+			c.Send(1, 2, []float64{22})
+		} else {
+			if got := c.Recv(0, 2); got[0] != 22 {
+				t.Errorf("tag 2 = %v", got[0])
+			}
+			if got := c.IRecv(0, 1).Wait(); got[0] != 11 {
+				t.Errorf("stashed tag 1 = %v", got[0])
+			}
+		}
+	})
+}
+
+func TestOverlappedHaloExchange(t *testing.T) {
+	// The overlap pattern nonblocking ops exist for: start all face sends
+	// and receives, compute something, then wait.
+	const n = 4
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		r := c.Rank()
+		var reqs []*Request
+		if r > 0 {
+			c.ISend(r-1, 0, []float64{float64(r)}).Wait()
+			reqs = append(reqs, c.IRecv(r-1, 0))
+		}
+		if r < n-1 {
+			c.ISend(r+1, 0, []float64{float64(r)}).Wait()
+			reqs = append(reqs, c.IRecv(r+1, 0))
+		}
+		// "Interior work" happens here while messages are in flight.
+		results := WaitAll(reqs)
+		want := []float64{}
+		if r > 0 {
+			want = append(want, float64(r-1))
+		}
+		if r < n-1 {
+			want = append(want, float64(r+1))
+		}
+		for i, res := range results {
+			if res[0] != want[i] {
+				t.Errorf("rank %d halo %d = %v, want %v", r, i, res[0], want[i])
+			}
+		}
+	})
+}
+
+func TestScatter(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		var parts [][]float64
+		if c.Rank() == 1 {
+			parts = [][]float64{{0}, {10}, {20}, {30}}
+		}
+		got := c.Scatter(1, parts)
+		if len(got) != 1 || got[0] != float64(10*c.Rank()) {
+			t.Errorf("rank %d scatter = %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		var parts [][]float64
+		if c.Rank() == 0 {
+			parts = [][]float64{{1, 2}, {3, 4}, {5, 6}}
+		}
+		mine := c.Scatter(0, parts)
+		back := c.Gather(0, mine)
+		if c.Rank() == 0 {
+			for r, p := range back {
+				if p[0] != float64(2*r+1) || p[1] != float64(2*r+2) {
+					t.Errorf("round trip part %d = %v", r, p)
+				}
+			}
+		}
+	})
+}
+
+func TestReduce(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(c *Comm) {
+		got := c.Reduce(2, OpSum, []float64{1, float64(c.Rank())})
+		if c.Rank() == 2 {
+			if got[0] != 5 || got[1] != 10 { // 0+1+2+3+4
+				t.Errorf("reduce = %v", got)
+			}
+		} else if got != nil {
+			t.Errorf("non-root got %v", got)
+		}
+	})
+}
+
+func TestISendValidation(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for invalid rank")
+			}
+		}()
+		c.ISend(5, 0, nil)
+	})
+}

@@ -1,0 +1,126 @@
+// Package astro generates the Astro dataset of Table I: "velocity magnitude
+// in a supernova simulation".
+//
+// The field is a spherically expanding ejecta shell — a radial velocity
+// profile peaking at the shell radius — overlaid with divergence-rich
+// turbulent perturbations built from a fixed set of random-phase Fourier
+// modes (the standard synthetic-turbulence construction). The result has
+// the strong single dominant mode plus broadband detail that gives real
+// supernova outputs their characteristic PCA spectrum (Fig. 7: a very
+// dominant first component).
+package astro
+
+import (
+	"math"
+	"math/rand"
+
+	"lrm/internal/grid"
+)
+
+// Config describes an Astro snapshot.
+type Config struct {
+	// N is the grid size per dimension.
+	N int
+	// ShellRadius is the ejecta shell position in domain units (0..~0.7).
+	ShellRadius float64
+	// ShellWidth is the Gaussian width of the shell.
+	ShellWidth float64
+	// PeakVelocity scales the shell velocity.
+	PeakVelocity float64
+	// TurbulenceAmp scales the perturbation field relative to the peak.
+	TurbulenceAmp float64
+	// Modes is the number of Fourier modes in the turbulence.
+	Modes int
+	// Seed drives the random mode directions and phases.
+	Seed int64
+}
+
+// Default returns the baseline configuration at grid size n.
+func Default(n int) Config {
+	return Config{
+		N: n, ShellRadius: 0.35, ShellWidth: 0.08, PeakVelocity: 3000,
+		TurbulenceAmp: 0.08, Modes: 40, Seed: 7,
+	}
+}
+
+// Reduced derives the paper's reduced configuration: a smaller
+// computational domain observed at an earlier time, i.e. a less expanded,
+// slightly slower shell.
+func Reduced(full Config) Config {
+	r := full
+	r.ShellRadius = full.ShellRadius * 0.8
+	r.PeakVelocity = full.PeakVelocity * 0.9
+	return r
+}
+
+type mode struct {
+	kx, ky, kz float64
+	phase      float64
+	amp        float64
+}
+
+// Generate returns the velocity-magnitude field on an N^3 grid.
+func Generate(cfg Config) *grid.Field {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	modes := make([]mode, cfg.Modes)
+	for m := range modes {
+		// Wavenumbers 2..10 with a k^-5/3-ish falloff.
+		k := 2 + rng.Float64()*8
+		theta := math.Acos(2*rng.Float64() - 1)
+		phi := 2 * math.Pi * rng.Float64()
+		modes[m] = mode{
+			kx:    k * math.Sin(theta) * math.Cos(phi),
+			ky:    k * math.Sin(theta) * math.Sin(phi),
+			kz:    k * math.Cos(theta),
+			phase: 2 * math.Pi * rng.Float64(),
+			amp:   math.Pow(k, -5.0/6.0),
+		}
+	}
+
+	n := cfg.N
+	f := grid.New(n, n, n)
+	inv := 1.0 / float64(n-1)
+	w2 := 2 * cfg.ShellWidth * cfg.ShellWidth
+	for k := 0; k < n; k++ {
+		z := float64(k)*inv - 0.5
+		for j := 0; j < n; j++ {
+			y := float64(j)*inv - 0.5
+			for i := 0; i < n; i++ {
+				x := float64(i)*inv - 0.5
+				r := math.Sqrt(x*x + y*y + z*z)
+				d := r - cfg.ShellRadius
+				shell := cfg.PeakVelocity * math.Exp(-d*d/w2)
+				// Homologous interior: v proportional to r inside the shell.
+				interior := 0.0
+				if r < cfg.ShellRadius {
+					interior = cfg.PeakVelocity * 0.3 * r / cfg.ShellRadius
+				}
+				turb := 0.0
+				for _, m := range modes {
+					turb += m.amp * math.Sin(2*math.Pi*(m.kx*x+m.ky*y+m.kz*z)+m.phase)
+				}
+				v := shell + interior + cfg.TurbulenceAmp*cfg.PeakVelocity*turb/float64(len(modes))*6
+				if v < 0 {
+					v = 0 // magnitudes are non-negative
+				}
+				f.Set3(v, k, j, i)
+			}
+		}
+	}
+	return f
+}
+
+// Snapshots returns `count` fields with the shell expanding between frames.
+func Snapshots(cfg Config, count int) []*grid.Field {
+	if count < 1 {
+		return nil
+	}
+	out := make([]*grid.Field, count)
+	for s := 0; s < count; s++ {
+		c := cfg
+		frac := 0.6 + 0.4*float64(s+1)/float64(count)
+		c.ShellRadius = cfg.ShellRadius * frac
+		out[s] = Generate(c)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package astro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNonNegativeMagnitudes(t *testing.T) {
+	f := Generate(Default(24))
+	lo, _ := f.MinMax()
+	if lo < 0 {
+		t.Fatalf("negative velocity magnitude %v", lo)
+	}
+}
+
+func TestShellStructure(t *testing.T) {
+	cfg := Default(32)
+	f := Generate(cfg)
+	n := cfg.N
+	c := n / 2
+	// Velocity near the shell radius must dominate centre and far corner.
+	shellIdx := c + int(cfg.ShellRadius*float64(n-1))
+	vShell := f.At3(c, c, shellIdx)
+	vCentre := f.At3(c, c, c)
+	vCorner := f.At3(0, 0, 0)
+	if vShell < 2*vCentre {
+		t.Fatalf("shell velocity %v should dominate centre %v", vShell, vCentre)
+	}
+	if vShell < 2*vCorner {
+		t.Fatalf("shell velocity %v should dominate corner %v", vShell, vCorner)
+	}
+}
+
+func TestDeterministicAndSeedSensitive(t *testing.T) {
+	cfg := Default(16)
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("nondeterministic output")
+		}
+	}
+	cfg.Seed++
+	c := Generate(cfg)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed change had no effect")
+	}
+}
+
+func TestTurbulenceAddsDetail(t *testing.T) {
+	quiet := Default(24)
+	quiet.TurbulenceAmp = 0
+	noisy := Default(24)
+	noisy.TurbulenceAmp = 0.2
+	fq := Generate(quiet)
+	fn := Generate(noisy)
+	// High-frequency content: sum of |first differences| must grow.
+	tv := func(f []float64) float64 {
+		s := 0.0
+		for i := 1; i < len(f); i++ {
+			s += math.Abs(f[i] - f[i-1])
+		}
+		return s
+	}
+	if tv(fn.Data) <= tv(fq.Data) {
+		t.Fatal("turbulence did not add variation")
+	}
+}
+
+func TestReducedSmaller(t *testing.T) {
+	full := Default(16)
+	red := Reduced(full)
+	if red.ShellRadius >= full.ShellRadius || red.PeakVelocity >= full.PeakVelocity {
+		t.Fatalf("reduced config not scaled down: %+v", red)
+	}
+}
+
+func TestSnapshotsShellExpands(t *testing.T) {
+	cfg := Default(24)
+	snaps := Snapshots(cfg, 3)
+	if len(snaps) != 3 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	// The radius of the max-velocity sphere should grow: measure mean
+	// radius of top-decile cells.
+	meanRadius := func(fdata []float64) float64 {
+		n := cfg.N
+		_, hi := snaps[0].MinMax()
+		_ = hi
+		maxV := 0.0
+		for _, v := range fdata {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum, cnt float64
+		inv := 1.0 / float64(n-1)
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					if fdata[(k*n+j)*n+i] > 0.8*maxV {
+						z := float64(k)*inv - 0.5
+						y := float64(j)*inv - 0.5
+						x := float64(i)*inv - 0.5
+						sum += math.Sqrt(x*x + y*y + z*z)
+						cnt++
+					}
+				}
+			}
+		}
+		return sum / cnt
+	}
+	if meanRadius(snaps[2].Data) <= meanRadius(snaps[0].Data) {
+		t.Fatal("shell did not expand across snapshots")
+	}
+}

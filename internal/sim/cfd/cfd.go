@@ -1,0 +1,225 @@
+// Package cfd generates the two computational-fluid-dynamics datasets of
+// Table I:
+//
+//   - Fish: "velocity magnitude in a CFD calculation of cooling air being
+//     injected into a mixing tank" — a localised jet in a quiescent tank,
+//     so the field contains many exact zeros (the property that makes the
+//     preconditioners lose to direct compression in Fig. 6).
+//   - Yf17: "temperature in a computational fluid dynamics calculation" —
+//     an aircraft-body thermal field: smooth free stream with boundary-layer
+//     heating concentrated around an embedded body.
+package cfd
+
+import (
+	"math"
+	"math/rand"
+
+	"lrm/internal/grid"
+)
+
+// FishConfig describes the mixing-tank jet.
+type FishConfig struct {
+	// N is the grid size per dimension.
+	N int
+	// JetVelocity is the inlet velocity.
+	JetVelocity float64
+	// JetRadius is the nozzle radius in domain units.
+	JetRadius float64
+	// SpreadRate controls how fast the jet cone widens along its axis.
+	SpreadRate float64
+	// Penetration is how far into the tank the jet reaches (0..1).
+	Penetration float64
+	// NoiseAmp adds shear-layer fluctuations along the jet edge.
+	NoiseAmp float64
+	// AxisSlope tilts the jet axis upward in y per unit x (real mixing-tank
+	// inlets are angled, so the zero region is not grid-aligned).
+	AxisSlope float64
+	// Floor zeroes velocities below this fraction of JetVelocity — the
+	// quiescent tank, producing the dataset's many exact zeros.
+	Floor float64
+	// Seed drives the shear-layer noise.
+	Seed int64
+}
+
+// DefaultFish returns the baseline Fish configuration at grid size n.
+func DefaultFish(n int) FishConfig {
+	return FishConfig{
+		N: n, JetVelocity: 12, JetRadius: 0.06, SpreadRate: 0.18,
+		Penetration: 0.85, NoiseAmp: 0.06, Floor: 0.02, Seed: 11,
+		AxisSlope: 0.45,
+	}
+}
+
+// ReducedFish derives the reduced configuration: smaller domain coverage
+// and shorter time (a less developed jet).
+func ReducedFish(full FishConfig) FishConfig {
+	r := full
+	r.Penetration = full.Penetration * 0.8
+	r.JetVelocity = full.JetVelocity * 0.95
+	return r
+}
+
+// GenerateFish returns the velocity-magnitude field on an N^3 grid. The jet
+// enters at the centre of the x = 0 wall and points along +x.
+func GenerateFish(cfg FishConfig) *grid.Field {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Fixed set of azimuthal shear modes.
+	type m struct{ k, phase, amp float64 }
+	modes := make([]m, 6)
+	for i := range modes {
+		modes[i] = m{k: float64(2 + i), phase: 2 * math.Pi * rng.Float64(), amp: rng.Float64()}
+	}
+
+	n := cfg.N
+	f := grid.New(n, n, n)
+	inv := 1.0 / float64(n-1)
+	for k := 0; k < n; k++ {
+		z := float64(k)*inv - 0.5
+		for j := 0; j < n; j++ {
+			y := float64(j)*inv - 0.5
+			for i := 0; i < n; i++ {
+				x := float64(i) * inv // 0 at the inlet wall
+				if x > cfg.Penetration {
+					continue // beyond the jet tip: quiescent (exact zero)
+				}
+				yc := cfg.AxisSlope * x * (1 - x) * 2 // curved, angled jet path
+				dy := y - yc
+				rr := math.Sqrt(dy*dy + z*z)
+				width := cfg.JetRadius + cfg.SpreadRate*x
+				// Centreline decay ~ 1/(1 + x/width0) as in round jets.
+				centre := cfg.JetVelocity / (1 + 4*x)
+				// Tip rounding.
+				tip := 1.0
+				if x > cfg.Penetration-0.1 {
+					tip = (cfg.Penetration - x) / 0.1
+				}
+				v := centre * tip * math.Exp(-rr*rr/(2*width*width))
+				// Shear-layer fluctuation on the jet edge.
+				if v > 0 {
+					theta := math.Atan2(z, y)
+					s := 0.0
+					for _, mm := range modes {
+						s += mm.amp * math.Sin(mm.k*theta+mm.phase+20*x)
+					}
+					v *= 1 + cfg.NoiseAmp*s/float64(len(modes))*2
+				}
+				if v < cfg.Floor*cfg.JetVelocity {
+					v = 0 // quiescent tank: exact zero
+				}
+				f.Set3(v, k, j, i)
+			}
+		}
+	}
+	return f
+}
+
+// ZeroFraction reports the fraction of exact zeros in a field (the Fish
+// dataset's signature property).
+func ZeroFraction(f *grid.Field) float64 {
+	z := 0
+	for _, v := range f.Data {
+		if v == 0 {
+			z++
+		}
+	}
+	return float64(z) / float64(f.Len())
+}
+
+// Yf17Config describes the aircraft-skin temperature field.
+type Yf17Config struct {
+	// N is the grid size per dimension.
+	N int
+	// FreeStreamTemp is the ambient temperature.
+	FreeStreamTemp float64
+	// SkinTemp is the peak body-surface temperature.
+	SkinTemp float64
+	// BoundaryLayer is the thermal boundary-layer thickness.
+	BoundaryLayer float64
+	// BodyLength / BodyRadius shape the embedded fuselage ellipsoid.
+	BodyLength, BodyRadius float64
+	// WakeAmp adds a decaying thermal wake behind the body.
+	WakeAmp float64
+}
+
+// DefaultYf17 returns the baseline configuration at grid size n.
+func DefaultYf17(n int) Yf17Config {
+	return Yf17Config{
+		N: n, FreeStreamTemp: 300, SkinTemp: 420, BoundaryLayer: 0.06,
+		BodyLength: 0.35, BodyRadius: 0.08, WakeAmp: 0.35,
+	}
+}
+
+// ReducedYf17 derives the reduced configuration: smaller body, shorter
+// developed wake (earlier time).
+func ReducedYf17(full Yf17Config) Yf17Config {
+	r := full
+	r.BodyLength = full.BodyLength * 0.7
+	r.WakeAmp = full.WakeAmp * 0.5
+	return r
+}
+
+// GenerateYf17 returns the temperature field on an N^3 grid with the body
+// centred at (0.4, 0.5, 0.5) pointing along +x.
+func GenerateYf17(cfg Yf17Config) *grid.Field {
+	n := cfg.N
+	f := grid.New(n, n, n)
+	inv := 1.0 / float64(n-1)
+	for k := 0; k < n; k++ {
+		z := float64(k)*inv - 0.5
+		for j := 0; j < n; j++ {
+			y := float64(j)*inv - 0.5
+			for i := 0; i < n; i++ {
+				x := float64(i)*inv - 0.4
+				// Signed distance to the fuselage ellipsoid (approximate).
+				q := math.Sqrt((x/cfg.BodyLength)*(x/cfg.BodyLength) +
+					(y/cfg.BodyRadius)*(y/cfg.BodyRadius) +
+					(z/cfg.BodyRadius)*(z/cfg.BodyRadius))
+				d := (q - 1) * cfg.BodyRadius // ~distance outside the body
+				var t float64
+				if d <= 0 {
+					t = cfg.SkinTemp
+				} else {
+					t = cfg.FreeStreamTemp + (cfg.SkinTemp-cfg.FreeStreamTemp)*math.Exp(-d/cfg.BoundaryLayer)
+				}
+				// Thermal wake: heated air convected downstream.
+				if x > 0 {
+					rr := math.Sqrt(y*y + z*z)
+					wake := cfg.WakeAmp * (cfg.SkinTemp - cfg.FreeStreamTemp) *
+						math.Exp(-rr*rr/(2*(cfg.BodyRadius+0.1*x)*(cfg.BodyRadius+0.1*x))) /
+						(1 + 3*x)
+					t += wake
+				}
+				f.Set3(t, k, j, i)
+			}
+		}
+	}
+	return f
+}
+
+// FishSnapshots returns `count` jet states with growing penetration.
+func FishSnapshots(cfg FishConfig, count int) []*grid.Field {
+	if count < 1 {
+		return nil
+	}
+	out := make([]*grid.Field, count)
+	for s := 0; s < count; s++ {
+		c := cfg
+		c.Penetration = cfg.Penetration * (0.4 + 0.6*float64(s+1)/float64(count))
+		out[s] = GenerateFish(c)
+	}
+	return out
+}
+
+// Yf17Snapshots returns `count` states with the wake developing.
+func Yf17Snapshots(cfg Yf17Config, count int) []*grid.Field {
+	if count < 1 {
+		return nil
+	}
+	out := make([]*grid.Field, count)
+	for s := 0; s < count; s++ {
+		c := cfg
+		c.WakeAmp = cfg.WakeAmp * float64(s+1) / float64(count)
+		out[s] = GenerateYf17(c)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package cfd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFishHasManyZeros(t *testing.T) {
+	f := GenerateFish(DefaultFish(32))
+	if z := ZeroFraction(f); z < 0.5 {
+		t.Fatalf("zero fraction = %v, want > 0.5 (the Fish signature)", z)
+	}
+	// But not all zeros: the jet exists.
+	if z := ZeroFraction(f); z > 0.99 {
+		t.Fatalf("zero fraction = %v: no jet generated", z)
+	}
+}
+
+func TestFishJetGeometry(t *testing.T) {
+	cfg := DefaultFish(32)
+	f := GenerateFish(cfg)
+	n := cfg.N
+	c := n / 2
+	// Velocity on the jet axis near the inlet beats off-axis and far-field.
+	vInlet := f.At3(c, c, 2)
+	vOffAxis := f.At3(2, 2, 2)
+	vTip := f.At3(c, c, n-1)
+	if vInlet <= 0 {
+		t.Fatalf("no jet at the inlet: %v", vInlet)
+	}
+	if vOffAxis != 0 {
+		t.Fatalf("quiescent corner moving: %v", vOffAxis)
+	}
+	if vTip != 0 {
+		t.Fatalf("beyond penetration should be zero: %v", vTip)
+	}
+	// Centreline decays along the axis.
+	vMid := f.At3(c, c, n/2)
+	if vMid >= vInlet {
+		t.Fatalf("centreline did not decay: %v -> %v", vInlet, vMid)
+	}
+}
+
+func TestReducedFishLessDeveloped(t *testing.T) {
+	full := DefaultFish(24)
+	red := ReducedFish(full)
+	ff := GenerateFish(full)
+	fr := GenerateFish(red)
+	// The reduced jet reaches less far: more zeros.
+	if ZeroFraction(fr) <= ZeroFraction(ff) {
+		t.Fatalf("reduced jet not smaller: %v vs %v", ZeroFraction(fr), ZeroFraction(ff))
+	}
+}
+
+func TestYf17TemperatureRange(t *testing.T) {
+	cfg := DefaultYf17(32)
+	f := GenerateYf17(cfg)
+	lo, hi := f.MinMax()
+	if lo < cfg.FreeStreamTemp-1 {
+		t.Fatalf("temperature %v below free stream", lo)
+	}
+	if hi < cfg.SkinTemp || hi > cfg.SkinTemp*1.5 {
+		t.Fatalf("peak temperature %v implausible (skin %v)", hi, cfg.SkinTemp)
+	}
+}
+
+func TestYf17BodyHotFarFieldCold(t *testing.T) {
+	cfg := DefaultYf17(32)
+	f := GenerateYf17(cfg)
+	n := cfg.N
+	c := n / 2
+	// Body centre (x=0.4 of domain) is at skin temperature.
+	bodyI := int(0.4 * float64(n-1))
+	if got := f.At3(c, c, bodyI); math.Abs(got-cfg.SkinTemp) > 40 {
+		t.Fatalf("body temperature = %v, want ~%v", got, cfg.SkinTemp)
+	}
+	// Far corner is near free stream.
+	if got := f.At3(0, 0, 0); math.Abs(got-cfg.FreeStreamTemp) > 10 {
+		t.Fatalf("corner temperature = %v, want ~%v", got, cfg.FreeStreamTemp)
+	}
+}
+
+func TestYf17WakeDownstreamOnly(t *testing.T) {
+	cfg := DefaultYf17(32)
+	f := GenerateYf17(cfg)
+	n := cfg.N
+	c := n / 2
+	// Same distance from the body fore and aft: the aft (downstream) side
+	// must be warmer thanks to the wake.
+	bodyI := int(0.4 * float64(n-1))
+	halfLen := int(cfg.BodyLength * float64(n-1))
+	fore := f.At3(c, c, bodyI-halfLen-4)
+	aft := f.At3(c, c, bodyI+halfLen+4)
+	if aft <= fore {
+		t.Fatalf("wake missing: fore %v, aft %v", fore, aft)
+	}
+}
+
+func TestFishDeterministic(t *testing.T) {
+	cfg := DefaultFish(16)
+	a := GenerateFish(cfg)
+	b := GenerateFish(cfg)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("nondeterministic fish output")
+		}
+	}
+}
+
+func TestSnapshotsCounts(t *testing.T) {
+	if got := len(FishSnapshots(DefaultFish(12), 5)); got != 5 {
+		t.Fatalf("fish snapshots = %d", got)
+	}
+	if got := len(Yf17Snapshots(DefaultYf17(12), 5)); got != 5 {
+		t.Fatalf("yf17 snapshots = %d", got)
+	}
+	if FishSnapshots(DefaultFish(12), 0) != nil || Yf17Snapshots(DefaultYf17(12), 0) != nil {
+		t.Fatal("zero snapshots should be nil")
+	}
+}
+
+func TestFishSnapshotsDevelop(t *testing.T) {
+	snaps := FishSnapshots(DefaultFish(24), 4)
+	if ZeroFraction(snaps[3]) >= ZeroFraction(snaps[0]) {
+		t.Fatal("jet did not develop across snapshots")
+	}
+}

@@ -1,0 +1,265 @@
+package heat3d
+
+import (
+	"fmt"
+
+	"lrm/internal/grid"
+	"lrm/internal/mpi"
+)
+
+// SolveParallelCart runs the full model over a px x py x pz Cartesian
+// processor grid — the paper's topology (8x8x8 ranks for the 192^3 full
+// model). Each rank owns a 3-D block with one ghost layer per face and
+// exchanges the six faces with its neighbours every step. The result is
+// identical to Solve: the decomposition only changes who computes what.
+func SolveParallelCart(cfg Config, px, py, pz int) (*grid.Field, error) {
+	cfg = cfg.withDefaults()
+	topo, err := mpi.NewCart3D(px*py*pz, px, py, pz)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	for p, name := range map[int]string{px: "x", py: "y", pz: "z"} {
+		if p > n-2 {
+			return nil, fmt.Errorf("heat3d: %d ranks along %s cannot decompose N=%d", p, name, n)
+		}
+	}
+
+	init := Init3D(cfg)
+	result := grid.New(n, n, n)
+	h := 1.0 / float64(n-1)
+	dt := cfg.dt3D()
+
+	w := mpi.NewWorld(px * py * pz)
+	w.Run(func(c *mpi.Comm) {
+		runCartRank(c, topo, cfg, init, result, h, dt)
+	})
+	return result, nil
+}
+
+// face direction indices; the tag identifies the flow so the paired
+// exchanges between the same two ranks cannot cross-match.
+const (
+	faceXLo = iota
+	faceXHi
+	faceYLo
+	faceYHi
+	faceZLo
+	faceZHi
+)
+
+// block is one rank's owned region plus ghost-layer storage.
+type block struct {
+	x0, x1, y0, y1, z0, z1 int // owned global ranges (half open)
+	lx, ly, lz             int // owned extents
+	sx, sy, sz             int // storage extents (owned + 2 ghosts)
+	u, next                []float64
+}
+
+func (b *block) idx(z, y, x int) int { return (z*b.sy+y)*b.sx + x }
+
+func newBlock(topo *mpi.Cart3D, rank, n int) *block {
+	cx, cy, cz := topo.Coords(rank)
+	b := &block{}
+	b.x0, b.x1 = mpi.Slab1D(n, topo.Px, cx)
+	b.y0, b.y1 = mpi.Slab1D(n, topo.Py, cy)
+	b.z0, b.z1 = mpi.Slab1D(n, topo.Pz, cz)
+	b.lx, b.ly, b.lz = b.x1-b.x0, b.y1-b.y0, b.z1-b.z0
+	b.sx, b.sy, b.sz = b.lx+2, b.ly+2, b.lz+2
+	b.u = make([]float64, b.sx*b.sy*b.sz)
+	b.next = make([]float64, b.sx*b.sy*b.sz)
+	return b
+}
+
+// load copies the rank's owned region from the global field into the
+// interior of the ghosted local array.
+func (b *block) load(global *grid.Field) {
+	n := global.Dims[2]
+	for z := 0; z < b.lz; z++ {
+		for y := 0; y < b.ly; y++ {
+			srcBase := ((b.z0+z)*global.Dims[1] + b.y0 + y) * n
+			dstBase := b.idx(z+1, y+1, 1)
+			copy(b.u[dstBase:dstBase+b.lx], global.Data[srcBase+b.x0:srcBase+b.x1])
+		}
+	}
+}
+
+// extractFace copies one owned boundary face into a flat buffer.
+func (b *block) extractFace(dir int) []float64 {
+	switch dir {
+	case faceXLo, faceXHi:
+		x := 1
+		if dir == faceXHi {
+			x = b.lx
+		}
+		out := make([]float64, b.lz*b.ly)
+		for z := 0; z < b.lz; z++ {
+			for y := 0; y < b.ly; y++ {
+				out[z*b.ly+y] = b.u[b.idx(z+1, y+1, x)]
+			}
+		}
+		return out
+	case faceYLo, faceYHi:
+		y := 1
+		if dir == faceYHi {
+			y = b.ly
+		}
+		out := make([]float64, b.lz*b.lx)
+		for z := 0; z < b.lz; z++ {
+			base := b.idx(z+1, y, 1)
+			copy(out[z*b.lx:(z+1)*b.lx], b.u[base:base+b.lx])
+		}
+		return out
+	default:
+		z := 1
+		if dir == faceZHi {
+			z = b.lz
+		}
+		out := make([]float64, b.ly*b.lx)
+		for y := 0; y < b.ly; y++ {
+			base := b.idx(z, y+1, 1)
+			copy(out[y*b.lx:(y+1)*b.lx], b.u[base:base+b.lx])
+		}
+		return out
+	}
+}
+
+// insertGhost writes a received neighbour face into the ghost layer
+// opposite to dir (dir describes which of OUR ghosts it fills).
+func (b *block) insertGhost(dir int, face []float64) {
+	switch dir {
+	case faceXLo, faceXHi:
+		x := 0
+		if dir == faceXHi {
+			x = b.lx + 1
+		}
+		for z := 0; z < b.lz; z++ {
+			for y := 0; y < b.ly; y++ {
+				b.u[b.idx(z+1, y+1, x)] = face[z*b.ly+y]
+			}
+		}
+	case faceYLo, faceYHi:
+		y := 0
+		if dir == faceYHi {
+			y = b.ly + 1
+		}
+		for z := 0; z < b.lz; z++ {
+			base := b.idx(z+1, y, 1)
+			copy(b.u[base:base+b.lx], face[z*b.lx:(z+1)*b.lx])
+		}
+	default:
+		z := 0
+		if dir == faceZHi {
+			z = b.lz + 1
+		}
+		for y := 0; y < b.ly; y++ {
+			base := b.idx(z, y+1, 1)
+			copy(b.u[base:base+b.lx], face[y*b.lx:(y+1)*b.lx])
+		}
+	}
+}
+
+// exchange performs the six-face halo swap for one step.
+func exchange(c *mpi.Comm, topo *mpi.Cart3D, b *block) {
+	type swap struct {
+		dx, dy, dz int
+		sendDir    int // our face to send
+		ghostDir   int // our ghost it fills on the RECEIVING side
+	}
+	swaps := []swap{
+		{-1, 0, 0, faceXLo, faceXLo},
+		{1, 0, 0, faceXHi, faceXHi},
+		{0, -1, 0, faceYLo, faceYLo},
+		{0, 1, 0, faceYHi, faceYHi},
+		{0, 0, -1, faceZLo, faceZLo},
+		{0, 0, 1, faceZHi, faceZHi},
+	}
+	for _, s := range swaps {
+		nb := topo.Neighbor(c.Rank(), s.dx, s.dy, s.dz)
+		if nb < 0 {
+			continue
+		}
+		// Tag by the send direction so paired flows between the same two
+		// ranks cannot cross-match.
+		c.Send(nb, s.sendDir, b.extractFace(s.sendDir))
+	}
+	for _, s := range swaps {
+		nb := topo.Neighbor(c.Rank(), s.dx, s.dy, s.dz)
+		if nb < 0 {
+			continue
+		}
+		// The neighbour sent its OPPOSITE face, tagged with that direction.
+		b.insertGhost(s.ghostDir, c.Recv(nb, opposite(s.sendDir)))
+	}
+}
+
+func opposite(dir int) int {
+	switch dir {
+	case faceXLo:
+		return faceXHi
+	case faceXHi:
+		return faceXLo
+	case faceYLo:
+		return faceYHi
+	case faceYHi:
+		return faceYLo
+	case faceZLo:
+		return faceZHi
+	default:
+		return faceZLo
+	}
+}
+
+// runCartRank is one rank's worth of the Cartesian-parallel solver.
+func runCartRank(c *mpi.Comm, topo *mpi.Cart3D, cfg Config, init, result *grid.Field, h, dt float64) {
+	n := cfg.N
+	b := newBlock(topo, c.Rank(), n)
+	b.load(init)
+	r := cfg.Kappa * dt / (h * h)
+
+	for s := 0; s < cfg.Steps; s++ {
+		exchange(c, topo, b)
+		for z := 1; z <= b.lz; z++ {
+			gz := b.z0 + z - 1
+			for y := 1; y <= b.ly; y++ {
+				gy := b.y0 + y - 1
+				for x := 1; x <= b.lx; x++ {
+					gx := b.x0 + x - 1
+					i := b.idx(z, y, x)
+					if gz == 0 || gz == n-1 || gy == 0 || gy == n-1 || gx == 0 || gx == n-1 {
+						b.next[i] = 0 // Dirichlet walls
+						continue
+					}
+					cv := b.u[i]
+					lap := b.u[i+b.sx*b.sy] + b.u[i-b.sx*b.sy] +
+						b.u[i+b.sx] + b.u[i-b.sx] +
+						b.u[i+1] + b.u[i-1] - 6*cv
+					b.next[i] = cv + r*lap
+				}
+			}
+		}
+		b.u, b.next = b.next, b.u
+	}
+
+	// Gather: every rank ships its owned block (without ghosts) to rank 0.
+	flat := make([]float64, b.lz*b.ly*b.lx)
+	for z := 0; z < b.lz; z++ {
+		for y := 0; y < b.ly; y++ {
+			base := b.idx(z+1, y+1, 1)
+			copy(flat[(z*b.ly+y)*b.lx:], b.u[base:base+b.lx])
+		}
+	}
+	parts := c.Gather(0, flat)
+	if c.Rank() == 0 {
+		for rank, p := range parts {
+			rb := newBlock(topo, rank, n)
+			for z := 0; z < rb.lz; z++ {
+				for y := 0; y < rb.ly; y++ {
+					dstBase := ((rb.z0+z)*n+rb.y0+y)*n + rb.x0
+					copy(result.Data[dstBase:dstBase+rb.lx], p[(z*rb.ly+y)*rb.lx:(z*rb.ly+y+1)*rb.lx])
+				}
+			}
+		}
+	}
+	c.Barrier()
+}

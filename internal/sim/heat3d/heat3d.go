@@ -1,0 +1,357 @@
+// Package heat3d implements the paper's Section IV case study: a 3-D heat
+// equation solver (the full model) and its projection-based 2-D reduction
+// obtained by collapsing the Z dimension.
+//
+//	du/dt = kappa * (d2u/dx2 + d2u/dy2 + d2u/dz2)
+//
+// discretised with central differences and explicit Euler stepping, exactly
+// equation (1) of the paper; the reduced model is equation (2). The solver
+// exists in a serial form and an MPI-parallel form (slab decomposition with
+// halo exchange) that produces bit-identical results.
+package heat3d
+
+import (
+	"fmt"
+	"math"
+
+	"lrm/internal/grid"
+	"lrm/internal/mpi"
+)
+
+// Config describes a Heat3d run. The domain is the unit cube (or unit
+// square for the reduced model) with Dirichlet zero boundaries and a
+// Gaussian hot spot initial condition centred in the domain — symmetric in
+// Z, which is what makes the mid-plane a natural latent reduced model.
+type Config struct {
+	// N is the number of grid points per dimension.
+	N int
+	// Kappa is the thermal conductivity coefficient.
+	Kappa float64
+	// Steps is the number of explicit Euler steps to run.
+	Steps int
+	// Dt is the time step; 0 selects 90% of the stability limit.
+	Dt float64
+	// HotTemp is the peak of the initial Gaussian hot spot.
+	HotTemp float64
+	// HotWidth is the hot spot's standard deviation in domain units.
+	HotWidth float64
+}
+
+// Default returns the baseline configuration used across the repository's
+// experiments: a paper-shaped problem scaled to size n.
+func Default(n int) Config {
+	return Config{N: n, Kappa: 1.0, Steps: 0, HotTemp: 100, HotWidth: 0.12}
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Kappa == 0 {
+		out.Kappa = 1
+	}
+	if out.HotTemp == 0 {
+		out.HotTemp = 100
+	}
+	if out.HotWidth == 0 {
+		out.HotWidth = 0.12
+	}
+	return out
+}
+
+// StabilityDt3D returns the largest stable explicit time step for the 3-D
+// stencil, h^2/(6*kappa).
+func (c Config) StabilityDt3D() float64 {
+	h := 1.0 / float64(c.N-1)
+	return h * h / (6 * c.Kappa)
+}
+
+// StabilityDt2D returns the 2-D stability limit, h^2/(4*kappa). Collapsing
+// Z relaxes the limit, which is why the paper's reduced model can take a
+// much larger time step.
+func (c Config) StabilityDt2D() float64 {
+	h := 1.0 / float64(c.N-1)
+	return h * h / (4 * c.Kappa)
+}
+
+func (c Config) dt3D() float64 {
+	if c.Dt > 0 {
+		return c.Dt
+	}
+	return 0.9 * c.StabilityDt3D()
+}
+
+func (c Config) dt2D() float64 {
+	if c.Dt > 0 {
+		return c.Dt
+	}
+	return 0.9 * c.StabilityDt2D()
+}
+
+// Init3D returns the initial condition on an N^3 grid.
+func Init3D(cfg Config) *grid.Field {
+	cfg = cfg.withDefaults()
+	n := cfg.N
+	f := grid.New(n, n, n)
+	inv := 1.0 / float64(n-1)
+	w2 := 2 * cfg.HotWidth * cfg.HotWidth
+	for k := 0; k < n; k++ {
+		z := float64(k)*inv - 0.5
+		for j := 0; j < n; j++ {
+			y := float64(j)*inv - 0.5
+			for i := 0; i < n; i++ {
+				x := float64(i)*inv - 0.5
+				f.Set3(cfg.HotTemp*math.Exp(-(x*x+y*y+z*z)/w2), k, j, i)
+			}
+		}
+	}
+	applyDirichlet3D(f)
+	return f
+}
+
+// Init2D returns the reduced model's initial condition on an N^2 grid: the
+// same Gaussian with the Z dependence dropped (the projection of Section
+// IV-A).
+func Init2D(cfg Config) *grid.Field {
+	cfg = cfg.withDefaults()
+	n := cfg.N
+	f := grid.New(n, n)
+	inv := 1.0 / float64(n-1)
+	w2 := 2 * cfg.HotWidth * cfg.HotWidth
+	for j := 0; j < n; j++ {
+		y := float64(j)*inv - 0.5
+		for i := 0; i < n; i++ {
+			x := float64(i)*inv - 0.5
+			f.Set2(cfg.HotTemp*math.Exp(-(x*x+y*y)/w2), j, i)
+		}
+	}
+	applyDirichlet2D(f)
+	return f
+}
+
+func applyDirichlet3D(f *grid.Field) {
+	n := f.Dims[0]
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			f.Set3(0, 0, a, b)
+			f.Set3(0, n-1, a, b)
+			f.Set3(0, a, 0, b)
+			f.Set3(0, a, n-1, b)
+			f.Set3(0, a, b, 0)
+			f.Set3(0, a, b, n-1)
+		}
+	}
+}
+
+func applyDirichlet2D(f *grid.Field) {
+	n := f.Dims[0]
+	for a := 0; a < n; a++ {
+		f.Set2(0, 0, a)
+		f.Set2(0, n-1, a)
+		f.Set2(0, a, 0)
+		f.Set2(0, a, n-1)
+	}
+}
+
+// step3D advances u by one explicit Euler step into next (interior only).
+func step3D(u, next *grid.Field, kappa, dt, h float64) {
+	n := u.Dims[0]
+	r := kappa * dt / (h * h)
+	for k := 1; k < n-1; k++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				c := u.At3(k, j, i)
+				lap := u.At3(k+1, j, i) + u.At3(k-1, j, i) +
+					u.At3(k, j+1, i) + u.At3(k, j-1, i) +
+					u.At3(k, j, i+1) + u.At3(k, j, i-1) - 6*c
+				next.Set3(c+r*lap, k, j, i)
+			}
+		}
+	}
+}
+
+// Solve runs the full 3-D model serially and returns the final state.
+func Solve(cfg Config) *grid.Field {
+	cfg = cfg.withDefaults()
+	u := Init3D(cfg)
+	next := u.Clone()
+	h := 1.0 / float64(cfg.N-1)
+	dt := cfg.dt3D()
+	for s := 0; s < cfg.Steps; s++ {
+		step3D(u, next, cfg.Kappa, dt, h)
+		u, next = next, u
+	}
+	return u
+}
+
+// Snapshots runs the full model and captures `count` states at evenly
+// spaced step intervals (including the final step), the "20 outputs of each
+// application" protocol of Fig. 3.
+func Snapshots(cfg Config, count int) []*grid.Field {
+	cfg = cfg.withDefaults()
+	if count < 1 {
+		return nil
+	}
+	u := Init3D(cfg)
+	next := u.Clone()
+	h := 1.0 / float64(cfg.N-1)
+	dt := cfg.dt3D()
+	out := make([]*grid.Field, 0, count)
+	every := cfg.Steps / count
+	if every < 1 {
+		every = 1
+	}
+	for s := 1; s <= cfg.Steps; s++ {
+		step3D(u, next, cfg.Kappa, dt, h)
+		u, next = next, u
+		if s%every == 0 && len(out) < count {
+			out = append(out, u.Clone())
+		}
+	}
+	for len(out) < count {
+		out = append(out, u.Clone())
+	}
+	return out
+}
+
+// SolveReduced2D runs the projected 2-D reduced model (equation (2)) and
+// returns its final state. The number of steps is chosen so that the
+// reduced model reaches the same physical time as a full-model run of
+// cfg.Steps steps, mirroring Table II (many fewer, larger steps).
+func SolveReduced2D(cfg Config) *grid.Field {
+	cfg = cfg.withDefaults()
+	u := Init2D(cfg)
+	next := u.Clone()
+	h := 1.0 / float64(cfg.N-1)
+	dt2 := cfg.dt2D()
+	target := float64(cfg.Steps) * cfg.dt3D()
+	steps := int(math.Ceil(target / dt2))
+	if steps < 1 {
+		steps = 1
+	}
+	dt2 = target / float64(steps)
+	n := cfg.N
+	r := cfg.Kappa * dt2 / (h * h)
+	for s := 0; s < steps; s++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				c := u.At2(j, i)
+				lap := u.At2(j+1, i) + u.At2(j-1, i) +
+					u.At2(j, i+1) + u.At2(j, i-1) - 4*c
+				next.Set2(c+r*lap, j, i)
+			}
+		}
+		u, next = next, u
+	}
+	return u
+}
+
+// ReducedSteps reports how many steps the 2-D reduced model takes to cover
+// the same physical time as the full model (for Table II).
+func ReducedSteps(cfg Config) int {
+	cfg = cfg.withDefaults()
+	target := float64(cfg.Steps) * cfg.dt3D()
+	steps := int(math.Ceil(target / cfg.dt2D()))
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}
+
+// SolveParallel runs the full model over `ranks` MPI ranks with a 1-D slab
+// decomposition along Z and per-step halo exchange, then gathers the global
+// field on every rank's behalf and returns it. The result matches Solve
+// exactly: the decomposition only changes who computes what.
+func SolveParallel(cfg Config, ranks int) (*grid.Field, error) {
+	cfg = cfg.withDefaults()
+	if ranks < 1 || ranks > cfg.N-2 {
+		return nil, fmt.Errorf("heat3d: %d ranks cannot decompose N=%d", ranks, cfg.N)
+	}
+	n := cfg.N
+	h := 1.0 / float64(n-1)
+	dt := cfg.dt3D()
+	init := Init3D(cfg)
+
+	result := grid.New(n, n, n)
+	w := mpi.NewWorld(ranks)
+	w.Run(func(c *Comm) {
+		runRank(c, cfg, init, result, h, dt)
+	})
+	return result, nil
+}
+
+// Comm aliases mpi.Comm so the solver reads like an MPI code.
+type Comm = mpi.Comm
+
+// runRank is one rank's worth of the parallel solver.
+func runRank(c *Comm, cfg Config, init, result *grid.Field, h, dt float64) {
+	n := cfg.N
+	lo, hi := mpi.Slab1D(n, c.Size(), c.Rank())
+	local := hi - lo
+	plane := n * n
+
+	// Local slab with one ghost plane on each side.
+	u := make([]float64, (local+2)*plane)
+	next := make([]float64, (local+2)*plane)
+	for k := 0; k < local; k++ {
+		copy(u[(k+1)*plane:(k+2)*plane], init.Data[(lo+k)*plane:(lo+k+1)*plane])
+	}
+
+	r := cfg.Kappa * dt / (h * h)
+	for s := 0; s < cfg.Steps; s++ {
+		// Halo exchange with Z neighbours; ordered pairwise exchanges
+		// (even ranks send first) prevent deadlock, as in the MPI code.
+		if c.Rank() > 0 {
+			got := c.SendRecv(c.Rank()-1, s, u[plane:2*plane])
+			copy(u[:plane], got)
+		}
+		if c.Rank() < c.Size()-1 {
+			got := c.SendRecv(c.Rank()+1, s, u[local*plane:(local+1)*plane])
+			copy(u[(local+1)*plane:], got)
+		}
+
+		for k := 1; k <= local; k++ {
+			gz := lo + k - 1 // global z index
+			if gz == 0 || gz == n-1 {
+				copy(next[k*plane:(k+1)*plane], u[k*plane:(k+1)*plane])
+				continue
+			}
+			for j := 1; j < n-1; j++ {
+				for i := 1; i < n-1; i++ {
+					idx := k*plane + j*n + i
+					cv := u[idx]
+					lap := u[idx+plane] + u[idx-plane] +
+						u[idx+n] + u[idx-n] +
+						u[idx+1] + u[idx-1] - 6*cv
+					next[idx] = cv + r*lap
+				}
+			}
+			// Dirichlet walls in X and Y.
+			for j := 0; j < n; j++ {
+				next[k*plane+j*n] = 0
+				next[k*plane+j*n+n-1] = 0
+			}
+			for i := 0; i < n; i++ {
+				next[k*plane+i] = 0
+				next[k*plane+(n-1)*n+i] = 0
+			}
+		}
+		u, next = next, u
+	}
+
+	// Gather slabs at rank 0 and write into the shared result (only rank 0
+	// writes, after all contributions arrive).
+	parts := c.Gather(0, u[plane:(local+1)*plane])
+	if c.Rank() == 0 {
+		pos := 0
+		for _, p := range parts {
+			copy(result.Data[pos:], p)
+			pos += len(p)
+		}
+	}
+	c.Barrier()
+}
+
+// MidPlane returns the horizontal mid-plane of a 3-D field, the latent
+// reduced model of Section IV-A.
+func MidPlane(f *grid.Field) *grid.Field {
+	return f.Plane(f.Dims[0] / 2)
+}

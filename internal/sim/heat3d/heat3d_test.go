@@ -1,0 +1,280 @@
+package heat3d
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInitSymmetricInZ(t *testing.T) {
+	cfg := Default(17)
+	f := Init3D(cfg)
+	n := cfg.N
+	for k := 0; k < n/2; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				if math.Abs(f.At3(k, j, i)-f.At3(n-1-k, j, i)) > 1e-12 {
+					t.Fatalf("init not Z-symmetric at (%d,%d,%d)", k, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDirichletBoundariesHold(t *testing.T) {
+	cfg := Default(12)
+	cfg.Steps = 25
+	u := Solve(cfg)
+	n := cfg.N
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			for _, v := range []float64{
+				u.At3(0, a, b), u.At3(n-1, a, b),
+				u.At3(a, 0, b), u.At3(a, n-1, b),
+				u.At3(a, b, 0), u.At3(a, b, n-1),
+			} {
+				if v != 0 {
+					t.Fatalf("boundary value %v != 0", v)
+				}
+			}
+		}
+	}
+}
+
+func TestHeatDiffusesAndStaysBounded(t *testing.T) {
+	cfg := Default(16)
+	cfg.Steps = 60
+	init := Init3D(cfg)
+	u := Solve(cfg)
+	// Peak must decay (diffusion) but remain positive; no value may exceed
+	// the initial maximum (maximum principle).
+	_, hi0 := init.MinMax()
+	lo, hi := u.MinMax()
+	if hi >= hi0 {
+		t.Fatalf("peak did not decay: %v -> %v", hi0, hi)
+	}
+	if hi <= 0 {
+		t.Fatalf("field went non-positive: max %v", hi)
+	}
+	if lo < -1e-12 {
+		t.Fatalf("maximum principle violated: min %v", lo)
+	}
+}
+
+func TestStabilityDtOrdering(t *testing.T) {
+	cfg := Default(32)
+	cfg.Steps = 120
+	// The 2-D limit must exceed the 3-D limit (the reduced model's larger
+	// time step, Table II).
+	if cfg.StabilityDt2D() <= cfg.StabilityDt3D() {
+		t.Fatalf("2-D dt %v should exceed 3-D dt %v", cfg.StabilityDt2D(), cfg.StabilityDt3D())
+	}
+	if ReducedSteps(cfg) >= cfg.Steps {
+		t.Fatalf("reduced model should need fewer steps: %d vs %d", ReducedSteps(cfg), cfg.Steps)
+	}
+}
+
+func TestReducedStepsScale(t *testing.T) {
+	cfg := Default(24)
+	cfg.Steps = 300
+	red := ReducedSteps(cfg)
+	if red >= cfg.Steps || red < 1 {
+		t.Fatalf("reduced steps = %d for full %d", red, cfg.Steps)
+	}
+	// Ratio should be roughly dt2/dt3 = 6/4.
+	want := float64(cfg.Steps) * cfg.StabilityDt3D() / cfg.StabilityDt2D()
+	if math.Abs(float64(red)-want) > want*0.2 {
+		t.Fatalf("reduced steps = %d, want ~%.0f", red, want)
+	}
+}
+
+func TestMidPlaneResemblesReducedModel(t *testing.T) {
+	// The Section IV-A observation: the mid-plane of the full model evolves
+	// like the 2-D projected model (same shape, modest amplitude offset).
+	cfg := Default(24)
+	cfg.Steps = 150
+	full := Solve(cfg)
+	mid := MidPlane(full)
+	red := SolveReduced2D(cfg)
+
+	// Correlate the two fields: cosine similarity must be very high.
+	var dot, nm, nr float64
+	for i := range mid.Data {
+		dot += mid.Data[i] * red.Data[i]
+		nm += mid.Data[i] * mid.Data[i]
+		nr += red.Data[i] * red.Data[i]
+	}
+	cos := dot / math.Sqrt(nm*nr)
+	if cos < 0.99 {
+		t.Fatalf("mid-plane vs reduced model cosine similarity %v < 0.99", cos)
+	}
+}
+
+func TestSnapshotsCountAndEvolution(t *testing.T) {
+	cfg := Default(12)
+	cfg.Steps = 40
+	snaps := Snapshots(cfg, 5)
+	if len(snaps) != 5 {
+		t.Fatalf("got %d snapshots", len(snaps))
+	}
+	// Peaks must be non-increasing over time.
+	prev := math.Inf(1)
+	for i, s := range snaps {
+		_, hi := s.MinMax()
+		if hi > prev+1e-12 {
+			t.Fatalf("snapshot %d peak grew: %v > %v", i, hi, prev)
+		}
+		prev = hi
+	}
+	if Snapshots(cfg, 0) != nil {
+		t.Fatal("zero snapshots should be nil")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := Default(14)
+	cfg.Steps = 30
+	serial := Solve(cfg)
+	for _, ranks := range []int{1, 2, 3, 4} {
+		par, err := SolveParallel(cfg, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Data {
+			if serial.Data[i] != par.Data[i] {
+				t.Fatalf("ranks=%d: mismatch at %d: %v vs %v", ranks, i, serial.Data[i], par.Data[i])
+			}
+		}
+	}
+}
+
+func TestParallelRankValidation(t *testing.T) {
+	cfg := Default(8)
+	if _, err := SolveParallel(cfg, 0); err == nil {
+		t.Fatal("expected error for 0 ranks")
+	}
+	if _, err := SolveParallel(cfg, 100); err == nil {
+		t.Fatal("expected error for too many ranks")
+	}
+}
+
+func TestEnergyConservationWithoutBoundaries(t *testing.T) {
+	// Total heat decreases only through the boundaries; over a few early
+	// steps (heat far from walls) it should be nearly conserved.
+	cfg := Default(32)
+	cfg.Steps = 5
+	cfg.HotWidth = 0.05
+	init := Init3D(cfg)
+	u := Solve(cfg)
+	sum := func(f []float64) float64 {
+		s := 0.0
+		for _, v := range f {
+			s += v
+		}
+		return s
+	}
+	s0, s1 := sum(init.Data), sum(u.Data)
+	if math.Abs(s0-s1) > 1e-6*s0 {
+		t.Fatalf("heat not conserved away from walls: %v -> %v", s0, s1)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{N: 8, Steps: 2}
+	u := Solve(cfg) // zero Kappa/HotTemp/HotWidth must be defaulted, not NaN
+	for i, v := range u.Data {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN at %d with defaulted config", i)
+		}
+	}
+}
+
+func TestCartParallelMatchesSerial(t *testing.T) {
+	cfg := Default(13)
+	cfg.Steps = 25
+	serial := Solve(cfg)
+	for _, topo := range [][3]int{{1, 1, 1}, {2, 1, 1}, {1, 2, 1}, {1, 1, 2}, {2, 2, 2}, {3, 2, 1}} {
+		par, err := SolveParallelCart(cfg, topo[0], topo[1], topo[2])
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		for i := range serial.Data {
+			if serial.Data[i] != par.Data[i] {
+				t.Fatalf("topology %v: mismatch at %d: %v vs %v",
+					topo, i, serial.Data[i], par.Data[i])
+			}
+		}
+	}
+}
+
+func TestCartParallelValidation(t *testing.T) {
+	cfg := Default(8)
+	if _, err := SolveParallelCart(cfg, 7, 1, 1); err == nil {
+		t.Fatal("expected too-many-ranks rejection")
+	}
+	if _, err := SolveParallelCart(cfg, 0, 1, 1); err == nil {
+		t.Fatal("expected zero-rank rejection")
+	}
+}
+
+func TestCartMatchesSlabDecomposition(t *testing.T) {
+	// The 1-D slab solver and the 3-D Cartesian solver are independent
+	// implementations; they must agree exactly.
+	cfg := Default(12)
+	cfg.Steps = 20
+	slab, err := SolveParallel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cart, err := SolveParallelCart(cfg, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slab.Data {
+		if slab.Data[i] != cart.Data[i] {
+			t.Fatalf("slab vs cart mismatch at %d", i)
+		}
+	}
+}
+
+func TestOverlapParallelMatchesSerial(t *testing.T) {
+	cfg := Default(14)
+	cfg.Steps = 30
+	serial := Solve(cfg)
+	for _, ranks := range []int{1, 2, 3, 5} {
+		par, err := SolveParallelOverlap(cfg, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Data {
+			if serial.Data[i] != par.Data[i] {
+				t.Fatalf("ranks=%d: overlap mismatch at %d: %v vs %v",
+					ranks, i, serial.Data[i], par.Data[i])
+			}
+		}
+	}
+	if _, err := SolveParallelOverlap(cfg, 0); err == nil {
+		t.Fatal("expected 0-rank rejection")
+	}
+}
+
+func TestDecayRateMatchesFundamentalMode(t *testing.T) {
+	// Physics validation: after the transient dies out, the solution is
+	// dominated by the fundamental eigenmode sin(pi x)sin(pi y)sin(pi z),
+	// whose amplitude decays as exp(-3 pi^2 kappa t). Check the measured
+	// decay rate against theory within discretisation error.
+	cfg := Default(28)
+	cfg.Steps = 300 // long enough to reach the asymptotic regime
+	u1 := Solve(cfg)
+	cfg2 := cfg
+	cfg2.Steps = 400
+	u2 := Solve(cfg2)
+	_, p1 := u1.MinMax()
+	_, p2 := u2.MinMax()
+	dt := 0.9 * cfg.StabilityDt3D()
+	elapsed := float64(cfg2.Steps-cfg.Steps) * dt
+	measured := math.Log(p1/p2) / elapsed
+	theory := 3 * math.Pi * math.Pi * cfg.Kappa
+	if rel := math.Abs(measured-theory) / theory; rel > 0.05 {
+		t.Fatalf("decay rate %.2f vs theory %.2f (rel err %.3f)", measured, theory, rel)
+	}
+}

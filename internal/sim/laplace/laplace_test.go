@@ -1,0 +1,108 @@
+package laplace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoundariesFixed(t *testing.T) {
+	cfg := Default(24)
+	u := Solve(cfg)
+	n := cfg.N
+	for i := 0; i < n; i++ {
+		want := cfg.TopTemp * math.Sin(math.Pi*float64(i)/float64(n-1))
+		if math.Abs(u.At2(0, i)-want) > 1e-12 {
+			t.Fatalf("top boundary moved at %d", i)
+		}
+		// sin(pi) is ~1e-16 in floating point, so the top corners are not
+		// exactly zero; everything else on the cold edges must be.
+		if math.Abs(u.At2(n-1, i)) > 1e-10 || math.Abs(u.At2(i, 0)) > 1e-10 || math.Abs(u.At2(i, n-1)) > 1e-10 {
+			t.Fatalf("zero boundary moved at %d", i)
+		}
+	}
+}
+
+func TestResidualDecreases(t *testing.T) {
+	cfg := Default(32)
+	snaps := Snapshots(cfg, 4)
+	prev := math.Inf(1)
+	for i, s := range snaps {
+		r := Residual(s)
+		if r > prev*1.001 {
+			t.Fatalf("residual grew at snapshot %d: %v > %v", i, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestConvergesToAnalytic(t *testing.T) {
+	cfg := Default(24)
+	cfg.Iters = 8000 // far beyond the default; near-exact convergence
+	u := Solve(cfg)
+	exact := Analytic(cfg)
+	var maxErr float64
+	for i := range u.Data {
+		if e := math.Abs(u.Data[i] - exact.Data[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	// Discretisation error dominates at this N; the two must agree well.
+	if maxErr > 0.5 {
+		t.Fatalf("max error vs analytic = %v", maxErr)
+	}
+}
+
+func TestMaximumPrinciple(t *testing.T) {
+	cfg := Default(20)
+	u := Solve(cfg)
+	lo, hi := u.MinMax()
+	if lo < -1e-12 || hi > cfg.TopTemp+1e-12 {
+		t.Fatalf("values escaped boundary range: [%v, %v]", lo, hi)
+	}
+}
+
+func TestSnapshotsCount(t *testing.T) {
+	cfg := Default(16)
+	if got := len(Snapshots(cfg, 7)); got != 7 {
+		t.Fatalf("snapshots = %d, want 7", got)
+	}
+	if Snapshots(cfg, 0) != nil {
+		t.Fatal("zero snapshots should be nil")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	u := Solve(Config{N: 10})
+	for _, v := range u.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN with defaulted config")
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := Default(20)
+	cfg.Iters = 50
+	serial := Solve(cfg)
+	for _, ranks := range []int{1, 2, 3, 5} {
+		par, err := SolveParallel(cfg, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Data {
+			if serial.Data[i] != par.Data[i] {
+				t.Fatalf("ranks=%d: mismatch at %d: %v vs %v", ranks, i, serial.Data[i], par.Data[i])
+			}
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	cfg := Default(10)
+	if _, err := SolveParallel(cfg, 0); err == nil {
+		t.Fatal("expected 0-rank rejection")
+	}
+	if _, err := SolveParallel(cfg, 99); err == nil {
+		t.Fatal("expected too-many-ranks rejection")
+	}
+}

@@ -1,0 +1,85 @@
+package laplace
+
+import (
+	"fmt"
+
+	"lrm/internal/grid"
+	"lrm/internal/mpi"
+)
+
+// SolveParallel runs the Jacobi iteration over `ranks` MPI ranks with a
+// 1-D row decomposition and per-sweep halo exchange — the configuration
+// the paper used on Titan (512 MPI processors for the Fig. 3 Laplace
+// runs). The result matches Solve exactly.
+func SolveParallel(cfg Config, ranks int) (*grid.Field, error) {
+	cfg = cfg.withDefaults()
+	if ranks < 1 || ranks > cfg.N-2 {
+		return nil, fmt.Errorf("laplace: %d ranks cannot decompose N=%d", ranks, cfg.N)
+	}
+	n := cfg.N
+	init := Init(cfg)
+	result := grid.New(n, n)
+
+	w := mpi.NewWorld(ranks)
+	w.Run(func(c *mpi.Comm) {
+		lo, hi := mpi.Slab1D(n, c.Size(), c.Rank())
+		rows := hi - lo
+
+		// Local rows plus one ghost row per side.
+		u := make([]float64, (rows+2)*n)
+		next := make([]float64, (rows+2)*n)
+		for r := 0; r < rows; r++ {
+			copy(u[(r+1)*n:(r+2)*n], init.Data[(lo+r)*n:(lo+r+1)*n])
+		}
+		copy(next, u)
+
+		for s := 0; s < cfg.Iters; s++ {
+			// Halo exchange with row neighbours, overlap-ready via the
+			// nonblocking primitives.
+			var reqs []*mpi.Request
+			if c.Rank() > 0 {
+				c.ISend(c.Rank()-1, s, u[n:2*n]).Wait()
+				reqs = append(reqs, c.IRecv(c.Rank()-1, s))
+			}
+			if c.Rank() < c.Size()-1 {
+				c.ISend(c.Rank()+1, s, u[rows*n:(rows+1)*n]).Wait()
+				reqs = append(reqs, c.IRecv(c.Rank()+1, s))
+			}
+			halos := mpi.WaitAll(reqs)
+			hi := 0
+			if c.Rank() > 0 {
+				copy(u[:n], halos[hi])
+				hi++
+			}
+			if c.Rank() < c.Size()-1 {
+				copy(u[(rows+1)*n:], halos[hi])
+			}
+
+			for r := 1; r <= rows; r++ {
+				gr := lo + r - 1
+				if gr == 0 || gr == n-1 {
+					copy(next[r*n:(r+1)*n], u[r*n:(r+1)*n])
+					continue
+				}
+				for i := 1; i < n-1; i++ {
+					idx := r*n + i
+					next[idx] = 0.25 * (u[idx+n] + u[idx-n] + u[idx+1] + u[idx-1])
+				}
+				next[r*n] = u[r*n]
+				next[r*n+n-1] = u[r*n+n-1]
+			}
+			u, next = next, u
+		}
+
+		parts := c.Gather(0, u[n:(rows+1)*n])
+		if c.Rank() == 0 {
+			pos := 0
+			for _, p := range parts {
+				copy(result.Data[pos:], p)
+				pos += len(p)
+			}
+		}
+		c.Barrier()
+	})
+	return result, nil
+}

@@ -1,0 +1,320 @@
+package md
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NAtoms: 1, Density: 0.4, Dt: 0.004, Cutoff: 2.5}); err == nil {
+		t.Fatal("expected error for 1 atom")
+	}
+	if _, err := New(Config{NAtoms: 10, Density: 0, Dt: 0.004, Cutoff: 2.5}); err == nil {
+		t.Fatal("expected error for zero density")
+	}
+	if _, err := New(Config{NAtoms: 10, Density: 0.4, Dt: 0, Cutoff: 2.5}); err == nil {
+		t.Fatal("expected error for zero dt")
+	}
+}
+
+func TestStableIntegration(t *testing.T) {
+	cfg := DefaultUmbrella(200)
+	cfg.Steps = 40
+	pos, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range pos.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("NaN/Inf coordinate at %d", i)
+		}
+	}
+}
+
+func TestPositionsInBox(t *testing.T) {
+	cfg := DefaultVirtualSites(120)
+	cfg.Steps = 30
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Steps; i++ {
+		sys.Step()
+	}
+	box := sys.Box()
+	pos := sys.Positions()
+	for i, v := range pos.Data {
+		if v < 0 || v >= box {
+			t.Fatalf("coordinate %d = %v outside [0, %v)", i, v, box)
+		}
+	}
+}
+
+func TestThermostatRegulatesTemperature(t *testing.T) {
+	cfg := DefaultUmbrella(300)
+	cfg.Steps = 0
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		sys.Step()
+	}
+	temp := sys.Temperature()
+	if temp < 0.3 || temp > 3.0 {
+		t.Fatalf("temperature %v drifted far from target %v", temp, cfg.Temperature)
+	}
+}
+
+func TestMomentumNearZeroWithoutThermostat(t *testing.T) {
+	cfg := DefaultUmbrella(100)
+	cfg.Umbrella = false // umbrella is internal, conserves momentum anyway
+	cfg.Tau = 0          // disable thermostat (it preserves p=0 only exactly at init)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		sys.Step()
+	}
+	var px, py, pz float64
+	for i := 0; i < cfg.NAtoms; i++ {
+		px += sys.vel[3*i]
+		py += sys.vel[3*i+1]
+		pz += sys.vel[3*i+2]
+	}
+	// Newton's third law holds pairwise, so total momentum stays ~0.
+	for _, p := range []float64{px, py, pz} {
+		if math.Abs(p) > 1e-6*float64(cfg.NAtoms) {
+			t.Fatalf("net momentum drifted: (%v, %v, %v)", px, py, pz)
+		}
+	}
+}
+
+func TestUmbrellaRestrainsPair(t *testing.T) {
+	cfg := DefaultUmbrella(150)
+	cfg.UmbrellaK = 400 // stiff spring so the effect dominates thermal noise
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		sys.Step()
+	}
+	d := sys.PairDistance()
+	if math.Abs(d-cfg.UmbrellaR0) > 1.0 {
+		t.Fatalf("umbrella pair distance %v far from target %v", d, cfg.UmbrellaR0)
+	}
+}
+
+func TestWithoutUmbrellaPairWanders(t *testing.T) {
+	// Control: the same system without the bias should not systematically
+	// hold the tagged pair near R0 (it starts far away on the lattice).
+	cfg := DefaultUmbrella(150)
+	sysBias, _ := New(cfg)
+	cfg2 := cfg
+	cfg2.Umbrella = false
+	sysFree, _ := New(cfg2)
+	for i := 0; i < 200; i++ {
+		sysBias.Step()
+		sysFree.Step()
+	}
+	if math.Abs(sysBias.PairDistance()-cfg.UmbrellaR0) > math.Abs(sysFree.PairDistance()-cfg.UmbrellaR0) {
+		t.Fatalf("bias (%v) did not pull pair closer to R0 than free run (%v)",
+			sysBias.PairDistance(), sysFree.PairDistance())
+	}
+}
+
+func TestVirtualSitesAtMidpoints(t *testing.T) {
+	cfg := DefaultVirtualSites(96)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		sys.Step()
+	}
+	for v, p := range sys.parents {
+		i := 3 * (sys.nReal + v)
+		a, b := 3*p[0], 3*p[1]
+		for d := 0; d < 3; d++ {
+			diff := sys.minimumImage(sys.pos[b+d] - sys.pos[a+d])
+			want := sys.wrap(sys.pos[a+d] + diff/2)
+			if math.Abs(sys.pos[i+d]-want) > 1e-9 {
+				t.Fatalf("virtual site %d axis %d: %v != midpoint %v", v, d, sys.pos[i+d], want)
+			}
+		}
+	}
+	// Site count must include the virtual ones.
+	if sys.NSites() != cfg.NAtoms+cfg.NAtoms/4 {
+		t.Fatalf("NSites = %d", sys.NSites())
+	}
+}
+
+func TestVirtualSiteForcesRedistributed(t *testing.T) {
+	cfg := DefaultVirtualSites(64)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.computeForces()
+	for v := range sys.parents {
+		i := 3 * (sys.nReal + v)
+		for d := 0; d < 3; d++ {
+			if sys.force[i+d] != 0 {
+				t.Fatalf("virtual site %d retains force %v", v, sys.force[i+d])
+			}
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	cfg := DefaultUmbrella(80)
+	cfg.Steps = 15
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	cfg.Seed++
+	c, _ := Run(cfg)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+func TestSnapshots(t *testing.T) {
+	cfg := DefaultUmbrella(64)
+	cfg.Steps = 20
+	snaps, err := Snapshots(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 4 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	// Frames must differ (the system is moving).
+	diff := 0.0
+	for i := range snaps[0].Data {
+		diff += math.Abs(snaps[0].Data[i] - snaps[3].Data[i])
+	}
+	if diff == 0 {
+		t.Fatal("system did not move between snapshots")
+	}
+	if s, err := Snapshots(cfg, 0); err != nil || s != nil {
+		t.Fatal("zero snapshots should be nil, nil")
+	}
+}
+
+func TestCellListMatchesDirect(t *testing.T) {
+	// Forces via cell list must match an O(n^2) reference sweep.
+	cfg := DefaultUmbrella(150)
+	cfg.Umbrella = false
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]float64(nil), sys.force...)
+
+	// Direct reference computation.
+	ref := make([]float64, len(sys.force))
+	rc2 := cfg.Cutoff * cfg.Cutoff
+	for i := 0; i < sys.nSites; i++ {
+		for j := i + 1; j < sys.nSites; j++ {
+			dx := sys.minimumImage(sys.pos[3*i] - sys.pos[3*j])
+			dy := sys.minimumImage(sys.pos[3*i+1] - sys.pos[3*j+1])
+			dz := sys.minimumImage(sys.pos[3*i+2] - sys.pos[3*j+2])
+			r2 := dx*dx + dy*dy + dz*dz
+			if r2 >= rc2 || r2 < 1e-12 {
+				continue
+			}
+			if r2 < 0.64 {
+				r2 = 0.64
+			}
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			f := 24 * inv6 * (2*inv6 - 1) * inv2
+			ref[3*i] += f * dx
+			ref[3*i+1] += f * dy
+			ref[3*i+2] += f * dz
+			ref[3*j] -= f * dx
+			ref[3*j+1] -= f * dy
+			ref[3*j+2] -= f * dz
+		}
+	}
+	for i := 0; i < 3*sys.nReal; i++ {
+		if math.Abs(got[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+			t.Fatalf("cell-list force mismatch at %d: %v vs %v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestRadialDistributionPhysical(t *testing.T) {
+	// Physics validation: after equilibration, no pair sits inside the
+	// repulsive core, and the first coordination shell near r ~ 1.1 sigma
+	// is enhanced over the long-range bulk density (g(r) structure of a
+	// Lennard-Jones fluid).
+	cfg := DefaultUmbrella(300)
+	cfg.Umbrella = false
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		sys.Step()
+	}
+	// Histogram pair distances.
+	const bins = 24
+	rMax := 3.0
+	hist := make([]float64, bins)
+	n := sys.nReal
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := sys.minimumImage(sys.pos[3*i] - sys.pos[3*j])
+			dy := sys.minimumImage(sys.pos[3*i+1] - sys.pos[3*j+1])
+			dz := sys.minimumImage(sys.pos[3*i+2] - sys.pos[3*j+2])
+			r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			if r < rMax {
+				hist[int(r/rMax*bins)]++
+			}
+		}
+	}
+	// Normalise to g(r): divide by the ideal-gas shell count.
+	rho := float64(n) / (sys.box * sys.box * sys.box)
+	g := make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		r0 := float64(b) * rMax / bins
+		r1 := float64(b+1) * rMax / bins
+		shellVol := 4.0 / 3.0 * math.Pi * (r1*r1*r1 - r0*r0*r0)
+		ideal := 0.5 * float64(n) * rho * shellVol
+		g[b] = hist[b] / ideal
+	}
+	// Core exclusion: g ~ 0 below 0.75 sigma (the capped potential still
+	// repels hard).
+	for b := 0; b < bins*3/(4*4); b++ { // r < 0.5625
+		if g[b] > 0.2 {
+			t.Fatalf("pairs inside the repulsive core: g(%.2f) = %v", (float64(b)+0.5)*rMax/bins, g[b])
+		}
+	}
+	// First shell beats the tail.
+	shellBin := int(1.1 / rMax * bins)
+	tailBin := int(2.5 / rMax * bins)
+	if g[shellBin] < g[tailBin] {
+		t.Fatalf("no first coordination shell: g(1.1)=%v vs g(2.5)=%v", g[shellBin], g[tailBin])
+	}
+}

@@ -1,0 +1,140 @@
+package sedov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShockRadiusGrowsWithTime(t *testing.T) {
+	a := Default(16)
+	b := a
+	b.Time = 2 * a.Time
+	if b.ShockRadius() <= a.ShockRadius() {
+		t.Fatalf("shock radius did not grow: %v vs %v", b.ShockRadius(), a.ShockRadius())
+	}
+	// Self-similar scaling: R ~ t^(2/5).
+	ratio := b.ShockRadius() / a.ShockRadius()
+	want := math.Pow(2, 0.4)
+	if math.Abs(ratio-want) > 1e-12 {
+		t.Fatalf("similarity scaling ratio = %v, want %v", ratio, want)
+	}
+}
+
+func TestPressureStructure(t *testing.T) {
+	cfg := Default(32)
+	f := Generate(cfg)
+	n := cfg.N
+	c := n / 2
+	centre := f.At3(c, c, c)
+	corner := f.At3(0, 0, 0)
+	// The corner is outside the shock: ambient pressure (smoothing may
+	// nudge it slightly).
+	if corner > cfg.AmbientPressure*10 {
+		t.Fatalf("corner pressure %v far above ambient %v", corner, cfg.AmbientPressure)
+	}
+	// Centre is shocked: far above ambient.
+	if centre < cfg.AmbientPressure*100 {
+		t.Fatalf("centre pressure %v not shocked", centre)
+	}
+	// Peak pressure lies near the shock front, not at the centre.
+	_, hi := f.MinMax()
+	if hi <= centre {
+		t.Fatalf("peak %v should exceed central plateau %v", hi, centre)
+	}
+	// All pressures positive.
+	lo, _ := f.MinMax()
+	if lo <= 0 {
+		t.Fatalf("non-positive pressure %v", lo)
+	}
+}
+
+func TestSphericalSymmetry(t *testing.T) {
+	cfg := Default(24)
+	cfg.SmoothPasses = 0
+	f := Generate(cfg)
+	n := cfg.N
+	c := n / 2
+	// Points equidistant from the centre along axes must match.
+	for off := 1; off < n/2; off++ {
+		px := f.At3(c, c, c+off)
+		py := f.At3(c, c+off, c)
+		pz := f.At3(c+off, c, c)
+		if math.Abs(px-py) > 1e-12 || math.Abs(px-pz) > 1e-12 {
+			t.Fatalf("asymmetry at offset %d: %v %v %v", off, px, py, pz)
+		}
+	}
+}
+
+func TestReducedConfig(t *testing.T) {
+	full := Default(16)
+	red := Reduced(full)
+	if red.BoxSize != full.BoxSize/2 || red.Time != full.Time/4 {
+		t.Fatalf("reduced = %+v", red)
+	}
+	// Both must generate cleanly.
+	for _, cfg := range []Config{full, red} {
+		f := Generate(cfg)
+		for _, v := range f.Data {
+			if math.IsNaN(v) {
+				t.Fatal("NaN in sedov output")
+			}
+		}
+	}
+}
+
+func TestSmoothingRoundsShock(t *testing.T) {
+	sharp := Default(32)
+	sharp.SmoothPasses = 0
+	smooth := Default(32)
+	smooth.SmoothPasses = 4
+	fs := Generate(sharp)
+	fm := Generate(smooth)
+	// Max gradient along a ray through the shock must be lower after
+	// smoothing.
+	maxGrad := func(f []float64) float64 {
+		g := 0.0
+		for i := 1; i < len(f); i++ {
+			if d := math.Abs(f[i] - f[i-1]); d > g {
+				g = d
+			}
+		}
+		return g
+	}
+	n := 32
+	c := n / 2
+	raySharp := make([]float64, n)
+	raySmooth := make([]float64, n)
+	for i := 0; i < n; i++ {
+		raySharp[i] = fs.At3(c, c, i)
+		raySmooth[i] = fm.At3(c, c, i)
+	}
+	if maxGrad(raySmooth) >= maxGrad(raySharp) {
+		t.Fatalf("smoothing did not reduce shock gradient: %v vs %v",
+			maxGrad(raySmooth), maxGrad(raySharp))
+	}
+}
+
+func TestSnapshotsExpand(t *testing.T) {
+	cfg := Default(16)
+	snaps := Snapshots(cfg, 4)
+	if len(snaps) != 4 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	// Later snapshots have larger shocked regions: count above-ambient
+	// cells.
+	count := func(f []float64) int {
+		n := 0
+		for _, v := range f {
+			if v > cfg.AmbientPressure*50 {
+				n++
+			}
+		}
+		return n
+	}
+	if count(snaps[3].Data) <= count(snaps[0].Data) {
+		t.Fatal("shocked region did not expand over snapshots")
+	}
+	if Snapshots(cfg, 0) != nil {
+		t.Fatal("zero snapshots should be nil")
+	}
+}

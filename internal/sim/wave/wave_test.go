@@ -1,0 +1,86 @@
+package wave
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEndsFixed(t *testing.T) {
+	cfg := Default(101)
+	for _, s := range Snapshots(cfg, 5) {
+		if s.Data[0] != 0 || s.Data[cfg.N-1] != 0 {
+			t.Fatal("boundary moved")
+		}
+	}
+}
+
+func TestStableUnderCFL(t *testing.T) {
+	cfg := Default(201)
+	cfg.Steps = 2000
+	u := Solve(cfg)
+	lo, hi := u.MinMax()
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.Abs(lo) > 3 || math.Abs(hi) > 3 {
+		t.Fatalf("solution blew up: [%v, %v]", lo, hi)
+	}
+}
+
+func TestEnergyBounded(t *testing.T) {
+	cfg := Default(151)
+	snaps := Snapshots(cfg, 10)
+	e0 := Energy(snaps[0])
+	for i, s := range snaps {
+		if e := Energy(s); e > 4*e0+1 {
+			t.Fatalf("energy grew unboundedly at snapshot %d: %v vs %v", i, e, e0)
+		}
+	}
+}
+
+func TestPulsePropagates(t *testing.T) {
+	// After some steps the pulse peak must have moved away from its origin.
+	cfg := Default(201)
+	cfg.Steps = 150
+	u := Solve(cfg)
+	init := Init(cfg)
+	peakAt := func(f []float64) int {
+		best, arg := math.Inf(-1), 0
+		for i, v := range f {
+			if v > best {
+				best, arg = v, i
+			}
+		}
+		return arg
+	}
+	if d := peakAt(u.Data) - peakAt(init.Data); d == 0 {
+		t.Fatal("pulse did not move")
+	}
+}
+
+func TestSplitsIntoTwoPulses(t *testing.T) {
+	// Zero initial velocity splits the pulse into two half-amplitude waves.
+	cfg := Default(401)
+	cfg.Steps = 300
+	u := Solve(cfg)
+	_, hi := u.MinMax()
+	if hi > 0.75 || hi < 0.25 {
+		t.Fatalf("expected ~half-amplitude pulses, max = %v", hi)
+	}
+}
+
+func TestSnapshotCount(t *testing.T) {
+	cfg := Default(51)
+	if got := len(Snapshots(cfg, 20)); got != 20 {
+		t.Fatalf("snapshots = %d", got)
+	}
+	if Snapshots(cfg, -1) != nil {
+		t.Fatal("negative count should be nil")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	u := Solve(Config{N: 20})
+	for _, v := range u.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN with defaulted config")
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package stats implements the data-characteristic metrics used throughout
+// the paper: byte entropy, byte mean, serial correlation (Fig. 1, Table II),
+// value CDFs, and the error metrics (RMSE and friends) of Section V.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ByteEntropy returns the Shannon entropy of the byte histogram of b, in
+// bits per byte. The value lies in [0, 8]; 8 means perfectly random bytes.
+func ByteEntropy(b []byte) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, c := range b {
+		counts[c]++
+	}
+	n := float64(len(b))
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// ByteMean returns the arithmetic mean of the bytes of b. Random data is
+// close to 127.5; consistent deviation indicates biased content.
+func ByteMean(b []byte) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, c := range b {
+		s += float64(c)
+	}
+	return s / float64(len(b))
+}
+
+// SerialCorrelation returns the lag-1 Pearson correlation of consecutive
+// bytes of b, in [-1, 1]. Near 0 means each byte is independent of the
+// previous one. This is the "serial correlation coefficient" of the paper's
+// Fig. 1 (the classic `ent` metric).
+func SerialCorrelation(b []byte) float64 {
+	n := len(b) - 1
+	if n < 1 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		x, y := float64(b[i]), float64(b[i+1])
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	fn := float64(n)
+	num := sxy - sx*sy/fn
+	den := math.Sqrt((sxx - sx*sx/fn) * (syy - sy*sy/fn))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// CDF returns the empirical cumulative distribution of vals sampled at
+// `points` evenly spaced values between min and max (inclusive). It returns
+// the sample positions and the cumulative fractions. vals is not modified.
+func CDF(vals []float64, points int) (xs, ps []float64) {
+	if len(vals) == 0 || points <= 0 {
+		return nil, nil
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	xs = make([]float64, points)
+	ps = make([]float64, points)
+	for i := 0; i < points; i++ {
+		var x float64
+		if points == 1 {
+			x = hi
+		} else {
+			x = lo + (hi-lo)*float64(i)/float64(points-1)
+		}
+		xs[i] = x
+		// Number of values <= x.
+		k := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+		ps[i] = float64(k) / float64(len(sorted))
+	}
+	return xs, ps
+}
+
+// CDFDistance returns the maximum absolute difference between the empirical
+// CDFs of a and b (a two-sample Kolmogorov–Smirnov statistic), a scalar
+// summary of how similar two distributions are. 0 means identical.
+func CDFDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		var v float64
+		if sa[i] <= sb[j] {
+			v = sa[i]
+			i++
+		} else {
+			v = sb[j]
+			j++
+		}
+		// Advance past duplicates of v in both.
+		for i < len(sa) && sa[i] <= v {
+			i++
+		}
+		for j < len(sb) && sb[j] <= v {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// RMSE returns the root-mean-square error between a and b.
+// The slices must have equal length.
+func RMSE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: RMSE length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+// NRMSE returns RMSE normalised by the value range of a.
+// It returns RMSE unchanged when a has zero range.
+func NRMSE(a, b []float64) float64 {
+	r := RMSE(a, b)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range a {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi <= lo {
+		return r
+	}
+	return r / (hi - lo)
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB of b against reference
+// a, using a's value range as the peak. It returns +Inf for identical data.
+func PSNR(a, b []float64) float64 {
+	r := RMSE(a, b)
+	if r == 0 {
+		return math.Inf(1)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range a {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return 20 * math.Log10((hi-lo)/r)
+}
+
+// MaxAbsError returns the largest |a[i]-b[i]|.
+func MaxAbsError(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MaxAbsError length mismatch")
+	}
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of vals (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Variance returns the population variance of vals.
+func Variance(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	m := Mean(vals)
+	s := 0.0
+	for _, v := range vals {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(vals))
+}
+
+// Characteristics bundles the three scalar byte metrics of Fig. 1.
+type Characteristics struct {
+	ByteEntropy       float64
+	ByteMean          float64
+	SerialCorrelation float64
+}
+
+// Characterize computes the Fig. 1 scalar metrics over a byte buffer.
+func Characterize(b []byte) Characteristics {
+	return Characteristics{
+		ByteEntropy:       ByteEntropy(b),
+		ByteMean:          ByteMean(b),
+		SerialCorrelation: SerialCorrelation(b),
+	}
+}

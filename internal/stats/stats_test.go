@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteEntropyBounds(t *testing.T) {
+	if got := ByteEntropy(nil); got != 0 {
+		t.Fatalf("entropy(nil)=%v, want 0", got)
+	}
+	// Constant data has zero entropy.
+	if got := ByteEntropy(make([]byte, 1000)); got != 0 {
+		t.Fatalf("entropy(const)=%v, want 0", got)
+	}
+	// One copy of every byte value has exactly 8 bits of entropy.
+	b := make([]byte, 256)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	if got := ByteEntropy(b); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("entropy(uniform)=%v, want 8", got)
+	}
+	// Two symbols, equal frequency: 1 bit.
+	b2 := []byte{0, 1, 0, 1}
+	if got := ByteEntropy(b2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("entropy(2 symbols)=%v, want 1", got)
+	}
+}
+
+func TestByteEntropyWithinRangeQuick(t *testing.T) {
+	check := func(b []byte) bool {
+		h := ByteEntropy(b)
+		return h >= 0 && h <= 8
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteMean(t *testing.T) {
+	if got := ByteMean([]byte{0, 255}); got != 127.5 {
+		t.Fatalf("mean = %v, want 127.5", got)
+	}
+	if got := ByteMean(nil); got != 0 {
+		t.Fatalf("mean(nil)=%v", got)
+	}
+	rng := rand.New(rand.NewSource(7))
+	b := make([]byte, 1<<16)
+	rng.Read(b)
+	if got := ByteMean(b); math.Abs(got-127.5) > 1 {
+		t.Fatalf("mean(random)=%v, want ~127.5", got)
+	}
+}
+
+func TestSerialCorrelation(t *testing.T) {
+	// Perfectly correlated ramp.
+	ramp := make([]byte, 200)
+	for i := range ramp {
+		ramp[i] = byte(i)
+	}
+	if got := SerialCorrelation(ramp); got < 0.99 {
+		t.Fatalf("corr(ramp)=%v, want ~1", got)
+	}
+	// Alternating values are perfectly anti-correlated.
+	alt := make([]byte, 200)
+	for i := range alt {
+		if i%2 == 0 {
+			alt[i] = 0
+		} else {
+			alt[i] = 255
+		}
+	}
+	if got := SerialCorrelation(alt); got > -0.99 {
+		t.Fatalf("corr(alternating)=%v, want ~-1", got)
+	}
+	// Random data should be near zero.
+	rng := rand.New(rand.NewSource(3))
+	b := make([]byte, 1<<16)
+	rng.Read(b)
+	if got := SerialCorrelation(b); math.Abs(got) > 0.05 {
+		t.Fatalf("corr(random)=%v, want ~0", got)
+	}
+	// Degenerate inputs.
+	if got := SerialCorrelation([]byte{5}); got != 0 {
+		t.Fatalf("corr(single)=%v", got)
+	}
+	if got := SerialCorrelation(make([]byte, 100)); got != 0 {
+		t.Fatalf("corr(const)=%v, want 0 (zero denominator)", got)
+	}
+}
+
+func TestCDFMonotoneAndEndpoints(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	xs, ps := CDF(vals, 20)
+	if len(xs) != 20 || len(ps) != 20 {
+		t.Fatalf("CDF returned %d,%d points", len(xs), len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] < ps[i-1] {
+			t.Fatalf("CDF not monotone at %d: %v < %v", i, ps[i], ps[i-1])
+		}
+		if xs[i] < xs[i-1] {
+			t.Fatalf("CDF xs not monotone at %d", i)
+		}
+	}
+	if ps[len(ps)-1] != 1 {
+		t.Fatalf("CDF final = %v, want 1", ps[len(ps)-1])
+	}
+	if xs[0] != 1 || xs[len(xs)-1] != 9 {
+		t.Fatalf("CDF range = [%v,%v], want [1,9]", xs[0], xs[len(xs)-1])
+	}
+}
+
+func TestCDFDegenerate(t *testing.T) {
+	xs, ps := CDF(nil, 10)
+	if xs != nil || ps != nil {
+		t.Fatal("CDF of empty input should be nil")
+	}
+	xs, ps = CDF([]float64{2, 2, 2}, 5)
+	for i := range ps {
+		if ps[i] != 1 {
+			t.Fatalf("constant CDF[%d]=%v, want 1 (x=%v)", i, ps[i], xs[i])
+		}
+	}
+}
+
+func TestCDFDistance(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := CDFDistance(a, a); d != 0 {
+		t.Fatalf("distance(a,a)=%v, want 0", d)
+	}
+	b := []float64{101, 102, 103}
+	if d := CDFDistance(a, b); d != 1 {
+		t.Fatalf("distance(disjoint)=%v, want 1", d)
+	}
+	if d := CDFDistance(nil, a); d != 1 {
+		t.Fatalf("distance(empty)=%v, want 1", d)
+	}
+	// Same distribution sampled twice should be small.
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, 5000)
+	y := make([]float64, 5000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	if d := CDFDistance(x, y); d > 0.06 {
+		t.Fatalf("distance(same dist)=%v, want small", d)
+	}
+}
+
+func TestRMSEAndFriends(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3}
+	if RMSE(a, b) != 0 {
+		t.Fatal("RMSE of identical != 0")
+	}
+	if !math.IsInf(PSNR(a, b), 1) {
+		t.Fatal("PSNR of identical should be +Inf")
+	}
+	c := []float64{2, 3, 4}
+	if got := RMSE(a, c); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("RMSE = %v, want 1", got)
+	}
+	if got := MaxAbsError(a, c); got != 1 {
+		t.Fatalf("MaxAbsError = %v, want 1", got)
+	}
+	if got := NRMSE(a, c); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("NRMSE = %v, want 0.5 (range 2)", got)
+	}
+}
+
+func TestRMSELengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestMeanVariance(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty mean/variance should be 0")
+	}
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(vals); got != 5 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	if got := Variance(vals); got != 4 {
+		t.Fatalf("variance = %v, want 4", got)
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	b := []byte{0, 255, 0, 255}
+	c := Characterize(b)
+	if math.Abs(c.ByteEntropy-1) > 1e-12 || c.ByteMean != 127.5 {
+		t.Fatalf("characterize = %+v", c)
+	}
+	if c.SerialCorrelation > -0.9 {
+		t.Fatalf("alternating serial corr = %v, want ~-1", c.SerialCorrelation)
+	}
+}
+
+func TestPSNRMoreNoiseLowerPSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := make([]float64, 1000)
+	small := make([]float64, 1000)
+	big := make([]float64, 1000)
+	for i := range a {
+		a[i] = rng.Float64() * 100
+		small[i] = a[i] + rng.NormFloat64()*0.01
+		big[i] = a[i] + rng.NormFloat64()*1.0
+	}
+	if PSNR(a, small) <= PSNR(a, big) {
+		t.Fatal("PSNR should decrease with more noise")
+	}
+}

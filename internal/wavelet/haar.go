@@ -1,0 +1,245 @@
+// Package wavelet implements the multilevel orthonormal Haar transform and
+// the thresholded sparse representation used by the paper's Wavelet reduced
+// model (Section V-A.3): transform rows, then columns, zero the near-zero
+// coefficients, and store the surviving ones sparsely.
+package wavelet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// invSqrt2 scales the Haar sum/difference pairs so the transform is
+// orthonormal (energy preserving), which makes thresholds comparable across
+// levels.
+var invSqrt2 = 1 / math.Sqrt2
+
+// forwardStep transforms one level in place: pair sums go to the front half
+// of v, pair differences to the back half. For odd lengths the trailing
+// element is carried into the low band unchanged. It returns the size of the
+// low band.
+func forwardStep(v []float64, tmp []float64) int {
+	n := len(v)
+	pairs := n / 2
+	low := (n + 1) / 2
+	for i := 0; i < pairs; i++ {
+		a, b := v[2*i], v[2*i+1]
+		tmp[i] = (a + b) * invSqrt2
+		tmp[low+i] = (a - b) * invSqrt2
+	}
+	if n%2 == 1 {
+		tmp[pairs] = v[n-1]
+	}
+	copy(v, tmp[:n])
+	return low
+}
+
+// inverseStep undoes forwardStep for a band of size n with low band `low`.
+func inverseStep(v []float64, tmp []float64) {
+	n := len(v)
+	pairs := n / 2
+	low := (n + 1) / 2
+	for i := 0; i < pairs; i++ {
+		s, d := v[i], v[low+i]
+		tmp[2*i] = (s + d) * invSqrt2
+		tmp[2*i+1] = (s - d) * invSqrt2
+	}
+	if n%2 == 1 {
+		tmp[n-1] = v[pairs]
+	}
+	copy(v, tmp[:n])
+}
+
+// Forward1D applies the full multilevel Haar transform to v in place,
+// recursing on the low band until a single coefficient remains.
+func Forward1D(v []float64) {
+	tmp := make([]float64, len(v))
+	n := len(v)
+	for n >= 2 {
+		n = forwardStep(v[:n], tmp)
+	}
+}
+
+// Inverse1D undoes Forward1D in place.
+func Inverse1D(v []float64) {
+	tmp := make([]float64, len(v))
+	// Reproduce the band-size ladder, then unwind it.
+	var sizes []int
+	n := len(v)
+	for n >= 2 {
+		sizes = append(sizes, n)
+		n = (n + 1) / 2
+	}
+	for i := len(sizes) - 1; i >= 0; i-- {
+		inverseStep(v[:sizes[i]], tmp)
+	}
+}
+
+// Forward2D applies the standard (separable) decomposition to a row-major
+// rows×cols matrix in place: the full 1-D transform to every row, then to
+// every column. This matches the paper's Step 1 / Step 2 description.
+func Forward2D(data []float64, rows, cols int) error {
+	if rows*cols != len(data) {
+		return fmt.Errorf("wavelet: %d values do not fit %dx%d", len(data), rows, cols)
+	}
+	for r := 0; r < rows; r++ {
+		Forward1D(data[r*cols : (r+1)*cols])
+	}
+	col := make([]float64, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = data[r*cols+c]
+		}
+		Forward1D(col)
+		for r := 0; r < rows; r++ {
+			data[r*cols+c] = col[r]
+		}
+	}
+	return nil
+}
+
+// Inverse2D undoes Forward2D.
+func Inverse2D(data []float64, rows, cols int) error {
+	if rows*cols != len(data) {
+		return fmt.Errorf("wavelet: %d values do not fit %dx%d", len(data), rows, cols)
+	}
+	col := make([]float64, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = data[r*cols+c]
+		}
+		Inverse1D(col)
+		for r := 0; r < rows; r++ {
+			data[r*cols+c] = col[r]
+		}
+	}
+	for r := 0; r < rows; r++ {
+		Inverse1D(data[r*cols : (r+1)*cols])
+	}
+	return nil
+}
+
+// Threshold zeroes every element with |v| < theta and returns how many
+// survive. theta <= 0 keeps everything.
+func Threshold(data []float64, theta float64) (kept int) {
+	if theta <= 0 {
+		return len(data)
+	}
+	for i, v := range data {
+		if math.Abs(v) < theta {
+			data[i] = 0
+		} else {
+			kept++
+		}
+	}
+	return kept
+}
+
+// Sparse is a coordinate-list sparse view of a dense rows×cols matrix.
+type Sparse struct {
+	Rows, Cols int
+	Index      []int // flat indices, strictly increasing
+	Value      []float64
+}
+
+// ToSparse collects the nonzero entries of data.
+func ToSparse(data []float64, rows, cols int) (*Sparse, error) {
+	if rows*cols != len(data) {
+		return nil, fmt.Errorf("wavelet: %d values do not fit %dx%d", len(data), rows, cols)
+	}
+	s := &Sparse{Rows: rows, Cols: cols}
+	for i, v := range data {
+		if v != 0 {
+			s.Index = append(s.Index, i)
+			s.Value = append(s.Value, v)
+		}
+	}
+	return s, nil
+}
+
+// Dense expands the sparse matrix back to a dense row-major slice.
+func (s *Sparse) Dense() []float64 {
+	out := make([]float64, s.Rows*s.Cols)
+	for i, idx := range s.Index {
+		out[idx] = s.Value[i]
+	}
+	return out
+}
+
+// NNZ returns the number of stored nonzeros.
+func (s *Sparse) NNZ() int { return len(s.Index) }
+
+// Encode serialises the sparse matrix: dims, count, delta-varint indices,
+// then raw little-endian float64 values. Delta coding keeps the index
+// overhead near one byte per nonzero for clustered coefficients.
+func (s *Sparse) Encode() []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(s.Rows))
+	b = binary.AppendUvarint(b, uint64(s.Cols))
+	b = binary.AppendUvarint(b, uint64(len(s.Index)))
+	prev := 0
+	for _, idx := range s.Index {
+		b = binary.AppendUvarint(b, uint64(idx-prev))
+		prev = idx
+	}
+	for _, v := range s.Value {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// DecodeSparse reverses Encode.
+func DecodeSparse(b []byte) (*Sparse, error) {
+	pos := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			return 0, errors.New("wavelet: truncated sparse header")
+		}
+		pos += n
+		return v, nil
+	}
+	rows, err := next()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := next()
+	if err != nil {
+		return nil, err
+	}
+	count, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if rows == 0 || cols == 0 {
+		return nil, errors.New("wavelet: zero dimension")
+	}
+	if count > rows*cols {
+		return nil, fmt.Errorf("wavelet: nnz %d exceeds matrix size", count)
+	}
+	s := &Sparse{Rows: int(rows), Cols: int(cols)}
+	s.Index = make([]int, count)
+	s.Value = make([]float64, count)
+	prev := uint64(0)
+	for i := range s.Index {
+		d, err := next()
+		if err != nil {
+			return nil, err
+		}
+		prev += d
+		if prev >= rows*cols {
+			return nil, errors.New("wavelet: sparse index out of range")
+		}
+		s.Index[i] = int(prev)
+	}
+	if len(b)-pos < 8*int(count) {
+		return nil, errors.New("wavelet: truncated sparse values")
+	}
+	for i := range s.Value {
+		s.Value[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[pos:]))
+		pos += 8
+	}
+	return s, nil
+}

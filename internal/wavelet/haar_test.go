@@ -1,0 +1,295 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardInverse1DPowerOfTwo(t *testing.T) {
+	v := []float64{4, 6, 10, 12, 8, 6, 5, 5}
+	orig := append([]float64(nil), v...)
+	Forward1D(v)
+	Inverse1D(v)
+	for i := range v {
+		if math.Abs(v[i]-orig[i]) > 1e-12 {
+			t.Fatalf("1-D round trip [%d]=%v, want %v", i, v[i], orig[i])
+		}
+	}
+}
+
+func TestForwardInverse1DOddLengths(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7, 9, 13, 100, 101} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 10
+		}
+		orig := append([]float64(nil), v...)
+		Forward1D(v)
+		Inverse1D(v)
+		for i := range v {
+			if math.Abs(v[i]-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d: round trip [%d]=%v, want %v", n, i, v[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestOrthonormalEnergyPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := make([]float64, 64)
+	energy := 0.0
+	for i := range v {
+		v[i] = rng.NormFloat64()
+		energy += v[i] * v[i]
+	}
+	Forward1D(v)
+	after := 0.0
+	for _, x := range v {
+		after += x * x
+	}
+	if math.Abs(energy-after) > 1e-10*energy {
+		t.Fatalf("energy not preserved: %v -> %v", energy, after)
+	}
+}
+
+func TestConstantSignalConcentrates(t *testing.T) {
+	// A constant signal must transform to a single nonzero coefficient.
+	v := make([]float64, 32)
+	for i := range v {
+		v[i] = 3
+	}
+	Forward1D(v)
+	nonzero := 0
+	for _, x := range v {
+		if math.Abs(x) > 1e-12 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("constant signal has %d nonzero coefficients, want 1", nonzero)
+	}
+	// And that coefficient carries all the energy: sqrt(32)*3.
+	if math.Abs(v[0]-3*math.Sqrt(32)) > 1e-10 {
+		t.Fatalf("DC coefficient = %v, want %v", v[0], 3*math.Sqrt(32))
+	}
+}
+
+func TestForwardInverse2D(t *testing.T) {
+	for _, shape := range [][2]int{{4, 4}, {8, 8}, {5, 7}, {1, 9}, {16, 3}} {
+		rows, cols := shape[0], shape[1]
+		rng := rand.New(rand.NewSource(int64(rows*100 + cols)))
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		orig := append([]float64(nil), data...)
+		if err := Forward2D(data, rows, cols); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse2D(data, rows, cols); err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if math.Abs(data[i]-orig[i]) > 1e-10 {
+				t.Fatalf("%dx%d: 2-D round trip [%d]=%v, want %v", rows, cols, i, data[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestForward2DShapeError(t *testing.T) {
+	if err := Forward2D(make([]float64, 5), 2, 3); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if err := Inverse2D(make([]float64, 5), 2, 3); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestSmoothFieldIsSparseAfterThreshold(t *testing.T) {
+	// Smooth data concentrates energy in few coefficients: after a 5%-of-max
+	// threshold (the paper's theta), most entries should vanish.
+	n := 64
+	data := make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			data[r*n+c] = math.Sin(float64(r)/9) * math.Cos(float64(c)/11)
+		}
+	}
+	if err := Forward2D(data, n, n); err != nil {
+		t.Fatal(err)
+	}
+	maxAbs := 0.0
+	for _, v := range data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	kept := Threshold(data, 0.05*maxAbs)
+	if kept > len(data)/10 {
+		t.Fatalf("smooth field kept %d/%d coefficients; expected sparse", kept, len(data))
+	}
+}
+
+func TestThresholdKeepsEverythingForNonPositiveTheta(t *testing.T) {
+	data := []float64{0.1, -0.2, 0}
+	if kept := Threshold(data, 0); kept != 3 {
+		t.Fatalf("kept=%d, want 3", kept)
+	}
+	if kept := Threshold(data, 0.15); kept != 1 {
+		t.Fatalf("kept=%d, want 1", kept)
+	}
+	if data[0] != 0 || data[1] != -0.2 {
+		t.Fatalf("threshold result = %v", data)
+	}
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	data := []float64{0, 1.5, 0, 0, -2.25, 0, 0, 0, 3}
+	s, err := ToSparse(data, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", s.NNZ())
+	}
+	if !reflect.DeepEqual(s.Dense(), data) {
+		t.Fatalf("dense = %v, want %v", s.Dense(), data)
+	}
+	dec, err := DecodeSparse(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec.Dense(), data) {
+		t.Fatalf("decoded dense = %v, want %v", dec.Dense(), data)
+	}
+}
+
+func TestSparseEncodeQuick(t *testing.T) {
+	check := func(raw []float64, rowsByte uint8) bool {
+		rows := int(rowsByte%8) + 1
+		cols := 4
+		data := make([]float64, rows*cols)
+		for i := 0; i < len(data) && i < len(raw); i++ {
+			if !math.IsNaN(raw[i]) && !math.IsInf(raw[i], 0) {
+				data[i] = raw[i]
+			}
+		}
+		s, err := ToSparse(data, rows, cols)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeSparse(s.Encode())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(dec.Dense(), data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeSparseGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{3},
+		{3, 3},
+		{3, 3, 200}, // nnz way beyond size
+		{0, 4, 0},   // zero rows
+	}
+	for i, c := range cases {
+		if _, err := DecodeSparse(c); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	// Index escaping the matrix must be caught.
+	s := &Sparse{Rows: 2, Cols: 2, Index: []int{5}, Value: []float64{1}}
+	if _, err := DecodeSparse(s.Encode()); err == nil {
+		t.Fatal("expected out-of-range index error")
+	}
+}
+
+func TestToSparseShapeError(t *testing.T) {
+	if _, err := ToSparse(make([]float64, 5), 2, 3); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestNonstandardRoundTrip(t *testing.T) {
+	for _, shape := range [][2]int{{4, 4}, {8, 8}, {5, 7}, {1, 9}, {16, 3}, {13, 13}} {
+		rows, cols := shape[0], shape[1]
+		rng := rand.New(rand.NewSource(int64(rows*1000 + cols)))
+		data := make([]float64, rows*cols)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 5
+		}
+		orig := append([]float64(nil), data...)
+		if err := Forward2DNonstandard(data, rows, cols); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse2DNonstandard(data, rows, cols); err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if math.Abs(data[i]-orig[i]) > 1e-10 {
+				t.Fatalf("%dx%d: nonstandard round trip [%d]=%v, want %v",
+					rows, cols, i, data[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestNonstandardEnergyPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 16
+	data := make([]float64, n*n)
+	e0 := 0.0
+	for i := range data {
+		data[i] = rng.NormFloat64()
+		e0 += data[i] * data[i]
+	}
+	if err := Forward2DNonstandard(data, n, n); err != nil {
+		t.Fatal(err)
+	}
+	e1 := 0.0
+	for _, v := range data {
+		e1 += v * v
+	}
+	if math.Abs(e0-e1) > 1e-9*e0 {
+		t.Fatalf("nonstandard transform not orthonormal: %v -> %v", e0, e1)
+	}
+}
+
+func TestNonstandardConstantConcentrates(t *testing.T) {
+	const n = 16
+	data := make([]float64, n*n)
+	for i := range data {
+		data[i] = 2
+	}
+	if err := Forward2DNonstandard(data, n, n); err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, v := range data {
+		if math.Abs(v) > 1e-10 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 || math.Abs(data[0]-2*16) > 1e-10 {
+		t.Fatalf("constant field: %d nonzeros, DC=%v (want 1, 32)", nonzero, data[0])
+	}
+}
+
+func TestNonstandardShapeErrors(t *testing.T) {
+	if err := Forward2DNonstandard(make([]float64, 5), 2, 3); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if err := Inverse2DNonstandard(make([]float64, 5), 2, 3); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
