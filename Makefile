@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: build vet fmt lint test invariants race fuzz verify
+
+build:
+	$(GO) build ./...
+	$(GO) build -tags invariants ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@bad=$$(gofmt -l .); if [ -n "$$bad" ]; then echo "gofmt needed on:"; echo "$$bad"; exit 1; fi
+
+# The repo's own analyzers (cmd/lrmlint); non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/lrmlint ./...
+
+test:
+	$(GO) test ./...
+
+# Run the instrumented packages with the runtime assertions compiled in.
+invariants:
+	$(GO) test -tags invariants ./internal/compress/... ./internal/reduce/... ./internal/core/...
+
+# Concurrent packages under the race detector.
+race:
+	$(GO) test -race ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/...
+
+# Short mutation pass over the decoder fuzz targets (seeds always run in
+# plain `make test`; this adds -fuzztime of coverage-guided input search).
+fuzz:
+	$(GO) test -fuzz=FuzzDecompress -fuzztime=10s -run='^$$' ./internal/compress/sz
+	$(GO) test -fuzz=FuzzDecompress -fuzztime=10s -run='^$$' ./internal/compress/zfp
+	$(GO) test -fuzz=FuzzDecompress -fuzztime=10s -run='^$$' ./internal/compress/fpc
+
+verify:
+	./verify.sh

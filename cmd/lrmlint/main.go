@@ -1,0 +1,109 @@
+// Command lrmlint runs the repo-specific static-analysis suite over the
+// module's packages and exits non-zero when any analyzer reports a finding.
+//
+// Usage:
+//
+//	go run ./cmd/lrmlint ./...
+//	go run ./cmd/lrmlint -rules floatcmp,goroutine ./internal/compress/...
+//	go run ./cmd/lrmlint -tests ./internal/mpi
+//
+// Diagnostics print as file:line:col: [rule] message. Suppress a single
+// finding with a `//lrmlint:ignore <rule> <reason>` comment on the same
+// line or the line above. Exit status: 0 clean, 1 findings, 2 usage or
+// load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lrm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lrmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated analyzer subset (default: all)")
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader.IncludeTests = *tests
+
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.RunAnalyzers(pkg.Pass, analyzers) {
+			if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
+			}
+			fmt.Fprintln(stdout, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "lrmlint: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lrmlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitNonZeroOnFindings drives the real CLI path against the golden
+// fixtures: every analyzer must produce findings (exit 1) on its fixture
+// package, proving the tool gates CI rather than reporting and passing.
+func TestExitNonZeroOnFindings(t *testing.T) {
+	for _, rule := range []string{"floatcmp", "ignorederr", "mutexcopy", "goroutine", "deadassign"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-rules", rule, "./internal/lint/testdata/src/" + rule}, &out, &errb)
+		if code != 1 {
+			t.Errorf("%s: exit code %d on fixture, want 1 (stderr: %s)", rule, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "["+rule+"]") {
+			t.Errorf("%s: diagnostics missing rule tag:\n%s", rule, out.String())
+		}
+	}
+}
+
+// TestExitZeroOnCleanPackage runs the full suite on a package known clean.
+func TestExitZeroOnCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./internal/invariant"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d on clean package, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+// TestUnknownRuleIsUsageError pins the 2 = usage-error exit code.
+func TestUnknownRuleIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit code %d for unknown rule, want 2", code)
+	}
+}
+
+// TestListAnalyzers keeps the -list inventory in sync with the suite.
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, rule := range []string{"floatcmp", "ignorederr", "mutexcopy", "goroutine", "deadassign"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing %s", rule)
+		}
+	}
+}

@@ -44,6 +44,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			//lrmlint:ignore floatcmp random access must agree with the full decode bit-exactly
 			if got != full.At3(k, j, i) {
 				log.Fatalf("DecodeAt disagrees with full decode at (%d,%d,%d)", k, j, i)
 			}

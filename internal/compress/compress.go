@@ -23,6 +23,19 @@ type Codec interface {
 	Decompress(b []byte) (*grid.Field, error)
 }
 
+// ErrorBounded is the optional interface of codecs that guarantee a
+// pointwise absolute error bound: for every point, |x − x′| ≤ bound after
+// a Compress/Decompress round trip. The bound may depend on the input
+// (value-range-relative modes). Lossless codecs return bound 0. Codecs
+// whose guarantee is not expressible as a single absolute bound for f
+// (pointwise-relative, fixed-precision, fixed-rate) return ok == false.
+//
+// The invariants build (-tags invariants) uses this interface to assert
+// the paper's end-to-end guarantee at pipeline stage boundaries.
+type ErrorBounded interface {
+	AbsErrorBound(f *grid.Field) (bound float64, ok bool)
+}
+
 // Ratio returns the compression ratio of a field against its encoding
 // (original bytes / compressed bytes).
 func Ratio(f *grid.Field, compressed []byte) float64 {
@@ -91,6 +104,9 @@ func (c *Flate) Name() string { return fmt.Sprintf("flate(l=%d)", c.level()) }
 
 // Lossless implements Codec.
 func (c *Flate) Lossless() bool { return true }
+
+// AbsErrorBound implements ErrorBounded: flate is lossless.
+func (c *Flate) AbsErrorBound(f *grid.Field) (float64, bool) { return 0, true }
 
 func (c *Flate) level() int {
 	if c.Level == 0 {

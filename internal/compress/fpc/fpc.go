@@ -18,6 +18,7 @@ import (
 
 	"lrm/internal/compress"
 	"lrm/internal/grid"
+	"lrm/internal/invariant"
 )
 
 // Codec is an FPC compressor. Level selects the predictor table size:
@@ -49,6 +50,10 @@ func (c *Codec) Name() string { return fmt.Sprintf("fpc(l=%d)", c.level) }
 
 // Lossless implements compress.Codec.
 func (c *Codec) Lossless() bool { return true }
+
+// AbsErrorBound implements compress.ErrorBounded: FPC is lossless, so the
+// pointwise bound is exactly zero.
+func (c *Codec) AbsErrorBound(f *grid.Field) (float64, bool) { return 0, true }
 
 // predictor state shared by encode and decode (they must evolve
 // identically).
@@ -138,6 +143,20 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		}
 		lzb := leadingZeroBytes(resid)
 		nibble := sel<<3 | lzbToCode(lzb)
+		if invariant.Enabled {
+			// Header-nibble boundary: the 3-bit code space must round-trip
+			// the leading-zero-byte count (4 is collapsed to 3 upstream),
+			// and the decoder must recover the true bits from the residual
+			// it will read back.
+			invariant.Assert(codeToLzb(lzbToCode(lzb)) == lzb, "fpc: lzb %d does not survive the 3-bit code", lzb)
+			check := resid
+			if sel == 0 {
+				check ^= fcmPred
+			} else {
+				check ^= dfcmPred
+			}
+			invariant.Assert(check == bits, "fpc: residual %#x does not reconstruct value %#x", resid, bits)
+		}
 		if i%2 == 0 {
 			headers[i/2] = nibble << 4
 		} else {
@@ -148,6 +167,10 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		}
 		p.update(bits)
 	}
+
+	// The residual stream length is stored as a uint32; MaxElements keeps
+	// legitimate fields far below this, so overflow means a pipeline bug.
+	invariant.Assert(len(residuals) <= math.MaxUint32, "fpc: residual stream %d bytes overflows the u32 length field", len(residuals))
 
 	out := compress.EncodeDimsHeader(f.Dims)
 	out = append(out, byte(c.level))

@@ -1,0 +1,45 @@
+package sz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lrm/internal/grid"
+)
+
+func TestGenerateCorpus(t *testing.T) {
+	if os.Getenv("LRM_GEN_CORPUS") == "" {
+		t.Skip("set LRM_GEN_CORPUS=1 to regenerate testdata/fuzz seeds")
+	}
+	field := grid.New(5, 9)
+	for i := range field.Data {
+		field.Data[i] = float64(i%7) * 1.25
+	}
+	seeds := map[string][]byte{}
+	for name, c := range map[string]*Codec{
+		"abs":      MustNew(Abs, 1e-3),
+		"vrrel":    MustNew(ValueRangeRel, 1e-4),
+		"pwrel":    MustNew(PointwiseRel, 1e-3),
+		"curvefit": MustNewCurveFit(Abs, 1e-3),
+	} {
+		enc, err := c.Compress(field)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds[name] = enc
+	}
+	seeds["truncated"] = seeds["abs"][:len(seeds["abs"])/2]
+	seeds["garbage"] = []byte("\x00\x01\x02\xff\xfe\xfd not an sz stream")
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecompress")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

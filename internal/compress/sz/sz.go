@@ -26,6 +26,7 @@ import (
 
 	"lrm/internal/compress"
 	"lrm/internal/grid"
+	"lrm/internal/invariant"
 )
 
 // Mode selects how the error bound is interpreted.
@@ -130,6 +131,29 @@ func (c *Codec) Mode() Mode { return c.mode }
 
 // Bound returns the configured error bound.
 func (c *Codec) Bound() float64 { return c.bound }
+
+// effectiveBound resolves the absolute quantization bound for f: the
+// configured bound in Abs mode, bound × (max − min) in value-range mode.
+func (c *Codec) effectiveBound(f *grid.Field) float64 {
+	eb := c.bound
+	if c.mode == ValueRangeRel {
+		lo, hi := f.MinMax()
+		eb = c.bound * (hi - lo)
+		if eb == 0 { // constant field: any tiny bound works
+			eb = math.SmallestNonzeroFloat64 * 1e10
+		}
+	}
+	return eb
+}
+
+// AbsErrorBound implements compress.ErrorBounded. Pointwise-relative mode
+// has no single absolute bound, so it reports ok == false.
+func (c *Codec) AbsErrorBound(f *grid.Field) (float64, bool) {
+	if c.mode == PointwiseRel {
+		return 0, false
+	}
+	return c.effectiveBound(f), true
+}
 
 // lorenzoPredict predicts point i of data given dims, using only indices
 // < i (already decoded). Out-of-range neighbours contribute zero, as in SZ.
@@ -339,17 +363,19 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 	var raw []byte
 	switch c.mode {
 	case Abs, ValueRangeRel:
-		eb := c.bound
-		if c.mode == ValueRangeRel {
-			lo, hi := f.MinMax()
-			eb = c.bound * (hi - lo)
-			if eb == 0 { // constant field: any tiny bound works
-				eb = math.SmallestNonzeroFloat64 * 1e10
-			}
-		}
+		eb := c.effectiveBound(f)
 		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(eb))
 		decoded := make([]float64, f.Len())
 		codes, exact := quantizeCore(f.Data, f.Dims, eb, decoded, c.predictor())
+		if invariant.Enabled {
+			// Predict→quantize boundary: the on-the-fly reconstruction (the
+			// decoder's exact view) must honour the pointwise bound, and
+			// every quantization code must be in the coder's alphabet.
+			invariant.ErrorBound(f.Data, decoded, eb, "sz: predict-quantize")
+			for _, q := range codes {
+				invariant.InRange(q, 0, unpredictable+1, "sz: quantization code")
+			}
+		}
 		raw = buildPayload(codes, exact)
 
 	case PointwiseRel:
@@ -374,6 +400,11 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		}
 		decoded := make([]float64, f.Len())
 		codes, exact := quantizeCore(logs, f.Dims, ebLog, decoded, c.predictor())
+		if invariant.Enabled {
+			// Log-domain quantize boundary: bounding |log2 x − log2 x′|
+			// by ebLog is what bounds the relative error by 2^ebLog − 1.
+			invariant.ErrorBound(logs, decoded, ebLog, "sz: log-quantize")
+		}
 		// Zero positions are re-marked as unpredictable-with-zero via a
 		// dedicated list so the log path never sees them on decode.
 		var zb []byte
@@ -445,6 +476,7 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 		if err != nil {
 			return nil, err
 		}
+		invariant.SameLen(vals, codes, "sz: dequantize")
 		return grid.FromData(vals, dims...)
 
 	case PointwiseRel:

@@ -1,0 +1,21 @@
+//go:build invariants
+
+package zfp
+
+import "testing"
+
+// TestAccuracyInvariantTrips proves the tolerance assertion is live under
+// the invariants tag: an impossible tolerance over a truncated bit plane
+// must panic rather than pass silently.
+func TestAccuracyInvariantTrips(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected the accuracy invariant to panic")
+		}
+	}()
+	// All bit planes discarded (nb == 0) but the block holds nonzero
+	// values: no tolerance below 1 can hold.
+	nb := make([]uint64, 4)
+	vals := []float64{1, 1, 1, 1}
+	assertAccuracyBound(nb, vals, 1, 0, 4, 1e-6)
+}

@@ -261,23 +261,22 @@ func (c *Codec) DecodeAt(data []byte, coord ...int) (float64, error) {
 	budget := blockBudgetBits(rate, size)
 
 	// Locate the block in raster order and the sample within it.
-	var nz, ny, nx int
+	var ny, nx int
 	var cz, cy, cx int
 	switch rank {
 	case 1:
-		nz, ny, nx = 1, 1, dims[0]
+		ny, nx = 1, dims[0]
 		cx = coord[0]
 	case 2:
-		nz, ny, nx = 1, dims[0], dims[1]
+		ny, nx = dims[0], dims[1]
 		cy, cx = coord[0], coord[1]
 	default:
-		nz, ny, nx = dims[0], dims[1], dims[2]
+		ny, nx = dims[1], dims[2]
 		cz, cy, cx = coord[0], coord[1], coord[2]
 	}
 	bz, by, bx := cz/4, cy/4, cx/4
 	bnx := (nx + 3) / 4
 	bny := (ny + 3) / 4
-	_ = nz
 	blockIdx := (bz*bny+by)*bnx + bx
 
 	payload := rest[2:]

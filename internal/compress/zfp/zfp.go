@@ -27,6 +27,7 @@ import (
 	"lrm/internal/bitstream"
 	"lrm/internal/compress"
 	"lrm/internal/grid"
+	"lrm/internal/invariant"
 )
 
 // Codec is a ZFP-style compressor in one of two modes, mirroring real
@@ -110,6 +111,16 @@ func (c *Codec) Lossless() bool { return false }
 
 // Precision returns the configured number of bit planes (precision mode).
 func (c *Codec) Precision() int { return int(c.precision) }
+
+// AbsErrorBound implements compress.ErrorBounded: only accuracy mode
+// guarantees a pointwise absolute bound; precision and rate modes trade
+// accuracy per block.
+func (c *Codec) AbsErrorBound(f *grid.Field) (float64, bool) {
+	if c.mode == modeAccuracy {
+		return c.tolerance, true
+	}
+	return 0, false
+}
 
 // kminFor returns the lowest bit plane to encode for a block with max
 // exponent emax. In precision mode it is a fixed count from the top; in
@@ -409,17 +420,16 @@ func blocks(dims []int) []blockShape {
 // partial blocks by replicating the last valid sample along each dimension.
 func gather(f *grid.Field, b blockShape, vals []float64) {
 	rank := f.Rank()
-	size := 1 << (2 * uint(rank)) // 4^rank
-	_ = size
-	// Normalised dims: treat every field as (nz, ny, nx) with leading 1s.
-	var nz, ny, nx int
+	// Normalised dims: treat every field as (ny, nx) with leading 1s; the
+	// z extent only shapes the block, never the flat index.
+	var ny, nx int
 	switch rank {
 	case 1:
-		nz, ny, nx = 1, 1, f.Dims[0]
+		ny, nx = 1, f.Dims[0]
 	case 2:
-		nz, ny, nx = 1, f.Dims[0], f.Dims[1]
+		ny, nx = f.Dims[0], f.Dims[1]
 	default:
-		nz, ny, nx = f.Dims[0], f.Dims[1], f.Dims[2]
+		ny, nx = f.Dims[1], f.Dims[2]
 	}
 	at := func(z, y, x int) float64 {
 		return f.Data[(z*ny+y)*nx+x]
@@ -431,7 +441,6 @@ func gather(f *grid.Field, b blockShape, vals []float64) {
 	if rank < 2 {
 		yl = 1
 	}
-	_ = nz
 	for z := 0; z < zl; z++ {
 		sz := b.origin[0] + min(z, b.size[0]-1)
 		for y := 0; y < yl; y++ {
@@ -483,6 +492,14 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 	nb := make([]uint64, size)
 
 	for _, b := range blocks(f.Dims) {
+		if invariant.Enabled {
+			// Block-grid invariant: every (possibly partial) block keeps
+			// between 1 and 4 valid samples per dimension.
+			for d := 0; d < 3; d++ {
+				invariant.InRange(b.size[d], 1, 5, "zfp: block extent")
+				invariant.Assert(b.origin[d] >= 0, "zfp: negative block origin %d", b.origin[d])
+			}
+		}
 		gather(f, b, vals)
 
 		// Step 1: common-exponent alignment.
@@ -501,6 +518,11 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		}
 		w.WriteBit(1)
 		_, emax := math.Frexp(maxAbs) // maxAbs = f * 2^emax, f in [0.5, 1)
+		if invariant.Enabled {
+			// Align boundary: the biased exponent must fit its 15-bit
+			// header field or the stream silently wraps.
+			invariant.InRange(emax+16384, 0, 1<<15, "zfp: biased block exponent")
+		}
 		w.WriteBits(uint64(emax+16384), 15)
 
 		scale := math.Ldexp(1, fixedPointBits-emax)
@@ -517,8 +539,18 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		}
 
 		// Step 3: embedded bit-plane coding down to the mode's floor plane.
+		kmin := kminFor(c.mode, c.precision, c.tolerance, emax)
+		if invariant.Enabled {
+			invariant.InRange(kmin, intprec-MaxPrecision, intprec+1, "zfp: floor plane")
+			if c.mode == modeAccuracy {
+				// Transform→bitplane boundary: rebuilding the block exactly
+				// as the decoder will (planes ≥ kmin only) must honour the
+				// configured absolute tolerance.
+				assertAccuracyBound(nb, vals, rank, emax, kmin, c.tolerance)
+			}
+		}
 		n := 0
-		for k := intprec - 1; k >= kminFor(c.mode, c.precision, c.tolerance, emax); k-- {
+		for k := intprec - 1; k >= kmin; k-- {
 			var plane uint64
 			for i := 0; i < size; i++ {
 				plane |= (nb[i] >> uint(k) & 1) << uint(i)
@@ -535,6 +567,27 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		out = append(out, byte(c.precision))
 	}
 	return append(out, w.Bytes()...), nil
+}
+
+// assertAccuracyBound reconstructs one block exactly as the decoder will —
+// negabinary planes at or above kmin, inverse permutation, inverse
+// transform, rescale — and asserts every sample lands within tol of the
+// gathered originals. Only compiled in with -tags invariants.
+func assertAccuracyBound(nb []uint64, vals []float64, rank, emax, kmin int, tol float64) {
+	size := len(nb)
+	blk := make([]int64, size)
+	perm := permFor(rank)
+	mask := ^uint64(0) << uint(kmin) // kmin == 64 shifts to an all-drop mask
+	for i, u := range nb {
+		blk[perm[i]] = nb2int(u & mask)
+	}
+	transformInverse(blk, rank)
+	scale := math.Ldexp(1, emax-fixedPointBits)
+	recon := make([]float64, size)
+	for i, q := range blk {
+		recon[i] = float64(q) * scale
+	}
+	invariant.ErrorBound(vals, recon, tol, "zfp: accuracy bitplane truncation")
 }
 
 // Decompress implements compress.Codec.
@@ -585,6 +638,11 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 	nb := make([]uint64, size)
 
 	for _, b := range blocks(dims) {
+		if invariant.Enabled {
+			for d := 0; d < 3; d++ {
+				invariant.InRange(b.size[d], 1, 5, "zfp: decode block extent")
+			}
+		}
 		nonEmpty, err := r.ReadBit()
 		if err != nil {
 			return nil, fmt.Errorf("zfp: truncated stream: %w", err)

@@ -19,9 +19,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"lrm/internal/compress"
 	"lrm/internal/grid"
+	"lrm/internal/invariant"
 	"lrm/internal/reduce"
 )
 
@@ -85,6 +87,9 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		}
 		writeBytes(&buf, stream)
 		res.Archive = buf.Bytes()
+		if invariant.Enabled {
+			assertEndToEndBound(f, opts.DataCodec, res.Archive)
+		}
 		return res, nil
 	}
 
@@ -143,7 +148,61 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	res.RepMetaBytes = len(metaStream)
 	res.RepValueBytes = len(repValStream)
 	res.DeltaBytes = len(deltaStream)
+	if invariant.Enabled {
+		// The preconditioned pipeline's end-to-end error is exactly the
+		// delta codec's error: decompression rebuilds the same stored
+		// reconstruction and adds the decompressed delta, so the bound to
+		// assert against f is the delta codec's bound on the delta field.
+		assertEndToEndBoundEps(f, deltaCodec, delta, res.Archive)
+	}
 	return res, nil
+}
+
+// assertEndToEndBound round-trips a direct archive and asserts the paper's
+// |x − x′| ≤ ε guarantee when the codec declares an absolute bound.
+// Compiled in only with -tags invariants.
+func assertEndToEndBound(f *grid.Field, codec compress.Codec, archive []byte) {
+	eb, ok := codec.(compress.ErrorBounded)
+	if !ok {
+		return
+	}
+	eps, ok := eb.AbsErrorBound(f)
+	if !ok {
+		return
+	}
+	back, err := Decompress(archive)
+	invariant.Assert(err == nil, "core: invariant round trip failed: %v", err)
+	invariant.ErrorBound(f.Data, back.Data, boundWithSlack(eps, f), "core: end-to-end "+codec.Name())
+}
+
+// assertEndToEndBoundEps is the preconditioned variant: the bound comes
+// from the delta codec evaluated on the delta field.
+func assertEndToEndBoundEps(f *grid.Field, deltaCodec compress.Codec, delta *grid.Field, archive []byte) {
+	eb, ok := deltaCodec.(compress.ErrorBounded)
+	if !ok {
+		return
+	}
+	eps, ok := eb.AbsErrorBound(delta)
+	if !ok {
+		return
+	}
+	back, err := Decompress(archive)
+	invariant.Assert(err == nil, "core: invariant round trip failed: %v", err)
+	invariant.ErrorBound(f.Data, back.Data, boundWithSlack(eps, f), "core: end-to-end precond "+deltaCodec.Name())
+}
+
+// boundWithSlack widens eps by a few ulps of the field's magnitude: the
+// delta subtraction and final addition are each exactly rounded, so the
+// recomposed value can sit a handful of ulps past the codec's bound
+// without any stage being wrong.
+func boundWithSlack(eps float64, f *grid.Field) float64 {
+	maxAbs := 0.0
+	for _, v := range f.Data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return eps + 4*(maxAbs+eps)*0x1p-52
 }
 
 // storeRepValues compresses the representation's numeric payload with the

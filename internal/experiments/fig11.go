@@ -129,6 +129,7 @@ func ratioAtRMSE(points []Fig11Point, target float64) (float64, bool) {
 		if lo > hi {
 			lo, hi = hi, lo
 		}
+		//lrmlint:ignore floatcmp exact-equality guard against a zero interpolation denominator
 		if target >= lo && target <= hi && a.RMSE != b.RMSE {
 			t := (a.RMSE - target) / (a.RMSE - b.RMSE)
 			return a.Ratio + t*(b.Ratio-a.Ratio), true

@@ -83,8 +83,7 @@ func (f *Field) Upsample(dims ...int) (*Field, error) {
 	case 1:
 		out := New(dims[0])
 		for i := 0; i < dims[0]; i++ {
-			x, x0, x1, tx := lerpCoord(i, dims[0], f.Dims[0])
-			_ = x
+			_, x0, x1, tx := lerpCoord(i, dims[0], f.Dims[0])
 			out.Data[i] = (1-tx)*f.Data[x0] + tx*f.Data[x1]
 		}
 		return out, nil

@@ -1,0 +1,21 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = false
+
+// Assert is a no-op without the invariants build tag.
+func Assert(cond bool, format string, args ...any) {}
+
+// ErrorBound is a no-op without the invariants build tag.
+func ErrorBound(orig, recon []float64, eps float64, stage string) {}
+
+// SameLen is a no-op without the invariants build tag.
+func SameLen[T, U any](a []T, b []U, stage string) {}
+
+// InRange is a no-op without the invariants build tag.
+func InRange(v, lo, hi int, what string) {}
+
+// Finite is a no-op without the invariants build tag.
+func Finite(v float64, what string) {}

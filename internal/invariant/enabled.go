@@ -1,0 +1,59 @@
+//go:build invariants
+
+package invariant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = true
+
+// Assert panics with the formatted message when cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// ErrorBound asserts the paper's pointwise guarantee |orig[i] − recon[i]| ≤ eps
+// for every i. stage names the pipeline boundary being checked.
+func ErrorBound(orig, recon []float64, eps float64, stage string) {
+	if len(orig) != len(recon) {
+		panic(fmt.Sprintf("invariant: %s: length mismatch %d vs %d", stage, len(orig), len(recon)))
+	}
+	for i := range orig {
+		if orig[i] == recon[i] {
+			continue // exact match, including ±Inf
+		}
+		if math.IsNaN(orig[i]) && math.IsNaN(recon[i]) {
+			continue // lossless codecs round-trip NaN payloads bit-exactly
+		}
+		if e := math.Abs(orig[i] - recon[i]); !(e <= eps) { // catches one-sided NaN too
+			panic(fmt.Sprintf("invariant: %s: |x-x'| = %v > eps = %v at index %d (x=%v x'=%v)",
+				stage, e, eps, i, orig[i], recon[i]))
+		}
+	}
+}
+
+// SameLen asserts two slices describing the same points agree in length.
+func SameLen[T, U any](a []T, b []U, stage string) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("invariant: %s: length mismatch %d vs %d", stage, len(a), len(b)))
+	}
+}
+
+// InRange asserts lo ≤ v < hi.
+func InRange(v, lo, hi int, what string) {
+	if v < lo || v >= hi {
+		panic(fmt.Sprintf("invariant: %s = %d outside [%d,%d)", what, v, lo, hi))
+	}
+}
+
+// Finite asserts v is neither NaN nor ±Inf.
+func Finite(v float64, what string) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("invariant: %s is non-finite (%v)", what, v))
+	}
+}

@@ -1,0 +1,46 @@
+//go:build invariants
+
+package invariant
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, wantSub string, fn func()) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatalf("expected panic containing %q", wantSub)
+		}
+		if msg := p.(string); !strings.Contains(msg, wantSub) {
+			t.Fatalf("panic %q does not contain %q", msg, wantSub)
+		}
+	}()
+	fn()
+}
+
+func TestAssertPanicsWithMessage(t *testing.T) {
+	mustPanic(t, "codes out of range", func() { Assert(false, "codes out of range: %d", 7) })
+}
+
+func TestErrorBoundViolationNamesStageAndIndex(t *testing.T) {
+	mustPanic(t, "sz: quantize", func() {
+		ErrorBound([]float64{0, 1}, []float64{0, 1.5}, 1e-3, "sz: quantize")
+	})
+	mustPanic(t, "length mismatch", func() {
+		ErrorBound([]float64{0}, []float64{0, 0}, 1, "stage")
+	})
+	// NaN on either side must trip the bound, not slide through a < compare.
+	mustPanic(t, "stage", func() {
+		ErrorBound([]float64{math.NaN()}, []float64{0}, 1, "stage")
+	})
+}
+
+func TestShapeAssertions(t *testing.T) {
+	mustPanic(t, "length mismatch", func() { SameLen([]int{1}, []int{1, 2}, "stage") })
+	mustPanic(t, "outside", func() { InRange(5, 0, 5, "idx") })
+	mustPanic(t, "non-finite", func() { Finite(math.Inf(1), "v") })
+}

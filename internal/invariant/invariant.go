@@ -1,0 +1,25 @@
+// Package invariant provides build-tag-gated runtime assertions for the
+// compression pipeline's correctness invariants.
+//
+// The paper's central guarantee is a pointwise error bound: after
+// reduced-model reconstruction plus delta decompression, every value x′
+// satisfies |x − x′| ≤ ε. Nothing in ordinary builds enforces this — the
+// hot paths cannot afford per-point checks — so the checks live behind the
+// `invariants` build tag:
+//
+//	go test -tags invariants ./internal/compress/... ./internal/reduce/...
+//
+// Without the tag every function in this package is a no-op and the
+// `Enabled` constant is false, letting callers guard expensive check
+// prologues (building a reference reconstruction, say) with
+//
+//	if invariant.Enabled {
+//	    invariant.ErrorBound(orig, recon, eps, "sz: quantize")
+//	}
+//
+// so release builds pay nothing — the compiler removes the dead branch.
+//
+// A violated assertion panics with a message naming the pipeline stage;
+// assertions signal bugs in this codebase, never bad user input (input
+// validation stays in ordinary error returns).
+package invariant

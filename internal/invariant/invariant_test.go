@@ -1,0 +1,20 @@
+package invariant
+
+import "testing"
+
+// Without the invariants tag every assertion must be a free no-op; with it,
+// true conditions must pass silently. Violations are only testable under the
+// tag (see enabled_test.go).
+func TestAssertionsPassOnTrueConditions(t *testing.T) {
+	Assert(true, "never fires")
+	ErrorBound([]float64{1, 2}, []float64{1.0005, 1.9995}, 1e-3, "test")
+	SameLen([]int{1, 2}, []float64{3, 4}, "test")
+	InRange(3, 0, 5, "idx")
+	Finite(4.25, "v")
+}
+
+func TestEnabledMatchesBuildTag(t *testing.T) {
+	// Compile-time constant; the test documents that both build flavours
+	// expose the same API surface.
+	_ = Enabled
+}

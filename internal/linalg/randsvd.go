@@ -81,7 +81,7 @@ func RandSVD(a *Matrix, k, oversample, powerIters int, seed int64) (*SVDResult, 
 		}
 		return &SVDResult{U: r.V, S: r.S, V: r.U}, nil
 	}
-	m, n := a.Rows, a.Cols
+	n := a.Cols
 	if oversample < 0 {
 		oversample = 0
 	}
@@ -143,6 +143,5 @@ func RandSVD(a *Matrix, k, oversample, powerIters int, seed int64) (*SVDResult, 
 	res := &SVDResult{U: u, S: small.S, V: small.V}
 	// Trim to the requested rank.
 	uk, sk, vk := res.Truncate(k)
-	_ = m
 	return &SVDResult{U: uk, S: sk, V: vk}, nil
 }

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerDeadAssign flags statements of the form `_ = x` where x is a
+// side-effect-free expression (identifiers, field selections, literals, and
+// arithmetic over them). Such a statement computes nothing and keeps
+// nothing alive at runtime; in practice it is left behind when a value's
+// last real use is refactored away, silently masking dead computation
+// upstream. Expressions with potential effects — calls, channel receives,
+// index expressions (bounds check), dereferences (nil check), type
+// assertions — are not flagged, and `var _ Iface = impl` compile-time
+// conformance checks are declarations, not assignments, so they never
+// trigger.
+var AnalyzerDeadAssign = &Analyzer{
+	Name: "deadassign",
+	Doc:  "blank assignment of a side-effect-free expression",
+	Run:  runDeadAssign,
+}
+
+func runDeadAssign(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || lhs.Name != "_" {
+				return true
+			}
+			if !isPureExpr(as.Rhs[0]) {
+				return true
+			}
+			p.Reportf(as.Pos(), "dead blank assignment: %s has no effect; delete it or use the value", exprString(as.Rhs[0]))
+			return true
+		})
+	}
+}
+
+// isPureExpr reports whether evaluating e can have no observable effect.
+func isPureExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return isPureExpr(e.X)
+	case *ast.ParenExpr:
+		return isPureExpr(e.X)
+	case *ast.UnaryExpr:
+		return e.Op != token.ARROW && isPureExpr(e.X)
+	case *ast.BinaryExpr:
+		return isPureExpr(e.X) && isPureExpr(e.Y)
+	}
+	return false
+}
+
+// exprString renders small expressions for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return "`_ = " + e.Name + "`"
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return "`_ = " + x.Name + "." + e.Sel.Name + "`"
+		}
+	}
+	return "this blank assignment"
+}

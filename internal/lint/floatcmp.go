@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatCmp flags == and != between floating-point operands when
+// neither side is a compile-time constant. In an error-bounded compression
+// pipeline, exact equality between two computed floats is almost always a
+// latent bug — rounding in the predict/quantize/transform stages makes the
+// outcome platform- and optimization-dependent; compare |a-b| against a
+// tolerance instead. Comparisons against constants (v == 0 zero-sentinel
+// checks, exact bit-pattern sentinels) are allowlisted because the constant
+// side is exactly representable by construction.
+var AnalyzerFloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "naked float equality between non-constant operands",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := p.Info.Types[be.X]
+			yt, yok := p.Info.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			// Either side being a typed or untyped constant makes the
+			// comparison deliberate and exact.
+			if xt.Value != nil || yt.Value != nil {
+				return true
+			}
+			p.Reportf(be.OpPos, "float equality %q between non-constant operands; compare math.Abs(a-b) against a tolerance", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerGoroutine flags `go func(){...}()` statements whose function
+// literal shows no completion or cancellation mechanism: no channel
+// operation (send, receive, close, select, range-over-channel), no
+// context.Context use, and no sync.WaitGroup interaction. Such a goroutine
+// cannot be joined or stopped — in the chunked-compression and MPI-rank
+// fan-outs of this repository that means silent data loss when the caller
+// returns before the goroutine does.
+//
+// Calls to named functions (`go worker(ch)`) are not analyzed: the escape
+// mechanism usually lives inside the callee, which may be in another
+// package.
+var AnalyzerGoroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "goroutine launched without done/ctx/WaitGroup escape hatch",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if goroutineHasEscape(p, lit, gs.Call.Args) {
+				return true
+			}
+			p.Reportf(gs.Go, "goroutine has no completion signal (channel, context, or WaitGroup); the caller cannot join or cancel it")
+			return true
+		})
+	}
+}
+
+// goroutineHasEscape scans the literal's body and the call arguments for
+// any sign of a join/cancel mechanism.
+func goroutineHasEscape(p *Pass, lit *ast.FuncLit, args []ast.Expr) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := p.typeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case ast.Expr:
+			if t := p.typeOf(n); t != nil && isEscapeType(t) {
+				found = true
+			}
+		}
+		return !found
+	}
+	ast.Inspect(lit.Body, check)
+	for _, a := range args {
+		if found {
+			break
+		}
+		ast.Inspect(a, check)
+	}
+	return found
+}
+
+// isEscapeType reports whether a referenced value's type is itself a
+// join/cancel mechanism: a channel, a context.Context, or a (pointer to)
+// sync.WaitGroup.
+func isEscapeType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	qual := obj.Pkg().Name() + "." + obj.Name()
+	return qual == "context.Context" || qual == "sync.WaitGroup"
+}

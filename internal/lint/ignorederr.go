@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerIgnoredErr flags call statements that silently discard an error
+// result from the codec I/O surface: Write (io.Writer and friends),
+// binary.Write, and the compressor Encode/Decode/Compress/Decompress
+// family. A dropped error on these paths turns a truncated or corrupt
+// stream into silently wrong science data. *bytes.Buffer and
+// *strings.Builder writes are allowlisted — those are documented never to
+// fail.
+var AnalyzerIgnoredErr = &Analyzer{
+	Name: "ignorederr",
+	Doc:  "discarded error result from Write/Encode/Decode-family calls",
+	Run:  runIgnoredErr,
+}
+
+// riskyCallNames is the function-name surface whose errors must be checked.
+var riskyCallNames = map[string]bool{
+	"Write":      true,
+	"Encode":     true,
+	"Decode":     true,
+	"Compress":   true,
+	"Decompress": true,
+}
+
+// neverFails lists receiver types whose Write is documented infallible.
+var neverFails = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+}
+
+func runIgnoredErr(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || !riskyCallNames[fn.Name()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || !returnsError(sig) {
+				return true
+			}
+			if recv := sig.Recv(); recv != nil && neverFails[baseTypeName(recv.Type())] {
+				return true
+			}
+			p.Reportf(call.Lparen, "error result of %s is discarded; check it (stream corruption must not pass silently)", calleeLabel(fn))
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the called function or method object, if statically
+// known.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// returnsError reports whether the signature's result tuple contains the
+// built-in error type.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// baseTypeName returns "pkgpath-less" qualified name of t with pointers
+// stripped, e.g. "bytes.Buffer" for *bytes.Buffer.
+func baseTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+// calleeLabel renders a human-readable callee name like
+// "(*bitstream.Writer).Write" or "binary.Write".
+func calleeLabel(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if name := baseTypeName(sig.Recv().Type()); name != "" {
+			if strings.HasPrefix(sig.Recv().Type().String(), "*") {
+				return "(*" + name + ")." + fn.Name()
+			}
+			return name + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerMutexCopy flags by-value copies of types that contain a
+// sync.Mutex, sync.RWMutex, sync.WaitGroup, or sync.Once (directly or via
+// nested struct/array fields): value parameters and receivers, plain
+// assignments that duplicate an existing value, and range clauses that copy
+// lock-bearing elements. A copied lock guards nothing — both copies start
+// unlocked and the original's state is silently forked.
+var AnalyzerMutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "by-value copy of a type containing sync.Mutex/WaitGroup",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkLockFields(p, n.Recv, "receiver")
+				}
+				checkLockFields(p, n.Type.Params, "parameter")
+			case *ast.FuncLit:
+				checkLockFields(p, n.Type.Params, "parameter")
+			case *ast.AssignStmt:
+				checkLockAssign(p, n)
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := p.exprType(n.Value); t != nil && containsLock(t) {
+						p.Reportf(n.Value.Pos(), "range clause copies %s which contains a sync lock; iterate by index or use pointers", types.TypeString(t, nil))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkLockFields(p *Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := p.typeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t) {
+			p.Reportf(field.Type.Pos(), "%s passes %s by value, copying its sync lock; use a pointer", kind, types.TypeString(t, nil))
+		}
+	}
+}
+
+// checkLockAssign flags `a := b` / `a = b` where the right-hand side reads
+// an existing lock-bearing value (composite literals construct a fresh
+// value and are fine).
+func checkLockAssign(p *Pass, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		return
+	}
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		if lhs, ok := n.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+			continue // blank assignment discards; no observable copy
+		}
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue // literals, calls, conversions construct fresh values
+		}
+		t := p.typeOf(rhs)
+		if t == nil || !containsLock(t) {
+			continue
+		}
+		p.Reportf(n.Lhs[i].Pos(), "assignment copies %s which contains a sync lock; use a pointer", types.TypeString(t, nil))
+	}
+}
+
+// typeOf is a nil-safe Info.Types lookup.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// exprType resolves an expression's type, falling back to the defined or
+// used object for bare identifiers (range-clause variables are definitions
+// and never appear in Info.Types).
+func (p *Pass) exprType(e ast.Expr) types.Type {
+	if t := p.typeOf(e); t != nil {
+		return t
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// lockTypes are the sync types whose zero-value identity must not fork.
+var lockTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Once":      true,
+	"sync.Cond":      true,
+}
+
+// containsLock reports whether t (by value) embeds a sync lock, looking
+// through named types, struct fields, and array elements.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && lockTypes[obj.Pkg().Name()+"."+obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+// Fixture for the deadassign analyzer: blank assignments of pure
+// expressions are flagged; blank assignments with observable effects and
+// compile-time conformance declarations are not.
+package deadassign
+
+import "io"
+
+type pair struct{ a, b int }
+
+// Conformance checks are declarations, not assignments: never flagged.
+var _ io.Writer = (*nullWriter)(nil)
+
+type nullWriter struct{}
+
+func (*nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func f(xs []int, p pair, q *pair) int {
+	x := 1
+	_ = x       // want "dead blank assignment"
+	_ = p.a     // want "dead blank assignment"
+	_ = x + p.b // want "dead blank assignment"
+	_ = -x      // want "dead blank assignment"
+
+	_ = xs[0]    // ok: keeps the bounds check
+	_ = *q       // ok: keeps the nil check
+	_ = len(xs)  // ok: call expressions may have effects
+	_, y := 0, 2 // ok: multi-assignment
+	var z any = x
+	_ = z.(int) // ok: type assertion can panic
+
+	//lrmlint:ignore deadassign fixture exercises the suppression directive
+	_ = x
+	return x + y
+}

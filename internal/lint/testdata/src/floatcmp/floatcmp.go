@@ -1,0 +1,42 @@
+// Fixture for the floatcmp analyzer: naked float equality between
+// non-constant operands is flagged; constant comparisons and suppressed
+// lines are not.
+package floatcmp
+
+import "math"
+
+const tol = 1e-9
+
+func compare(a, b float64, f32 float32, g32 float32) int {
+	hits := 0
+	if a == b { // want "float equality"
+		hits++
+	}
+	if a != b { // want "float equality"
+		hits++
+	}
+	if f32 == g32 { // want "float equality"
+		hits++
+	}
+	if math.Abs(a-b) <= tol { // ok: tolerance comparison
+		hits++
+	}
+	if a == 0 { // ok: constant zero sentinel
+		hits++
+	}
+	if b != tol { // ok: named constant
+		hits++
+	}
+	if a == math.MaxFloat64 { // ok: stdlib constant
+		hits++
+	}
+	var i, j int
+	if i == j { // ok: integers compare exactly
+		hits++
+	}
+	//lrmlint:ignore floatcmp fixture exercises the suppression directive
+	if a == b {
+		hits++
+	}
+	return hits
+}

@@ -1,0 +1,56 @@
+// Fixture for the goroutine analyzer: fire-and-forget function literals
+// are flagged; goroutines wired to a channel, context, or WaitGroup are
+// not, and named calls are out of scope.
+package goroutine
+
+import (
+	"context"
+	"sync"
+)
+
+func launches(ctx context.Context) {
+	go func() { // want "no completion signal"
+		println("fire and forget")
+	}()
+
+	go func(n int) { // want "no completion signal"
+		println(n)
+	}(42)
+
+	done := make(chan struct{})
+	go func() { // ok: closes a channel
+		close(done)
+	}()
+	<-done
+
+	results := make(chan int, 1)
+	go func() { // ok: sends on a channel
+		results <- 1
+	}()
+	<-results
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ok: WaitGroup
+		defer wg.Done()
+	}()
+	wg.Wait()
+
+	go func() { // ok: context cancellation
+		<-ctx.Done()
+	}()
+
+	go func(c <-chan int) { // ok: channel passed as argument
+		for range c {
+		}
+	}(results)
+
+	go named() // ok: named callee not analyzed
+
+	//lrmlint:ignore goroutine fixture exercises the suppression directive
+	go func() {
+		println("suppressed")
+	}()
+}
+
+func named() {}

@@ -1,0 +1,37 @@
+// Fixture for the ignorederr analyzer: discarded error results from the
+// Write/Encode/Decode family are flagged; checked calls and infallible
+// writers are not.
+package ignorederr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+)
+
+type codec struct{}
+
+func (codec) Encode(v float64) error            { return nil }
+func (codec) Decode(b []byte) error             { return nil }
+func (codec) Compress(b []byte) ([]byte, error) { return b, nil }
+func (codec) Name() string                      { return "fixture" }
+
+func use(w io.Writer, c codec, buf *bytes.Buffer, sb *strings.Builder) error {
+	w.Write(nil)                                      // want "error result of"
+	c.Encode(3.5)                                     // want "error result of"
+	c.Decode(nil)                                     // want "error result of"
+	c.Compress(nil)                                   // want "error result of"
+	binary.Write(buf, binary.LittleEndian, uint32(1)) // want "error result of"
+
+	buf.Write(nil)                      // ok: bytes.Buffer never fails
+	sb.Write(nil)                       // ok: strings.Builder never fails
+	c.Name()                            // ok: no error result
+	if err := c.Encode(1); err != nil { // ok: checked
+		return err
+	}
+	_, err := w.Write(nil) // ok: captured
+	//lrmlint:ignore ignorederr fixture exercises the suppression directive
+	c.Decode(nil)
+	return err
+}

@@ -1,0 +1,48 @@
+// Fixture for the mutexcopy analyzer: by-value copies of lock-bearing
+// types are flagged across parameters, receivers, assignments, and range
+// clauses; pointers and fresh composite literals are not.
+package mutexcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct {
+	inner [2]guarded
+}
+
+func byValueParam(g guarded) int { return g.n } // want "parameter passes"
+
+func byValueNested(n nested) int { return n.inner[0].n } // want "parameter passes"
+
+func (g guarded) valueReceiver() int { return g.n } // want "receiver passes"
+
+func (g *guarded) pointerReceiver() int { return g.n } // ok
+
+func byPointer(g *guarded, wg *sync.WaitGroup) {} // ok
+
+func copies() int {
+	var a guarded
+	b := a // want "assignment copies"
+	var wg sync.WaitGroup
+	wg2 := wg // want "assignment copies"
+	wg2.Wait()
+
+	list := make([]guarded, 1)
+	total := 0
+	for _, g := range list { // want "range clause copies"
+		total += g.n
+	}
+	for i := range list { // ok: index iteration
+		total += list[i].n
+	}
+
+	p := &a            // ok: pointer
+	fresh := guarded{} // ok: composite literal constructs a fresh value
+	//lrmlint:ignore mutexcopy fixture exercises the suppression directive
+	c := a
+	return b.n + p.n + fresh.n + c.n + total
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"lrm/internal/grid"
+	"lrm/internal/invariant"
 )
 
 // Rep is a serialisable reduced representation.
@@ -86,7 +87,20 @@ func Reconstruct(rep *Rep) (*grid.Field, error) {
 	if len(rep.Dims) == 0 {
 		return nil, fmt.Errorf("reduce: rep has no dims")
 	}
-	return fn(rep)
+	f, err := fn(rep)
+	if invariant.Enabled && err == nil {
+		// Shape invariant at the inverse-transform boundary: every model's
+		// reconstruction must land exactly on the original grid, or the
+		// delta in the next stage silently misaligns.
+		invariant.SameLen(f.Dims, rep.Dims, "reduce: reconstruct rank")
+		for i := range f.Dims {
+			invariant.Assert(f.Dims[i] == rep.Dims[i],
+				"reduce: %s reconstruction dim %d is %d, rep says %d", rep.Model, i, f.Dims[i], rep.Dims[i])
+		}
+		invariant.Assert(f.Len() == len(f.Data),
+			"reduce: %s reconstruction length %d != dims product %d", rep.Model, len(f.Data), f.Len())
+	}
+	return f, err
 }
 
 // matShape chooses the canonical 2-D matricization of a field for the
@@ -130,5 +144,6 @@ func Delta(f *grid.Field, rep *Rep) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
+	invariant.SameLen(f.Data, recon.Data, "reduce: delta alignment")
 	return f.Sub(recon)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lrm/internal/grid"
+	"lrm/internal/invariant"
 )
 
 // OneBase is the paper's one-base projection model (Fig. 2a, Algorithm 1):
@@ -36,6 +37,12 @@ func (OneBase) Reduce(f *grid.Field) (*Rep, error) {
 	}
 	sl := slabLen(f.Dims)
 	mid := f.Dims[0] / 2
+	if invariant.Enabled {
+		// Mid-plane selection invariant (Algorithm 1): the base slab index
+		// and extent must stay inside the field.
+		invariant.InRange(mid, 0, f.Dims[0], "reduce: one-base mid slab")
+		invariant.Assert((mid+1)*sl <= f.Len(), "reduce: one-base slab [%d,%d) overruns field of %d", mid*sl, (mid+1)*sl, f.Len())
+	}
 	vals := make([]float64, sl)
 	copy(vals, f.Data[mid*sl:(mid+1)*sl])
 	return &Rep{Model: "one-base", Dims: append([]int(nil), f.Dims...), Values: vals}, nil

@@ -92,8 +92,6 @@ func TestSnapshotsShellExpands(t *testing.T) {
 	// radius of top-decile cells.
 	meanRadius := func(fdata []float64) float64 {
 		n := cfg.N
-		_, hi := snaps[0].MinMax()
-		_ = hi
 		maxV := 0.0
 		for _, v := range fdata {
 			if v > maxV {

@@ -1,0 +1,37 @@
+package laplace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSolveParallelConcurrentWorlds runs several rank decompositions of the
+// same problem simultaneously — one MPI world per goroutine — and checks
+// each against the serial solver bit-for-bit. Exists chiefly so that
+// `go test -race` sees the halo exchange, gather, and barrier paths under
+// maximal scheduler pressure.
+func TestSolveParallelConcurrentWorlds(t *testing.T) {
+	cfg := Default(20)
+	cfg.Iters = 60
+	serial := Solve(cfg)
+
+	var wg sync.WaitGroup
+	for ranks := 1; ranks <= 6; ranks++ {
+		wg.Add(1)
+		go func(ranks int) {
+			defer wg.Done()
+			par, err := SolveParallel(cfg, ranks)
+			if err != nil {
+				t.Errorf("ranks=%d: %v", ranks, err)
+				return
+			}
+			for i := range serial.Data {
+				if par.Data[i] != serial.Data[i] {
+					t.Errorf("ranks=%d: diverges from serial at %d: %v != %v", ranks, i, par.Data[i], serial.Data[i])
+					return
+				}
+			}
+		}(ranks)
+	}
+	wg.Wait()
+}

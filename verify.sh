@@ -1,0 +1,47 @@
+#!/bin/sh
+# Tier-1.5 verification gate: everything CI runs, runnable locally.
+#
+#   ./verify.sh         full gate (build, vet, fmt, lint, tests, race, fuzz)
+#   ./verify.sh quick   skip the race-detector and fuzz passes
+#
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")"
+
+step() {
+	echo "==> $*"
+	"$@"
+}
+
+fmtcheck() {
+	bad=$(gofmt -l .)
+	if [ -n "$bad" ]; then
+		echo "gofmt needed on:" >&2
+		echo "$bad" >&2
+		return 1
+	fi
+}
+
+step go build ./...
+step go build -tags invariants ./...
+step go vet ./...
+echo "==> gofmt -l ."
+fmtcheck
+step go run ./cmd/lrmlint ./...
+step go test ./...
+# Invariant-instrumented packages: the assertions themselves must hold on
+# every test input.
+step go test -tags invariants ./internal/compress/... ./internal/reduce/... ./internal/core/...
+
+if [ "${1:-}" != "quick" ]; then
+	# Concurrent packages under the race detector.
+	step go test -race ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/...
+	# Short fuzz pass over the decoder targets (seed corpus + a few seconds
+	# of mutation each). -fuzz accepts a single package per invocation.
+	for pkg in ./internal/compress/sz ./internal/compress/zfp ./internal/compress/fpc; do
+		step go test -fuzz=FuzzDecompress -fuzztime=10s -run='^$' "$pkg"
+	done
+fi
+
+echo "==> verify OK"
