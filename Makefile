@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint test invariants race fuzz verify
+.PHONY: build vet fmt lint test invariants race fuzz bench bench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,15 @@ invariants:
 
 # Concurrent packages under the race detector.
 race:
-	$(GO) test -race ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/...
+	$(GO) test -race ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/linalg/...
+
+# JSON benchmark harness (BENCH_<n>.json artifact); bench-smoke is the CI
+# single-iteration configuration.
+bench:
+	$(GO) run ./cmd/lrmbench -iters 5 -out BENCH.json
+
+bench-smoke:
+	$(GO) run ./cmd/lrmbench -iters 1 -out /tmp/lrmbench-smoke.json
 
 # Short mutation pass over the decoder fuzz targets (seeds always run in
 # plain `make test`; this adds -fuzztime of coverage-guided input search).

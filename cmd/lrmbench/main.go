@@ -1,0 +1,239 @@
+// Command lrmbench measures the throughput and allocation profile of the
+// repository's codecs and emits the result as JSON — the artifact behind
+// the BENCH_<n>.json perf gate.
+//
+// Usage:
+//
+//	lrmbench [-out BENCH.json] [-iters N] [-baseline old.json]
+//
+// Each benchmark compresses (and decompresses) a Heat3d field at two
+// problem sizes, per codec, at worker counts 1 and 4. ns_op is the best of
+// -iters runs (the conventional noise-resistant statistic); b_op and
+// allocs_op are per-run heap deltas. When -baseline points at a previous
+// lrmbench JSON, matching benchmarks gain baseline_ns_op and
+// speedup_vs_baseline so regressions and wins are visible in the artifact
+// itself.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"lrm/internal/compress"
+	"lrm/internal/compress/fpc"
+	"lrm/internal/compress/sz"
+	"lrm/internal/compress/zfp"
+	"lrm/internal/grid"
+	"lrm/internal/sim/heat3d"
+)
+
+// parallelizable is declared structurally (rather than using
+// compress.Parallelizable) so this command also compiles against trees
+// whose codecs predate the worker knob: such codecs simply skip the
+// workers>1 variants.
+type parallelizable interface {
+	compress.Codec
+	WithWorkers(workers int) compress.Codec
+}
+
+// Benchmark is one measured (codec, size, direction, workers) cell.
+type Benchmark struct {
+	Name              string  `json:"name"` // e.g. "zfp/medium/compress/workers=4"
+	NsOp              int64   `json:"ns_op"`
+	BOp               int64   `json:"b_op"`
+	AllocsOp          int64   `json:"allocs_op"`
+	MBs               float64 `json:"mb_s"` // uncompressed MB processed per second
+	BaselineNsOp      int64   `json:"baseline_ns_op,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Iters      int         `json:"iters"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+const schemaID = "lrm-bench/1"
+
+func main() {
+	out := flag.String("out", "", "write JSON here (default stdout)")
+	iters := flag.Int("iters", 5, "measurement repetitions; best-of is reported")
+	baselinePath := flag.String("baseline", "", "previous lrmbench JSON to compute speedups against")
+	flag.Parse()
+
+	var baseline *Report
+	if *baselinePath != "" {
+		b, err := readReport(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrmbench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		baseline = b
+	}
+
+	rep := run(*iters, baseline)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrmbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintf(os.Stderr, "lrmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "lrmbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// benchField builds the input for one problem size. Small matches the
+// repository's bench_test.go field; medium is the BENCH gate's target.
+func benchField(size string) *grid.Field {
+	switch size {
+	case "small":
+		cfg := heat3d.Default(32)
+		cfg.Steps = 100
+		return heat3d.Solve(cfg)
+	case "medium":
+		cfg := heat3d.Default(64)
+		cfg.Steps = 40
+		return heat3d.Solve(cfg)
+	}
+	panic("unknown size " + size)
+}
+
+func run(iters int, baseline *Report) *Report {
+	if iters < 1 {
+		iters = 1
+	}
+	codecs := []struct {
+		family string
+		codec  compress.Codec
+	}{
+		{"zfp", zfp.MustNew(16)},
+		{"sz", sz.MustNew(sz.Abs, 1e-5)},
+		{"fpc", fpc.MustNew(12)},
+	}
+	rep := &Report{Schema: schemaID, GoMaxProcs: runtime.GOMAXPROCS(0), Iters: iters}
+	for _, size := range []string{"small", "medium"} {
+		f := benchField(size)
+		for _, c := range codecs {
+			workerCounts := []int{1}
+			if _, ok := c.codec.(parallelizable); ok {
+				workerCounts = append(workerCounts, 4)
+			}
+			for _, w := range workerCounts {
+				codec := c.codec
+				if w != 1 {
+					codec = codec.(parallelizable).WithWorkers(w)
+				}
+				enc, err := codec.Compress(f)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "lrmbench: %s/%s: %v\n", c.family, size, err)
+					os.Exit(1)
+				}
+				prefix := fmt.Sprintf("%s/%s", c.family, size)
+				suffix := fmt.Sprintf("workers=%d", w)
+				rep.Benchmarks = append(rep.Benchmarks,
+					measure(fmt.Sprintf("%s/compress/%s", prefix, suffix), iters, 8*f.Len(), func() error {
+						_, err := codec.Compress(f)
+						return err
+					}),
+					measure(fmt.Sprintf("%s/decompress/%s", prefix, suffix), iters, 8*f.Len(), func() error {
+						_, err := codec.Decompress(enc)
+						return err
+					}),
+				)
+			}
+		}
+	}
+	if baseline != nil {
+		attach(rep, baseline)
+	}
+	return rep
+}
+
+// measure runs fn iters times and reports best-of wall time plus mean heap
+// growth, the same statistics `go test -bench -benchmem` prints.
+func measure(name string, iters, rawBytes int, fn func() error) Benchmark {
+	var best time.Duration = 1<<63 - 1
+	var mallocs, bytes uint64
+	for i := 0; i < iters; i++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		err := fn()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrmbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if elapsed < best {
+			best = elapsed
+		}
+		mallocs += after.Mallocs - before.Mallocs
+		bytes += after.TotalAlloc - before.TotalAlloc
+	}
+	mbs := 0.0
+	if best > 0 {
+		mbs = float64(rawBytes) / 1e6 / best.Seconds()
+	}
+	return Benchmark{
+		Name:     name,
+		NsOp:     best.Nanoseconds(),
+		BOp:      int64(bytes / uint64(iters)),
+		AllocsOp: int64(mallocs / uint64(iters)),
+		MBs:      mbs,
+	}
+}
+
+// attach joins baseline numbers onto matching benchmark names. A
+// workers=N cell with no exact match falls back to the baseline's
+// workers=1 cell for the same codec/size/direction: a baseline tree that
+// predates the worker knob only has serial numbers, and its serial run IS
+// the baseline for every worker count.
+func attach(rep, baseline *Report) {
+	base := make(map[string]int64, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b.NsOp
+	}
+	for i := range rep.Benchmarks {
+		b := &rep.Benchmarks[i]
+		ns, ok := base[b.Name]
+		if !ok {
+			if j := strings.LastIndex(b.Name, "/workers="); j >= 0 {
+				ns, ok = base[b.Name[:j]+"/workers=1"]
+			}
+		}
+		if ok && ns > 0 && b.NsOp > 0 {
+			b.BaselineNsOp = ns
+			b.SpeedupVsBaseline = float64(ns) / float64(b.NsOp)
+		}
+	}
+}

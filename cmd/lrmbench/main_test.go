@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunProducesFullMatrix runs the benchmark harness at one iteration
+// (the CI smoke configuration) and checks the report shape: every expected
+// benchmark cell present, sane numbers, valid JSON round trip.
+func TestRunProducesFullMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is not short")
+	}
+	rep := run(1, nil)
+	if rep.Schema != schemaID {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	names := make(map[string]bool)
+	for _, b := range rep.Benchmarks {
+		names[b.Name] = true
+		if b.NsOp <= 0 {
+			t.Errorf("%s: ns_op %d", b.Name, b.NsOp)
+		}
+		if b.MBs <= 0 {
+			t.Errorf("%s: mb_s %v", b.Name, b.MBs)
+		}
+		if b.AllocsOp < 0 || b.BOp < 0 {
+			t.Errorf("%s: negative mem stats", b.Name)
+		}
+	}
+	for _, size := range []string{"small", "medium"} {
+		for _, dir := range []string{"compress", "decompress"} {
+			for _, want := range []string{
+				"zfp/" + size + "/" + dir + "/workers=1",
+				"zfp/" + size + "/" + dir + "/workers=4",
+				"sz/" + size + "/" + dir + "/workers=1",
+				"sz/" + size + "/" + dir + "/workers=4",
+				"fpc/" + size + "/" + dir + "/workers=1",
+			} {
+				if !names[want] {
+					t.Errorf("missing benchmark %q", want)
+				}
+			}
+		}
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Report
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("JSON round trip lost benchmarks")
+	}
+}
+
+// TestAttachBaseline checks the speedup join logic.
+func TestAttachBaseline(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "zfp/medium/compress/workers=1", NsOp: 500},
+		{Name: "zfp/medium/compress/workers=4", NsOp: 250},
+		{Name: "new/bench", NsOp: 100},
+	}}
+	base := &Report{Benchmarks: []Benchmark{
+		{Name: "zfp/medium/compress/workers=1", NsOp: 1000},
+		{Name: "gone/bench", NsOp: 9},
+	}}
+	attach(rep, base)
+	b := rep.Benchmarks[0]
+	if b.BaselineNsOp != 1000 || b.SpeedupVsBaseline != 2.0 {
+		t.Fatalf("bad join: %+v", b)
+	}
+	// workers=4 has no exact baseline; it falls back to the serial cell.
+	w4 := rep.Benchmarks[1]
+	if w4.BaselineNsOp != 1000 || w4.SpeedupVsBaseline != 4.0 {
+		t.Fatalf("workers=4 fallback join failed: %+v", w4)
+	}
+	if rep.Benchmarks[2].BaselineNsOp != 0 {
+		t.Fatalf("unmatched benchmark gained a baseline: %+v", rep.Benchmarks[2])
+	}
+	if !strings.HasPrefix(rep.Benchmarks[0].Name, "zfp/") {
+		t.Fatal("name mangled")
+	}
+}

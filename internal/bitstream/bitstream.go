@@ -1,15 +1,23 @@
 // Package bitstream implements MSB-first bit-level readers and writers used
 // by the ZFP-style embedded coder and the Huffman coder.
+//
+// The writer accumulates into a 64-bit word and spills whole words into the
+// byte buffer, so multi-bit writes cost O(1) instead of one buffer append
+// per bit — the bit-plane coder and the Huffman payload loop are the
+// hottest code in the repository and run almost entirely through WriteBits.
 package bitstream
 
-import "errors"
+import (
+	"encoding/binary"
+	"errors"
+)
 
 // Writer accumulates bits most-significant-bit first into a byte buffer.
 // The zero value is ready to use.
 type Writer struct {
 	buf  []byte
-	cur  uint64 // pending bits, left-aligned within the low `n` bits
-	n    uint   // number of pending bits in cur (0..7)
+	cur  uint64 // pending bits, value in the low `n` bits (MSB written first)
+	n    uint   // number of pending bits in cur, 0..63
 	bits int    // total bits written
 }
 
@@ -18,8 +26,8 @@ func (w *Writer) WriteBit(b uint) {
 	w.cur = w.cur<<1 | uint64(b&1)
 	w.n++
 	w.bits++
-	if w.n == 8 {
-		w.buf = append(w.buf, byte(w.cur))
+	if w.n == 64 {
+		w.buf = binary.BigEndian.AppendUint64(w.buf, w.cur)
 		w.cur, w.n = 0, 0
 	}
 }
@@ -30,8 +38,53 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 	if n > 64 {
 		panic("bitstream: WriteBits n > 64")
 	}
-	for i := int(n) - 1; i >= 0; i-- {
-		w.WriteBit(uint(v >> uint(i)))
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= 1<<n - 1
+	}
+	w.bits += int(n)
+	free := 64 - w.n // 1..64, since w.n <= 63
+	if n < free {
+		w.cur = w.cur<<n | v
+		w.n += n
+		return
+	}
+	rem := n - free // 0..63
+	// Fill cur to exactly 64 bits and spill it. free&63 keeps the shift
+	// legal when free == 64 (then w.n == 0 and w.cur == 0, so the shifted
+	// term is zero anyway).
+	w.buf = binary.BigEndian.AppendUint64(w.buf, w.cur<<(free&63)|v>>rem)
+	if rem == 0 {
+		w.cur, w.n = 0, 0
+		return
+	}
+	w.cur = v & (1<<rem - 1)
+	w.n = rem
+}
+
+// AppendWriter appends every bit written to o, in order, to w. This is the
+// deterministic concatenation primitive for the parallel encoders: shards
+// encoded into private writers and appended in shard order yield the exact
+// bit (and therefore byte) stream of a single serial writer. o is not
+// modified.
+func (w *Writer) AppendWriter(o *Writer) {
+	if w.n == 0 {
+		// Byte-aligned fast path: splice whole bytes directly.
+		w.buf = append(w.buf, o.buf...)
+		w.bits += 8 * len(o.buf)
+	} else {
+		i := 0
+		for ; i+8 <= len(o.buf); i += 8 {
+			w.WriteBits(binary.BigEndian.Uint64(o.buf[i:]), 64)
+		}
+		for ; i < len(o.buf); i++ {
+			w.WriteBits(uint64(o.buf[i]), 8)
+		}
+	}
+	if o.n > 0 {
+		w.WriteBits(o.cur, o.n)
 	}
 }
 
@@ -44,7 +97,10 @@ func (w *Writer) Len() int { return w.bits }
 func (w *Writer) Bytes() []byte {
 	out := w.buf
 	if w.n > 0 {
-		out = append(out, byte(w.cur<<(8-w.n)))
+		cur := w.cur << (64 - w.n) // left-align pending bits
+		for i := uint(0); i < (w.n+7)/8; i++ {
+			out = append(out, byte(cur>>(56-8*i)))
+		}
 	}
 	return out
 }
@@ -79,18 +135,31 @@ func (r *Reader) ReadBit() (uint, error) {
 }
 
 // ReadBits returns the next n bits, most significant first. n must be <= 64.
+// On ErrOutOfBits the reader is positioned at the end of the stream.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
 		panic("bitstream: ReadBits n > 64")
 	}
-	var v uint64
-	for i := uint(0); i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
-		}
-		v = v<<1 | uint64(b)
+	end := r.pos + int(n)
+	if end > 8*len(r.buf) {
+		r.pos = 8 * len(r.buf)
+		return 0, ErrOutOfBits
 	}
+	var v uint64
+	pos := r.pos
+	for got := uint(0); got < n; {
+		byteIdx := pos >> 3
+		bit := uint(pos & 7)
+		take := 8 - bit
+		if take > n-got {
+			take = n - got
+		}
+		chunk := uint64(r.buf[byteIdx]>>(8-bit-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		got += take
+		pos += int(take)
+	}
+	r.pos = end
 	return v, nil
 }
 

@@ -1,0 +1,88 @@
+package bitstream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestDiffWriteBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var ref, w Writer
+		for op := 0; op < 50; op++ {
+			n := uint(rng.Intn(65))
+			v := rng.Uint64()
+			w.WriteBits(v, n)
+			for i := int(n) - 1; i >= 0; i-- {
+				ref.WriteBit(uint(v >> uint(i) & 1))
+			}
+		}
+		if w.Len() != ref.Len() {
+			t.Fatalf("trial %d: len %d vs %d", trial, w.Len(), ref.Len())
+		}
+		if !bytes.Equal(w.Bytes(), ref.Bytes()) {
+			t.Fatalf("trial %d: bytes differ", trial)
+		}
+	}
+}
+
+func TestDiffAppendWriter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		var ref, w, a, b Writer
+		for op := 0; op < 30; op++ {
+			n := uint(rng.Intn(65))
+			v := rng.Uint64()
+			a.WriteBits(v, n)
+			ref.WriteBits(v, n)
+		}
+		for op := 0; op < 30; op++ {
+			n := uint(rng.Intn(65))
+			v := rng.Uint64()
+			b.WriteBits(v, n)
+			ref.WriteBits(v, n)
+		}
+		w.AppendWriter(&a)
+		w.AppendWriter(&b)
+		if !bytes.Equal(w.Bytes(), ref.Bytes()) || w.Len() != ref.Len() {
+			t.Fatalf("trial %d: concat mismatch", trial)
+		}
+	}
+}
+
+func TestDiffReadBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		var w Writer
+		total := 0
+		for op := 0; op < 50; op++ {
+			n := uint(rng.Intn(65))
+			w.WriteBits(rng.Uint64(), n)
+			total += int(n)
+		}
+		data := w.Bytes()
+		r1 := NewReader(data)
+		r2 := NewReader(data)
+		read := 0
+		for read < total {
+			n := uint(rng.Intn(65))
+			if int(n) > total-read {
+				n = uint(total - read)
+			}
+			v1, err1 := r1.ReadBits(n)
+			var v2 uint64
+			for i := uint(0); i < n; i++ {
+				b, err := r2.ReadBit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				v2 = v2<<1 | uint64(b)
+			}
+			if err1 != nil || v1 != v2 {
+				t.Fatalf("trial %d: read %d bits: %x vs %x (err %v)", trial, n, v1, v2, err1)
+			}
+			read += int(n)
+		}
+	}
+}

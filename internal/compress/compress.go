@@ -36,6 +36,18 @@ type ErrorBounded interface {
 	AbsErrorBound(f *grid.Field) (bound float64, ok bool)
 }
 
+// Parallelizable is the optional interface of codecs whose kernels run on
+// a bounded worker pool. WithWorkers returns a codec bound to the given
+// pool size — 1 forces serial execution, 0 restores the default
+// (GOMAXPROCS) — without mutating the receiver. Implementations MUST
+// produce byte-identical streams at every worker count: the knob trades
+// only latency, never format, so callers may resize freely (e.g. the
+// chunked container dividing a pool among chunks).
+type Parallelizable interface {
+	Codec
+	WithWorkers(workers int) Codec
+}
+
 // Ratio returns the compression ratio of a field against its encoding
 // (original bytes / compressed bytes).
 func Ratio(f *grid.Field, compressed []byte) float64 {

@@ -8,8 +8,11 @@ import (
 
 // encodeCodes entropy-codes the quantization codes. Huffman is the right
 // tool here: hit codes cluster tightly around `radius`, so the common bins
-// cost only a few bits each.
-func encodeCodes(codes []int) []byte { return huffman.Encode(codes) }
+// cost only a few bits each. The count and pack stages shard across the
+// worker pool without changing the output bytes.
+func encodeCodes(codes []int, workers int) []byte {
+	return huffman.EncodeParallel(codes, workers)
+}
 
 // decodeCodes reverses encodeCodes and validates the expected count.
 func decodeCodes(b []byte, n int) ([]int, error) {

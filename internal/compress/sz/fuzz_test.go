@@ -1,13 +1,15 @@
 package sz
 
 import (
+	"math"
 	"testing"
 
 	"lrm/internal/grid"
 )
 
 // FuzzDecompress asserts the sz stream parser never panics on arbitrary
-// bytes.
+// bytes — on the serial path AND on the worker pool path, which must agree
+// bitwise whenever both succeed.
 func FuzzDecompress(f *testing.F) {
 	field := grid.New(5, 9)
 	for i := range field.Data {
@@ -27,9 +29,21 @@ func FuzzDecompress(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := MustNew(Abs, 1e-3)
-		if out, err := c.Decompress(data); err == nil && out != nil {
+		out, err := c.Decompress(data)
+		if err == nil && out != nil {
 			if out.Len() == 0 || out.Len() > 1<<24 {
 				t.Fatalf("implausible decode length %d", out.Len())
+			}
+		}
+		outP, errP := c.WithWorkers(8).Decompress(data)
+		if (err == nil) != (errP == nil) {
+			t.Fatalf("serial/parallel decode disagree: %v vs %v", err, errP)
+		}
+		if err == nil {
+			for i := range out.Data {
+				if math.Float64bits(out.Data[i]) != math.Float64bits(outP.Data[i]) {
+					t.Fatalf("serial/parallel decode differ bitwise at %d", i)
+				}
 			}
 		}
 	})

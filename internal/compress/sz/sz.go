@@ -27,6 +27,7 @@ import (
 	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
+	"lrm/internal/parallel"
 )
 
 // Mode selects how the error bound is interpreted.
@@ -70,6 +71,22 @@ type Codec struct {
 	mode     Mode
 	bound    float64
 	curveFit bool
+	workers  int // worker pool size; 0 = parallel.DefaultWorkers()
+}
+
+// WithWorkers returns a copy of c that runs the predict–quantize wavefront
+// and the Huffman stage on a pool of the given size. 1 forces serial
+// execution; 0 restores the default (GOMAXPROCS). Output is byte-identical
+// at every worker count.
+func (c *Codec) WithWorkers(workers int) compress.Codec {
+	cp := *c
+	cp.workers = workers
+	return &cp
+}
+
+// workerCount resolves the effective pool size.
+func (c *Codec) workerCount() int {
+	return parallel.Config{Workers: c.workers}.Resolve()
 }
 
 // New returns a codec with the given mode and error bound.
@@ -153,6 +170,35 @@ func (c *Codec) AbsErrorBound(f *grid.Field) (float64, bool) {
 		return 0, false
 	}
 	return c.effectiveBound(f), true
+}
+
+// hasNaNOrInf scans for unsupported values, sharding across the pool for
+// large inputs. The answer is a pure predicate, so scan order is free.
+func hasNaNOrInf(data []float64, workers int) bool {
+	if workers <= 1 || len(data) < minWavefrontPoints {
+		for _, v := range data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	shards := parallel.Shards(workers, len(data))
+	found := make([]bool, shards)
+	parallel.ForShard(workers, len(data), func(sh, lo, hi int) {
+		for _, v := range data[lo:hi] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				found[sh] = true
+				return
+			}
+		}
+	})
+	for _, f := range found {
+		if f {
+			return true
+		}
+	}
+	return false
 }
 
 // lorenzoPredict predicts point i of data given dims, using only indices
@@ -256,36 +302,97 @@ func (c *Codec) predictor() predictor {
 	return lorenzoPredict
 }
 
+// quantizePoint computes the quantization code for point idx and writes
+// its reconstruction into decoded[idx]. All of the point's strictly-lower-
+// index neighbours must already be reconstructed.
+func quantizePoint(data, decoded []float64, dims []int, eb float64, pred4 predictor, idx int) int {
+	v := data[idx]
+	pred := pred4(decoded, dims, idx)
+	diff := v - pred
+	q := math.Round(diff / (2 * eb))
+	if math.Abs(q) < radius && !math.IsNaN(q) {
+		dec := pred + 2*eb*q
+		// Guard against floating-point cancellation pushing the
+		// reconstruction outside the bound.
+		if math.Abs(dec-v) <= eb {
+			decoded[idx] = dec
+			return int(q) + radius
+		}
+	}
+	decoded[idx] = v
+	return unpredictable
+}
+
 // quantizeCore runs the predict–quantize loop with an absolute bound eb.
 // It returns the quantization codes and the exactly stored values for
 // misses. decoded is scratch of len(data) holding the on-the-fly
-// reconstruction, which is also the decompressor's view.
-func quantizeCore(data []float64, dims []int, eb float64, decoded []float64, pred4 predictor) (codes []int, exact []float64) {
+// reconstruction, which is also the decompressor's view. With workers > 1
+// and a multi-dimensional domain the loop runs as a tiled wavefront
+// (wavefront.go); every point still sees identical operands, so codes,
+// decoded, and the exact pool match the serial scan bit for bit.
+func quantizeCore(data []float64, dims []int, eb float64, decoded []float64, pred4 predictor, workers int) (codes []int, exact []float64) {
 	codes = make([]int, len(data))
-	for idx, v := range data {
-		pred := pred4(decoded, dims, idx)
-		diff := v - pred
-		q := math.Round(diff / (2 * eb))
-		if math.Abs(q) < radius && !math.IsNaN(q) {
-			dec := pred + 2*eb*q
-			// Guard against floating-point cancellation pushing the
-			// reconstruction outside the bound.
-			if math.Abs(dec-v) <= eb {
-				codes[idx] = int(q) + radius
-				decoded[idx] = dec
-				continue
+	if wavefrontRun(dims, workers, func(idx int) {
+		codes[idx] = quantizePoint(data, decoded, dims, eb, pred4, idx)
+	}) {
+		// Collect misses in raster order — the serial pool order.
+		for idx, code := range codes {
+			if code == unpredictable {
+				exact = append(exact, data[idx])
 			}
 		}
-		codes[idx] = unpredictable
-		exact = append(exact, v)
-		decoded[idx] = v
+		return codes, exact
+	}
+	for idx := range data {
+		codes[idx] = quantizePoint(data, decoded, dims, eb, pred4, idx)
+		if codes[idx] == unpredictable {
+			exact = append(exact, data[idx])
+		}
 	}
 	return codes, exact
 }
 
-// dequantizeCore reverses quantizeCore.
-func dequantizeCore(codes []int, dims []int, eb float64, exact []float64, pred4 predictor) ([]float64, error) {
+// dequantizeCore reverses quantizeCore. The parallel path first validates
+// codes and places the exact values in one raster pre-pass (reproducing
+// the serial error and pool-consumption order), then runs the prediction
+// recurrence as a wavefront over the remaining points.
+func dequantizeCore(codes []int, dims []int, eb float64, exact []float64, pred4 predictor, workers int) ([]float64, error) {
 	out := make([]float64, len(codes))
+	wantWave := len(dims) > 1 && workers > 1 && len(codes) >= minWavefrontPoints
+	if wantWave {
+		e := 0
+		for idx, code := range codes {
+			if code == unpredictable {
+				if e >= len(exact) {
+					return nil, errors.New("sz: exact-value pool exhausted")
+				}
+				out[idx] = exact[e]
+				e++
+				continue
+			}
+			if code < 0 || code > unpredictable {
+				return nil, fmt.Errorf("sz: invalid quantization code %d", code)
+			}
+		}
+		if e != len(exact) {
+			return nil, errors.New("sz: unconsumed exact values")
+		}
+		if wavefrontRun(dims, workers, func(idx int) {
+			if codes[idx] == unpredictable {
+				return // exact value already placed by the pre-pass
+			}
+			pred := pred4(out, dims, idx)
+			out[idx] = pred + 2*eb*float64(codes[idx]-radius)
+		}) {
+			return out, nil
+		}
+		// Domain declined the wavefront: fall through to the serial scan
+		// (out already holds the misses, which the scan overwrites
+		// consistently).
+		for i := range out {
+			out[i] = 0
+		}
+	}
 	e := 0
 	for idx, code := range codes {
 		if code == unpredictable {
@@ -311,13 +418,13 @@ func dequantizeCore(codes []int, dims []int, eb float64, exact []float64, pred4 
 // payload is the serialised pre-flate content.
 //
 //	uvarint exactCount | exact float64s | huffman(codes)
-func buildPayload(codes []int, exact []float64) []byte {
+func buildPayload(codes []int, exact []float64, workers int) []byte {
 	var b []byte
 	b = binary.AppendUvarint(b, uint64(len(exact)))
 	for _, v := range exact {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 	}
-	return append(b, encodeCodes(codes)...)
+	return append(b, encodeCodes(codes, workers)...)
 }
 
 func parsePayload(b []byte, n int) (codes []int, exact []float64, err error) {
@@ -346,10 +453,9 @@ func parsePayload(b []byte, n int) (codes []int, exact []float64, err error) {
 
 // Compress implements compress.Codec.
 func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
-	for _, v := range f.Data {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, errors.New("sz: NaN/Inf not supported")
-		}
+	workers := c.workerCount()
+	if hasNaNOrInf(f.Data, workers) {
+		return nil, errors.New("sz: NaN/Inf not supported")
 	}
 	hdr := compress.EncodeDimsHeader(f.Dims)
 	hdr = append(hdr, byte(c.mode))
@@ -366,7 +472,7 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		eb := c.effectiveBound(f)
 		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(eb))
 		decoded := make([]float64, f.Len())
-		codes, exact := quantizeCore(f.Data, f.Dims, eb, decoded, c.predictor())
+		codes, exact := quantizeCore(f.Data, f.Dims, eb, decoded, c.predictor(), workers)
 		if invariant.Enabled {
 			// Predict→quantize boundary: the on-the-fly reconstruction (the
 			// decoder's exact view) must honour the pointwise bound, and
@@ -376,7 +482,7 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 				invariant.InRange(q, 0, unpredictable+1, "sz: quantization code")
 			}
 		}
-		raw = buildPayload(codes, exact)
+		raw = buildPayload(codes, exact, workers)
 
 	case PointwiseRel:
 		// Log-domain transform: bounding |log2 x - log2 x'| <= eb' bounds
@@ -399,7 +505,7 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 			}
 		}
 		decoded := make([]float64, f.Len())
-		codes, exact := quantizeCore(logs, f.Dims, ebLog, decoded, c.predictor())
+		codes, exact := quantizeCore(logs, f.Dims, ebLog, decoded, c.predictor(), workers)
 		if invariant.Enabled {
 			// Log-domain quantize boundary: bounding |log2 x − log2 x′|
 			// by ebLog is what bounds the relative error by 2^ebLog − 1.
@@ -415,7 +521,7 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 			prev = z
 		}
 		raw = append(zb, signs...)
-		raw = append(raw, buildPayload(codes, exact)...)
+		raw = append(raw, buildPayload(codes, exact, workers)...)
 	}
 
 	body, err := compress.FlateBytes(raw, 6)
@@ -472,7 +578,7 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 		if err != nil {
 			return nil, err
 		}
-		vals, err := dequantizeCore(codes, dims, eb, exact, pred4)
+		vals, err := dequantizeCore(codes, dims, eb, exact, pred4, c.workerCount())
 		if err != nil {
 			return nil, err
 		}
@@ -510,7 +616,7 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 		if err != nil {
 			return nil, err
 		}
-		logs, err := dequantizeCore(codes, dims, eb, exact, pred4)
+		logs, err := dequantizeCore(codes, dims, eb, exact, pred4, c.workerCount())
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,112 @@
+package sz
+
+import (
+	"lrm/internal/parallel"
+)
+
+// This file parallelizes the Lorenzo predict–quantize recurrence. The
+// predictor of point (k, j, i) reads only already-reconstructed neighbours
+// with strictly smaller per-dimension indices, so the domain can be cut
+// into a grid of tiles whose dependencies run only "up and left": tile
+// (a, b) needs tiles (a-1, b), (a, b-1) and (a-1, b-1). Tiles on the same
+// anti-diagonal a+b = d are therefore mutually independent and run
+// concurrently, sweeping the diagonals in order (a wavefront).
+//
+// Every point performs the identical floating-point arithmetic on the
+// identical operands as the serial raster scan — only the visit order of
+// independent points changes — so the quantization codes and the
+// reconstruction are bit-identical at any worker or tile count. Misses are
+// collected into the exact-value pool by a separate raster pass over the
+// finished codes, which reproduces the serial pool order.
+//
+// 1-D data has a strictly sequential dependency chain (and the adaptive
+// curve-fit predictor is 1-D only), so rank 1 always runs serially.
+
+// minWavefrontPoints gates the wavefront: below this the per-diagonal
+// fork/join barriers cost more than the quantization work.
+const minWavefrontPoints = 1 << 14
+
+// wavefrontTiles picks the tile-grid extent along a dimension of length n:
+// about two tiles per worker for pipeline fill, but never tiles shorter
+// than 4 points, and never more tiles than points.
+func wavefrontTiles(n, workers int) int {
+	g := 2 * workers
+	if g > n/4 {
+		g = n / 4
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// pointFn processes one already-schedulable point.
+type pointFn func(idx int)
+
+// wavefront2 sweeps an (n0, n1) domain in anti-diagonal tile order,
+// calling fn for every point with its dependencies complete.
+func wavefront2(n0, n1, workers int, fn func(i0, i1 int)) {
+	g0 := wavefrontTiles(n0, workers)
+	g1 := wavefrontTiles(n1, workers)
+	for d := 0; d <= g0+g1-2; d++ {
+		lo := d - g1 + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := d
+		if hi > g0-1 {
+			hi = g0 - 1
+		}
+		parallel.For(workers, hi-lo+1, func(t int) {
+			a := lo + t
+			b := d - a
+			i0lo, i0hi := parallel.ShardBounds(n0, g0, a)
+			i1lo, i1hi := parallel.ShardBounds(n1, g1, b)
+			for i0 := i0lo; i0 < i0hi; i0++ {
+				for i1 := i1lo; i1 < i1hi; i1++ {
+					fn(i0, i1)
+				}
+			}
+		})
+	}
+}
+
+// wavefrontRun sweeps the whole domain, scheduling fn(idx) so every
+// point's strictly-lower-index neighbours are already processed. Rank 2
+// tiles (y, x); rank 3 tiles (z, y) with full x rows inside a tile, which
+// keeps the inner loop contiguous. Returns false when the domain does not
+// warrant (or support) the wavefront; the caller must then run serially.
+func wavefrontRun(dims []int, workers int, fn pointFn) bool {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if workers <= 1 || n < minWavefrontPoints {
+		return false
+	}
+	switch len(dims) {
+	case 2:
+		ny, nx := dims[0], dims[1]
+		if wavefrontTiles(ny, workers) < 2 || wavefrontTiles(nx, workers) < 2 {
+			return false
+		}
+		wavefront2(ny, nx, workers, func(y, x int) {
+			fn(y*nx + x)
+		})
+		return true
+	case 3:
+		nz, ny, nx := dims[0], dims[1], dims[2]
+		if wavefrontTiles(nz, workers) < 2 || wavefrontTiles(ny, workers) < 2 {
+			return false
+		}
+		wavefront2(nz, ny, workers, func(z, y int) {
+			base := (z*ny + y) * nx
+			for x := 0; x < nx; x++ {
+				fn(base + x)
+			}
+		})
+		return true
+	default:
+		return false
+	}
+}

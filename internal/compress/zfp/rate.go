@@ -8,12 +8,15 @@ import (
 	"lrm/internal/bitstream"
 	"lrm/internal/compress"
 	"lrm/internal/grid"
+	"lrm/internal/parallel"
 )
 
 // modeRate is the fixed-rate stream mode: every block costs exactly
 // rate * 4^d bits, which makes the stream randomly accessible — the
 // defining feature of real ZFP's -r mode (compressed arrays with O(1)
-// element access).
+// element access). The fixed budget also makes rate mode the most
+// parallel-friendly: block i starts at bit i*budget, so decode needs no
+// serial parse stage at all.
 const modeRate byte = 2
 
 // NewRate returns a fixed-rate codec storing exactly `rate` bits per value.
@@ -49,9 +52,10 @@ func encodePlaneBudget(w *bitstream.Writer, x uint64, size, n, bits int) (int, i
 		m = bits
 	}
 	bits -= m
-	for i := 0; i < m; i++ {
-		w.WriteBit(uint(x & 1))
-		x >>= 1
+	if m > 0 {
+		// Verbatim prefix, least significant bit first, in one write.
+		w.WriteBits(mathbitsReverse(x, m), uint(m))
+		x >>= uint(m)
 	}
 	for n < size && bits > 0 {
 		bits--
@@ -74,6 +78,17 @@ func encodePlaneBudget(w *bitstream.Writer, x uint64, size, n, bits int) (int, i
 		n++
 	}
 	return n, bits
+}
+
+// mathbitsReverse returns the low m bits of x in reversed order (bit 0
+// becomes the most significant of the m-bit result), matching the emission
+// order of a least-significant-first per-bit loop.
+func mathbitsReverse(x uint64, m int) uint64 {
+	var v uint64
+	for i := 0; i < m; i++ {
+		v = v<<1 | (x >> uint(i) & 1)
+	}
+	return v
 }
 
 // decodePlaneBudget mirrors encodePlaneBudget.
@@ -120,7 +135,10 @@ func decodePlaneBudget(r *bitstream.Reader, size, n, bits int) (uint64, int, int
 // blockBudgetBits returns the exact bit cost of one block in rate mode.
 func blockBudgetBits(rate uint, size int) int { return int(rate) * size }
 
-// compressRate encodes the whole field at a fixed per-block budget.
+// compressRate encodes the whole field at a fixed per-block budget,
+// sharding the block list across the pool like the variable-rate encoder.
+// Because every block costs exactly `budget` bits, shard boundaries land
+// at deterministic offsets and concatenation reproduces the serial stream.
 func (c *Codec) compressRate(f *grid.Field) ([]byte, error) {
 	rank := f.Rank()
 	size := 1 << (2 * uint(rank))
@@ -129,17 +147,50 @@ func (c *Codec) compressRate(f *grid.Field) ([]byte, error) {
 		return nil, fmt.Errorf("zfp: rate %d leaves no room for the block exponent", c.rate)
 	}
 
+	bs := blocks(f.Dims)
 	var w bitstream.Writer
-	vals := make([]float64, size)
-	blk := make([]int64, size)
-	nb := make([]uint64, size)
+	workers := c.workerCount()
+	if workers <= 1 || len(bs) < minParallelBlocks {
+		if err := c.encodeRateBlocks(f, bs, budget, &w); err != nil {
+			return nil, err
+		}
+	} else {
+		shards := parallel.Shards(workers, len(bs))
+		ws := make([]bitstream.Writer, shards)
+		errs := make([]error, shards)
+		parallel.ForShard(workers, len(bs), func(s, lo, hi int) {
+			errs[s] = c.encodeRateBlocks(f, bs[lo:hi], budget, &ws[s])
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i := range ws {
+			w.AppendWriter(&ws[i])
+		}
+	}
 
-	for _, b := range blocks(f.Dims) {
+	out := compress.EncodeDimsHeader(f.Dims)
+	out = append(out, modeRate, byte(c.rate))
+	return append(out, w.Bytes()...), nil
+}
+
+// encodeRateBlocks is the serial fixed-rate kernel over a slice of blocks.
+func (c *Codec) encodeRateBlocks(f *grid.Field, bs []blockShape, budget int, w *bitstream.Writer) error {
+	rank := f.Rank()
+	size := 1 << (2 * uint(rank))
+	s := newBlockScratch(size)
+	defer s.release()
+	vals, blk, nb := s.vals, s.blk, s.nb
+	perm := permFor(rank)
+
+	for _, b := range bs {
 		gather(f, b, vals)
 		maxAbs := 0.0
 		for _, v := range vals {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, errors.New("zfp: NaN/Inf not supported")
+				return errors.New("zfp: NaN/Inf not supported")
 			}
 			if a := math.Abs(v); a > maxAbs {
 				maxAbs = a
@@ -159,7 +210,6 @@ func (c *Codec) compressRate(f *grid.Field) ([]byte, error) {
 			blk[i] = int64(v * scale)
 		}
 		transformForward(blk, rank)
-		perm := permFor(rank)
 		for i := range blk {
 			nb[i] = int2nb(blk[perm[i]])
 		}
@@ -170,22 +220,25 @@ func (c *Codec) compressRate(f *grid.Field) ([]byte, error) {
 			for i := 0; i < size; i++ {
 				plane |= (nb[i] >> uint(k) & 1) << uint(i)
 			}
-			n, bits = encodePlaneBudget(&w, plane, size, n, bits)
+			n, bits = encodePlaneBudget(w, plane, size, n, bits)
 		}
 		// Pad to the exact block budget: the fixed size is what makes the
 		// stream randomly accessible.
-		for w.Len() < start+budget {
-			w.WriteBit(0)
+		if pad := start + budget - w.Len(); pad > 0 {
+			for pad >= 64 {
+				w.WriteBits(0, 64)
+				pad -= 64
+			}
+			w.WriteBits(0, uint(pad))
 		}
 	}
-
-	out := compress.EncodeDimsHeader(f.Dims)
-	out = append(out, modeRate, byte(c.rate))
-	return append(out, w.Bytes()...), nil
+	return nil
 }
 
-// decodeRateBlock decodes one fixed-budget block from r into vals.
-func decodeRateBlock(r *bitstream.Reader, rate uint, rank int, vals []float64) error {
+// decodeRateBlock decodes one fixed-budget block from r into s.vals. The
+// scratch buffers are caller-owned so bulk decode allocates nothing per
+// block.
+func decodeRateBlock(r *bitstream.Reader, rate uint, rank int, s *blockScratch) error {
 	size := 1 << (2 * uint(rank))
 	budget := blockBudgetBits(rate, size)
 	start := r.Pos()
@@ -196,7 +249,10 @@ func decodeRateBlock(r *bitstream.Reader, rate uint, rank int, vals []float64) e
 	}
 	emax := int(e) - 16384
 
-	nb := make([]uint64, size)
+	nb := s.nb
+	for i := range nb {
+		nb[i] = 0
+	}
 	bits := budget - 15
 	n := 0
 	for k := intprec - 1; k >= intprec-MaxPrecision && bits > 0; k-- {
@@ -210,13 +266,11 @@ func decodeRateBlock(r *bitstream.Reader, rate uint, rank int, vals []float64) e
 		}
 	}
 	// Skip the padding up to the exact budget.
-	for r.Pos() < start+budget {
-		if _, err := r.ReadBit(); err != nil {
-			return fmt.Errorf("zfp: truncated rate padding: %w", err)
-		}
+	if err := r.Seek(start + budget); err != nil {
+		return fmt.Errorf("zfp: truncated rate padding: %w", err)
 	}
 
-	blk := make([]int64, size)
+	blk := s.blk
 	perm := permFor(rank)
 	for i, u := range nb {
 		blk[perm[i]] = nb2int(u)
@@ -227,7 +281,7 @@ func decodeRateBlock(r *bitstream.Reader, rate uint, rank int, vals []float64) e
 		scale = 0
 	}
 	for i, q := range blk {
-		vals[i] = float64(q) * scale
+		s.vals[i] = float64(q) * scale
 	}
 	return nil
 }
@@ -290,8 +344,9 @@ func (c *Codec) DecodeAt(data []byte, coord ...int) (float64, error) {
 	if err := r.Seek(offset); err != nil {
 		return 0, err
 	}
-	vals := make([]float64, size)
-	if err := decodeRateBlock(r, rate, rank, vals); err != nil {
+	s := newBlockScratch(size)
+	defer s.release()
+	if err := decodeRateBlock(r, rate, rank, s); err != nil {
 		return 0, err
 	}
 	lz, ly, lx := cz%4, cy%4, cx%4
@@ -299,11 +354,13 @@ func (c *Codec) DecodeAt(data []byte, coord ...int) (float64, error) {
 	if rank < 2 {
 		yl = 1
 	}
-	return vals[(lz*yl+ly)*xl+lx], nil
+	return s.vals[(lz*yl+ly)*xl+lx], nil
 }
 
-// decompressRate reverses compressRate.
-func decompressRate(dims []int, rest []byte) (*grid.Field, error) {
+// decompressRate reverses compressRate. Fixed budgets mean block i begins
+// at bit i*budget, so shards decode fully independently from their own
+// seeked readers — no serial parse stage.
+func decompressRate(dims []int, rest []byte, workers int) (*grid.Field, error) {
 	if len(rest) < 1 {
 		return nil, errors.New("zfp: truncated rate header")
 	}
@@ -313,18 +370,50 @@ func decompressRate(dims []int, rest []byte) (*grid.Field, error) {
 	}
 	rank := len(dims)
 	size := 1 << (2 * uint(rank))
+	budget := blockBudgetBits(rate, size)
+	payload := rest[1:]
 	// Rate streams have a deterministic size: validate before allocating.
-	if need := blockCount(dims) * blockBudgetBits(rate, size); need > 8*len(rest[1:]) {
-		return nil, fmt.Errorf("zfp: rate stream needs %d bits, payload has %d", need, 8*len(rest[1:]))
+	if need := blockCount(dims) * budget; need > 8*len(payload) {
+		return nil, fmt.Errorf("zfp: rate stream needs %d bits, payload has %d", need, 8*len(payload))
 	}
 	f := grid.New(dims...)
-	vals := make([]float64, size)
-	r := bitstream.NewReader(rest[1:])
-	for _, b := range blocks(dims) {
-		if err := decodeRateBlock(r, rate, rank, vals); err != nil {
+	bs := blocks(dims)
+
+	if workers <= 1 || len(bs) < minParallelBlocks {
+		s := newBlockScratch(size)
+		defer s.release()
+		r := bitstream.NewReader(payload)
+		for _, b := range bs {
+			if err := decodeRateBlock(r, rate, rank, s); err != nil {
+				return nil, err
+			}
+			scatter(f, b, s.vals)
+		}
+		return f, nil
+	}
+
+	shards := parallel.Shards(workers, len(bs))
+	errs := make([]error, shards)
+	parallel.ForShard(workers, len(bs), func(sh, lo, hi int) {
+		s := newBlockScratch(size)
+		defer s.release()
+		r := bitstream.NewReader(payload)
+		if err := r.Seek(lo * budget); err != nil {
+			errs[sh] = err
+			return
+		}
+		for bi := lo; bi < hi; bi++ {
+			if err := decodeRateBlock(r, rate, rank, s); err != nil {
+				errs[sh] = err
+				return
+			}
+			scatter(f, bs[bi], s.vals)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		scatter(f, b, vals)
 	}
 	return f, nil
 }

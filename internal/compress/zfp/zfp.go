@@ -16,6 +16,13 @@
 // Compression is therefore data dependent exactly like real ZFP: smooth
 // blocks produce long zero runs in the high bit planes and cost almost
 // nothing, while noisy blocks pay the full bit budget.
+//
+// Blocks are mutually independent, which the codec exploits two ways: the
+// encoder shards the block list across a bounded worker pool (each shard
+// writes a private bitstream, concatenated in shard order, so the output
+// is byte-identical to a serial pass at any worker count), and the decoder
+// runs the inverse transform + scatter of already-parsed blocks in
+// parallel. Workers == 1 reproduces the serial execution exactly.
 package zfp
 
 import (
@@ -23,11 +30,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"lrm/internal/bitstream"
 	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
+	"lrm/internal/parallel"
 )
 
 // Codec is a ZFP-style compressor in one of two modes, mirroring real
@@ -38,6 +47,7 @@ type Codec struct {
 	precision uint    // bit planes kept per block (precision mode), 1..60
 	tolerance float64 // absolute error tolerance (accuracy mode)
 	rate      uint    // bits per value (rate mode), 1..62
+	workers   int     // worker pool size; 0 = parallel.DefaultWorkers()
 }
 
 // Stream/codec modes.
@@ -55,6 +65,10 @@ const fixedPointBits = 60
 
 // intprec is the total number of negabinary bit planes per coefficient.
 const intprec = 64
+
+// minParallelBlocks is the block count below which forking the pool costs
+// more than the encode itself; smaller fields stay on the calling goroutine.
+const minParallelBlocks = 16
 
 // New returns a codec that keeps precision bit planes per block (the
 // paper's "16 bits of precision" corresponds to New(16)).
@@ -92,6 +106,21 @@ func MustNew(precision int) *Codec {
 		panic(err)
 	}
 	return c
+}
+
+// WithWorkers returns a copy of c that runs its kernels on a pool of the
+// given size. 1 forces serial execution; 0 restores the default
+// (GOMAXPROCS). Output is byte-identical at every worker count, so the
+// knob trades only latency, never format.
+func (c *Codec) WithWorkers(workers int) compress.Codec {
+	cp := *c
+	cp.workers = workers
+	return &cp
+}
+
+// workerCount resolves the effective pool size.
+func (c *Codec) workerCount() int {
+	return parallel.Config{Workers: c.workers}.Resolve()
 }
 
 // Name implements compress.Codec.
@@ -269,23 +298,57 @@ func transformInverse(blk []int64, rank int) {
 	}
 }
 
+// transpose64 anti-transposes the 64x64 bit matrix held in m in place:
+// bit j of output word i equals bit 63-i of input word 63-j (the classic
+// Hacker's Delight word-swap network, which transposes under the
+// column-j-is-bit-63-j convention). The operation is an involution. The
+// plane packers below compose it with reversed word indexing to get the
+// plain transpose they need, converting a block's 64 negabinary
+// coefficients into its 64 bit-plane words (and back) in ~6*64 word
+// operations instead of the scalar coder's 64 steps per plane.
+func transpose64(m *[64]uint64) {
+	j := uint(32)
+	mask := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := (m[k] ^ (m[k+int(j)] >> j)) & mask
+			m[k] ^= t
+			m[k+int(j)] ^= t << j
+		}
+		j >>= 1
+		mask ^= mask << j
+	}
+}
+
 // encodePlane writes one bit plane x (bit i of x = plane bit of value i)
 // using ZFP's verbatim-prefix + group-tested run-length scheme. n is the
 // count of values already known significant; the updated n is returned.
+// Emitted bits are batched through a local accumulator so the common case
+// costs a handful of WriteBits calls instead of one WriteBit per bit.
 func encodePlane(w *bitstream.Writer, x uint64, size, n int) int {
-	for i := 0; i < n; i++ {
-		w.WriteBit(uint(x & 1))
-		x >>= 1
+	if n > 0 {
+		// Verbatim prefix: the low n bits of x, least significant first.
+		w.WriteBits(bits.Reverse64(x)>>(64-uint(n)), uint(n))
+		x >>= uint(n)
 	}
+	acc, cnt := uint64(0), uint(0)
 	for n < size {
 		if x == 0 {
-			w.WriteBit(0)
+			acc, cnt = acc<<1, cnt+1
 			break
 		}
-		w.WriteBit(1)
+		acc, cnt = acc<<1|1, cnt+1
+		if cnt == 64 {
+			w.WriteBits(acc, 64)
+			acc, cnt = 0, 0
+		}
 		for n < size-1 {
-			bit := uint(x & 1)
-			w.WriteBit(bit)
+			bit := x & 1
+			acc, cnt = acc<<1|bit, cnt+1
+			if cnt == 64 {
+				w.WriteBits(acc, 64)
+				acc, cnt = 0, 0
+			}
 			if bit != 0 {
 				break
 			}
@@ -295,18 +358,22 @@ func encodePlane(w *bitstream.Writer, x uint64, size, n int) int {
 		x >>= 1
 		n++
 	}
+	if cnt > 0 {
+		w.WriteBits(acc, cnt)
+	}
 	return n
 }
 
 // decodePlane mirrors encodePlane.
 func decodePlane(r *bitstream.Reader, size, n int) (uint64, int, error) {
 	var x uint64
-	for i := 0; i < n; i++ {
-		b, err := r.ReadBit()
+	if n > 0 {
+		// The verbatim prefix was emitted least-significant-bit first.
+		v, err := r.ReadBits(uint(n))
 		if err != nil {
 			return 0, 0, err
 		}
-		x |= uint64(b) << uint(i)
+		x = bits.Reverse64(v) >> (64 - uint(n))
 	}
 	for n < size {
 		b, err := r.ReadBit()
@@ -401,7 +468,7 @@ func blocks(dims []int) []blockShape {
 	for i, v := range dims {
 		d[3-len(dims)+i] = v
 	}
-	var out []blockShape
+	out := make([]blockShape, 0, blockCount(dims))
 	for z := 0; z < d[0]; z += 4 {
 		for y := 0; y < d[1]; y += 4 {
 			for x := 0; x < d[2]; x += 4 {
@@ -478,20 +545,83 @@ func scatter(f *grid.Field, b blockShape, vals []float64) {
 	}
 }
 
+// blockScratch is the per-worker reusable buffer set of the block kernels,
+// arena-backed so steady-state compression allocates nothing per block.
+type blockScratch struct {
+	vals []float64
+	blk  []int64
+	nb   []uint64
+}
+
+func newBlockScratch(size int) *blockScratch {
+	return &blockScratch{
+		vals: parallel.Floats(size),
+		blk:  parallel.Int64s(size),
+		nb:   parallel.Uint64s(size),
+	}
+}
+
+func (s *blockScratch) release() {
+	parallel.PutFloats(s.vals)
+	parallel.PutInt64s(s.blk)
+	parallel.PutUint64s(s.nb)
+}
+
 // Compress implements compress.Codec.
 func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 	if c.mode == modeRate {
 		return c.compressRate(f)
 	}
+	var w bitstream.Writer
+	if err := c.encodeShards(f, blocks(f.Dims), &w); err != nil {
+		return nil, err
+	}
+	out := compress.EncodeDimsHeader(f.Dims)
+	out = append(out, c.mode)
+	if c.mode == modeAccuracy {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c.tolerance))
+	} else {
+		out = append(out, byte(c.precision))
+	}
+	return append(out, w.Bytes()...), nil
+}
+
+// encodeShards fans the block list out over the worker pool. Every shard
+// encodes into a private bitstream; the shards are then concatenated at
+// bit granularity in shard order, which reproduces the serial stream
+// exactly — block i's bits always land at the same offset.
+func (c *Codec) encodeShards(f *grid.Field, bs []blockShape, w *bitstream.Writer) error {
+	workers := c.workerCount()
+	if workers <= 1 || len(bs) < minParallelBlocks {
+		return c.encodeBlocks(f, bs, w)
+	}
+	shards := parallel.Shards(workers, len(bs))
+	ws := make([]bitstream.Writer, shards)
+	errs := make([]error, shards)
+	parallel.ForShard(workers, len(bs), func(s, lo, hi int) {
+		errs[s] = c.encodeBlocks(f, bs[lo:hi], &ws[s])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for i := range ws {
+		w.AppendWriter(&ws[i])
+	}
+	return nil
+}
+
+// encodeBlocks runs the serial three-step kernel over a slice of blocks.
+func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer) error {
 	rank := f.Rank()
 	size := 1 << (2 * uint(rank)) // 4, 16, or 64
+	s := newBlockScratch(size)
+	defer s.release()
+	vals, blk, nb := s.vals, s.blk, s.nb
+	perm := permFor(rank)
 
-	var w bitstream.Writer
-	vals := make([]float64, size)
-	blk := make([]int64, size)
-	nb := make([]uint64, size)
-
-	for _, b := range blocks(f.Dims) {
+	for _, b := range bs {
 		if invariant.Enabled {
 			// Block-grid invariant: every (possibly partial) block keeps
 			// between 1 and 4 valid samples per dimension.
@@ -506,7 +636,7 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		maxAbs := 0.0
 		for _, v := range vals {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, errors.New("zfp: NaN/Inf not supported")
+				return errors.New("zfp: NaN/Inf not supported")
 			}
 			if a := math.Abs(v); a > maxAbs {
 				maxAbs = a
@@ -533,7 +663,6 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		// Step 2: decorrelating transform, then reorder coefficients by
 		// total sequency so significant bits cluster at low indices.
 		transformForward(blk, rank)
-		perm := permFor(rank)
 		for i := range blk {
 			nb[i] = int2nb(blk[perm[i]])
 		}
@@ -549,24 +678,75 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 				assertAccuracyBound(nb, vals, rank, emax, kmin, c.tolerance)
 			}
 		}
-		n := 0
+		encodePlanes(w, nb, size, kmin)
+	}
+	return nil
+}
+
+// encodePlanes codes planes intprec-1 down to kmin of the negabinary
+// coefficients. Full 64-coefficient blocks take the transpose fast path;
+// smaller blocks extract each plane with the scalar loop.
+func encodePlanes(w *bitstream.Writer, nb []uint64, size, kmin int) {
+	n := 0
+	if size == 64 {
+		// Load coefficients in reverse so the anti-transpose yields plane
+		// words under the bit-i-is-value-i convention: after the call,
+		// planes[63-k] bit i == nb[i] bit k.
+		var planes [64]uint64
+		for i := 0; i < 64; i++ {
+			planes[i] = nb[63-i]
+		}
+		transpose64(&planes)
 		for k := intprec - 1; k >= kmin; k-- {
-			var plane uint64
-			for i := 0; i < size; i++ {
-				plane |= (nb[i] >> uint(k) & 1) << uint(i)
+			n = encodePlane(w, planes[63-k], size, n)
+		}
+		return
+	}
+	for k := intprec - 1; k >= kmin; k-- {
+		var plane uint64
+		for i := 0; i < size; i++ {
+			plane |= (nb[i] >> uint(k) & 1) << uint(i)
+		}
+		n = encodePlane(w, plane, size, n)
+	}
+}
+
+// decodePlanes reverses encodePlanes into nb (fully overwritten).
+func decodePlanes(r *bitstream.Reader, nb []uint64, size, kmin int) error {
+	n := 0
+	if size == 64 {
+		// Inverse of the encode fast path: store plane k at word 63-k
+		// (planes below kmin stay zero), anti-transpose, read coefficient
+		// i from word 63-i.
+		var planes [64]uint64
+		for k := intprec - 1; k >= kmin; k-- {
+			plane, n2, err := decodePlane(r, size, n)
+			if err != nil {
+				return err
 			}
-			n = encodePlane(&w, plane, size, n)
+			planes[63-k] = plane
+			n = n2
+		}
+		transpose64(&planes)
+		for i := 0; i < 64; i++ {
+			nb[i] = planes[63-i]
+		}
+		return nil
+	}
+	for i := range nb {
+		nb[i] = 0
+	}
+	for k := intprec - 1; k >= kmin; k-- {
+		plane, n2, err := decodePlane(r, size, n)
+		if err != nil {
+			return err
+		}
+		n = n2
+		for i := 0; i < size; i++ {
+			nb[i] |= (plane >> uint(i) & 1) << uint(k)
 		}
 	}
-
-	out := compress.EncodeDimsHeader(f.Dims)
-	out = append(out, c.mode)
-	if c.mode == modeAccuracy {
-		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c.tolerance))
-	} else {
-		out = append(out, byte(c.precision))
-	}
-	return append(out, w.Bytes()...), nil
+	return nil
 }
 
 // assertAccuracyBound reconstructs one block exactly as the decoder will —
@@ -589,6 +769,25 @@ func assertAccuracyBound(nb []uint64, vals []float64, rank, emax, kmin int, tol 
 	}
 	invariant.ErrorBound(vals, recon, tol, "zfp: accuracy bitplane truncation")
 }
+
+// reconstructBlock turns parsed negabinary coefficients back into samples
+// of f: inverse permutation, inverse transform, rescale, scatter.
+func reconstructBlock(f *grid.Field, b blockShape, nb []uint64, emax, rank int, s *blockScratch) {
+	perm := permFor(rank)
+	for i, u := range nb {
+		s.blk[perm[i]] = nb2int(u)
+	}
+	transformInverse(s.blk, rank)
+	scale := math.Ldexp(1, emax-fixedPointBits)
+	for i, q := range s.blk {
+		s.vals[i] = float64(q) * scale
+	}
+	scatter(f, b, s.vals)
+}
+
+// emptyEmax marks an all-zero block in the parsed-block buffers of the
+// parallel decode path; it cannot collide with a real biased exponent.
+const emptyEmax = math.MinInt32
 
 // Decompress implements compress.Codec.
 func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
@@ -619,7 +818,7 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 		}
 		rest = rest[9:]
 	case modeRate:
-		return decompressRate(dims, rest[1:])
+		return decompressRate(dims, rest[1:], c.workerCount())
 	default:
 		return nil, fmt.Errorf("zfp: unknown mode %d in stream", mode)
 	}
@@ -633,11 +832,15 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 	f := grid.New(dims...)
 	rank := f.Rank()
 	size := 1 << (2 * uint(rank))
-	vals := make([]float64, size)
-	blk := make([]int64, size)
-	nb := make([]uint64, size)
+	bs := blocks(dims)
+	workers := c.workerCount()
+	if workers > 1 && len(bs) >= minParallelBlocks {
+		return c.decompressParallel(f, bs, r, mode, precision, tolerance, rank, size, workers)
+	}
 
-	for _, b := range blocks(dims) {
+	s := newBlockScratch(size)
+	defer s.release()
+	for _, b := range bs {
 		if invariant.Enabled {
 			for d := 0; d < 3; d++ {
 				invariant.InRange(b.size[d], 1, 5, "zfp: decode block extent")
@@ -648,10 +851,10 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 			return nil, fmt.Errorf("zfp: truncated stream: %w", err)
 		}
 		if nonEmpty == 0 {
-			for i := range vals {
-				vals[i] = 0
+			for i := range s.vals {
+				s.vals[i] = 0
 			}
-			scatter(f, b, vals)
+			scatter(f, b, s.vals)
 			continue
 		}
 		e, err := r.ReadBits(15)
@@ -659,33 +862,65 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 			return nil, fmt.Errorf("zfp: truncated exponent: %w", err)
 		}
 		emax := int(e) - 16384
-
-		for i := range nb {
-			nb[i] = 0
+		if err := decodePlanes(r, s.nb, size, kminFor(mode, precision, tolerance, emax)); err != nil {
+			return nil, fmt.Errorf("zfp: truncated plane: %w", err)
 		}
-		n := 0
-		for k := intprec - 1; k >= kminFor(mode, precision, tolerance, emax); k-- {
-			plane, n2, err := decodePlane(r, size, n)
-			if err != nil {
-				return nil, fmt.Errorf("zfp: truncated plane: %w", err)
-			}
-			n = n2
-			for i := 0; i < size; i++ {
-				nb[i] |= (plane >> uint(i) & 1) << uint(k)
-			}
-		}
-
-		perm := permFor(rank)
-		for i, u := range nb {
-			blk[perm[i]] = nb2int(u)
-		}
-		transformInverse(blk, rank)
-		scale := math.Ldexp(1, emax-fixedPointBits)
-		for i, q := range blk {
-			vals[i] = float64(q) * scale
-		}
-		scatter(f, b, vals)
+		reconstructBlock(f, b, s.nb, emax, rank, s)
 	}
+	return f, nil
+}
+
+// decompressParallel splits decoding in two stages: the bit-serial stream
+// parse (block boundaries are only discovered by decoding, so this stage
+// cannot fan out) collects every block's exponent and negabinary
+// coefficients, then the pool runs the independent inverse transforms and
+// scatters. Scatter regions are disjoint by construction, so workers never
+// write the same sample.
+func (c *Codec) decompressParallel(f *grid.Field, bs []blockShape, r *bitstream.Reader, mode byte, precision uint, tolerance float64, rank, size, workers int) (*grid.Field, error) {
+	nbAll := parallel.Uint64s(len(bs) * size)
+	defer parallel.PutUint64s(nbAll)
+	emaxs := parallel.Ints(len(bs))
+	defer parallel.PutInts(emaxs)
+
+	for bi, b := range bs {
+		if invariant.Enabled {
+			for d := 0; d < 3; d++ {
+				invariant.InRange(b.size[d], 1, 5, "zfp: decode block extent")
+			}
+		}
+		nonEmpty, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("zfp: truncated stream: %w", err)
+		}
+		if nonEmpty == 0 {
+			emaxs[bi] = emptyEmax
+			continue
+		}
+		e, err := r.ReadBits(15)
+		if err != nil {
+			return nil, fmt.Errorf("zfp: truncated exponent: %w", err)
+		}
+		emax := int(e) - 16384
+		emaxs[bi] = emax
+		if err := decodePlanes(r, nbAll[bi*size:(bi+1)*size], size, kminFor(mode, precision, tolerance, emax)); err != nil {
+			return nil, fmt.Errorf("zfp: truncated plane: %w", err)
+		}
+	}
+
+	parallel.ForShard(workers, len(bs), func(_, lo, hi int) {
+		s := newBlockScratch(size)
+		defer s.release()
+		for bi := lo; bi < hi; bi++ {
+			if emaxs[bi] == emptyEmax {
+				for i := range s.vals {
+					s.vals[i] = 0
+				}
+				scatter(f, bs[bi], s.vals)
+				continue
+			}
+			reconstructBlock(f, bs[bi], nbAll[bi*size:(bi+1)*size], emaxs[bi], rank, s)
+		}
+	})
 	return f, nil
 }
 

@@ -5,19 +5,24 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"sync"
 
 	"lrm/internal/grid"
 	"lrm/internal/mpi"
+	"lrm/internal/parallel"
 )
 
 // chunkedMagic marks the multi-chunk container format.
 const chunkedMagic = "LRMC"
 
 // CompressChunked splits the field into `chunks` slabs along the leading
-// dimension and compresses them concurrently, one goroutine per chunk —
-// the N-to-N per-rank compression pattern of the paper's Table IV runs,
-// where every MPI rank compresses its own subdomain independently.
+// dimension and compresses them concurrently on the shared bounded worker
+// pool — the N-to-N per-rank compression pattern of the paper's Table IV
+// runs, where every MPI rank compresses its own subdomain independently.
+// At most Options.Parallel workers (default GOMAXPROCS) run at once, so
+// chunks >> NumCPU no longer oversubscribes the scheduler the way the old
+// goroutine-per-chunk fan-out did; the pool is divided between chunk-level
+// concurrency and each chunk's codec-internal workers, which is free to do
+// because codec output is byte-identical at any worker count.
 //
 // Each chunk is a complete self-describing archive protected by a CRC32,
 // so a corrupted chunk is detected and reported without touching its
@@ -36,28 +41,30 @@ func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
 		slab *= d
 	}
 
+	// Divide the pool: when chunk-level concurrency already saturates it,
+	// each chunk's codec runs serially; leftover capacity goes to the
+	// codecs' internal kernels.
+	workers := opts.Parallel.Resolve()
+	running := min(workers, chunks)
+	inner := opts
+	inner.Parallel = parallel.Config{Workers: max(1, workers/running)}
+
 	type chunkOut struct {
 		res *Result
 		err error
 	}
 	outs := make([]chunkOut, chunks)
-	var wg sync.WaitGroup
-	for c := 0; c < chunks; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			lo, hi := mpi.Slab1D(f.Dims[0], chunks, c)
-			dims := append([]int{hi - lo}, f.Dims[1:]...)
-			sub, err := grid.FromData(f.Data[lo*slab:hi*slab], dims...)
-			if err != nil {
-				outs[c] = chunkOut{err: err}
-				return
-			}
-			res, err := Compress(sub, opts)
-			outs[c] = chunkOut{res: res, err: err}
-		}(c)
-	}
-	wg.Wait()
+	parallel.For(workers, chunks, func(c int) {
+		lo, hi := mpi.Slab1D(f.Dims[0], chunks, c)
+		dims := append([]int{hi - lo}, f.Dims[1:]...)
+		sub, err := grid.FromData(f.Data[lo*slab:hi*slab], dims...)
+		if err != nil {
+			outs[c] = chunkOut{err: err}
+			return
+		}
+		res, err := Compress(sub, inner)
+		outs[c] = chunkOut{res: res, err: err}
+	})
 
 	var buf bytes.Buffer
 	buf.WriteString(chunkedMagic)
@@ -82,7 +89,8 @@ func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
 }
 
 // decompressChunked reverses CompressChunked. Chunks are decompressed
-// concurrently and stitched back along the leading dimension.
+// concurrently on the bounded pool and stitched back along the leading
+// dimension.
 func decompressChunked(archive []byte) (*grid.Field, error) {
 	r := &reader{buf: archive}
 	if string(r.take(4)) != chunkedMagic {
@@ -134,25 +142,20 @@ func decompressChunked(archive []byte) (*grid.Field, error) {
 		slab *= d
 	}
 	errs := make([]error, chunks)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			f, err := Decompress(j.archive)
-			if err != nil {
-				errs[j.idx] = err
-				return
-			}
-			lo, hi := mpi.Slab1D(dims[0], chunks, j.idx)
-			if f.Dims[0] != hi-lo || f.Len() != (hi-lo)*slab {
-				errs[j.idx] = fmt.Errorf("chunk shape %v does not fit slab [%d,%d)", f.Dims, lo, hi)
-				return
-			}
-			copy(out.Data[lo*slab:hi*slab], f.Data)
-		}(j)
-	}
-	wg.Wait()
+	parallel.For(parallel.DefaultWorkers(), chunks, func(c int) {
+		j := jobs[c]
+		f, err := Decompress(j.archive)
+		if err != nil {
+			errs[j.idx] = err
+			return
+		}
+		lo, hi := mpi.Slab1D(dims[0], chunks, j.idx)
+		if f.Dims[0] != hi-lo || f.Len() != (hi-lo)*slab {
+			errs[j.idx] = fmt.Errorf("chunk shape %v does not fit slab [%d,%d)", f.Dims, lo, hi)
+			return
+		}
+		copy(out.Data[lo*slab:hi*slab], f.Data)
+	})
 	for c, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: chunk %d: %w", c, err)

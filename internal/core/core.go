@@ -24,6 +24,7 @@ import (
 	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
+	"lrm/internal/parallel"
 	"lrm/internal/reduce"
 )
 
@@ -37,6 +38,29 @@ type Options struct {
 	// DeltaCodec compresses the delta. nil falls back to DataCodec. The
 	// paper uses a looser bound here (Section V-B).
 	DeltaCodec compress.Codec
+	// Parallel selects the worker-pool size applied to codecs that
+	// implement compress.Parallelizable. The zero value leaves each codec
+	// on its own default (GOMAXPROCS); Workers == 1 reproduces the exact
+	// serial execution. Archives are byte-identical at every setting.
+	Parallel parallel.Config
+}
+
+// withParallel returns a copy of opts whose codecs are bound to the
+// configured pool size. Codecs that are not Parallelizable pass through.
+func (o Options) withParallel() Options {
+	if o.Parallel.Workers == 0 {
+		return o
+	}
+	o.DataCodec = applyWorkers(o.DataCodec, o.Parallel.Workers)
+	o.DeltaCodec = applyWorkers(o.DeltaCodec, o.Parallel.Workers)
+	return o
+}
+
+func applyWorkers(c compress.Codec, workers int) compress.Codec {
+	if p, ok := c.(compress.Parallelizable); ok {
+		return p.WithWorkers(workers)
+	}
+	return c
 }
 
 // Result is a compression outcome with the per-part byte accounting the
@@ -73,6 +97,7 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	if opts.DataCodec == nil {
 		return nil, errors.New("core: DataCodec is required")
 	}
+	opts = opts.withParallel()
 	res := &Result{OriginalBytes: 8 * f.Len()}
 
 	var buf bytes.Buffer

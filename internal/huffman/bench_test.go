@@ -1,0 +1,37 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSymbols resembles the quantizer-code streams the SZ codec feeds this
+// package: a tight, heavily skewed alphabet around the zero-prediction code.
+func benchSymbols(n int) []int {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1<<16 + int(rng.NormFloat64()*3)
+	}
+	return out
+}
+
+func BenchmarkEncode(b *testing.B) {
+	symbols := benchSymbols(1 << 17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(symbols)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	data := Encode(benchSymbols(1 << 17))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,13 @@
 // The encoded stream is self-describing: a compact header stores the code
 // lengths (canonical codes are reconstructed from lengths alone), followed
 // by the bit-packed payload.
+//
+// Both the frequency count and the payload encode parallelize over shards
+// of the symbol slice without changing a single output bit: per-shard
+// counts merge by addition (commutative, so the totals equal a serial
+// count), the tree build is a deterministic function of the totals, and
+// per-shard payload writers concatenate in shard order, reproducing the
+// serial bit sequence exactly.
 package huffman
 
 import (
@@ -16,6 +23,7 @@ import (
 	"sort"
 
 	"lrm/internal/bitstream"
+	"lrm/internal/parallel"
 )
 
 // maxCodeLen caps code lengths so the decoder tables stay small. 57 bits is
@@ -23,9 +31,14 @@ import (
 // canonical-code arithmetic safely inside uint64.
 const maxCodeLen = 57
 
+// minParallelSymbols gates the sharded paths: below this, pool fork/join
+// overhead swamps the counting and packing work.
+const minParallelSymbols = 4096
+
 type node struct {
 	count       int
-	symbol      int // valid for leaves
+	symbol      int // valid for leaves; min leaf symbol for internal nodes
+	seq         int // creation sequence; final Less tie-break
 	left, right *node
 }
 
@@ -36,8 +49,14 @@ func (h nodeHeap) Less(i, j int) bool {
 	if h[i].count != h[j].count {
 		return h[i].count < h[j].count
 	}
-	// Tie-break on symbol for determinism.
-	return h[i].symbol < h[j].symbol
+	if h[i].symbol != h[j].symbol {
+		return h[i].symbol < h[j].symbol
+	}
+	// A leaf and an internal node can collide on (count, symbol); the
+	// creation sequence makes Less a strict total order so the pop
+	// sequence — and therefore the tree shape — is a pure function of the
+	// symbol counts, independent of heap layout or counting strategy.
+	return h[i].seq < h[j].seq
 }
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
@@ -49,39 +68,163 @@ func (h *nodeHeap) Pop() interface{} {
 	return x
 }
 
-// codeLengths computes Huffman code lengths for each distinct symbol.
-func codeLengths(symbols []int) map[int]int {
+// symCount is one alphabet entry: a distinct symbol and its frequency.
+type symCount struct {
+	symbol, count int
+}
+
+// denseRangeCap bounds the dense counting table: the symbol span must be
+// at most this AND not wildly larger than the input, otherwise the
+// map-based path is used. SZ quantization codes span [0, 2*bins], so the
+// hot caller is always dense.
+const denseRangeCap = 1 << 22
+
+// histogram returns the distinct symbols with their frequencies, sorted by
+// symbol. When the symbol span is small it counts into dense per-shard
+// arrays merged by addition; otherwise it falls back to a serial map. Both
+// paths return the identical sorted slice.
+func histogram(symbols []int, workers int) []symCount {
+	if len(symbols) == 0 {
+		return nil
+	}
+	lo, hi := minMax(symbols, workers)
+	span := hi - lo + 1
+	if span <= denseRangeCap && span <= 4*len(symbols)+1024 {
+		return denseHistogram(symbols, lo, span, workers)
+	}
 	counts := make(map[int]int)
 	for _, s := range symbols {
 		counts[s]++
 	}
-	if len(counts) == 0 {
-		return nil
+	out := make([]symCount, 0, len(counts))
+	for s, c := range counts {
+		out = append(out, symCount{s, c})
 	}
-	if len(counts) == 1 {
-		for s := range counts {
-			return map[int]int{s: 1}
+	sort.Slice(out, func(i, j int) bool { return out[i].symbol < out[j].symbol })
+	return out
+}
+
+// minMax scans for the smallest and largest symbol, sharding the scan when
+// the input is large enough to pay for the fork.
+func minMax(symbols []int, workers int) (int, int) {
+	if workers <= 1 || len(symbols) < minParallelSymbols {
+		lo, hi := symbols[0], symbols[0]
+		for _, s := range symbols[1:] {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		return lo, hi
+	}
+	shards := parallel.Shards(workers, len(symbols))
+	los := make([]int, shards)
+	his := make([]int, shards)
+	parallel.ForShard(workers, len(symbols), func(sh, a, b int) {
+		lo, hi := symbols[a], symbols[a]
+		for _, s := range symbols[a+1 : b] {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		los[sh], his[sh] = lo, hi
+	})
+	lo, hi := los[0], his[0]
+	for i := 1; i < shards; i++ {
+		if los[i] < lo {
+			lo = los[i]
+		}
+		if his[i] > hi {
+			hi = his[i]
 		}
 	}
-	h := make(nodeHeap, 0, len(counts))
-	for s, c := range counts {
-		h = append(h, &node{count: c, symbol: s})
+	return lo, hi
+}
+
+// denseHistogram counts into span-sized arrays indexed by symbol-lo.
+// Per-shard tables merge by addition, so the totals are exactly the serial
+// counts no matter how shards interleave.
+func denseHistogram(symbols []int, lo, span, workers int) []symCount {
+	total := parallel.Ints(span)
+	defer parallel.PutInts(total)
+	for i := range total {
+		total[i] = 0
+	}
+	if workers <= 1 || len(symbols) < minParallelSymbols {
+		for _, s := range symbols {
+			total[s-lo]++
+		}
+	} else {
+		shards := parallel.Shards(workers, len(symbols))
+		tables := make([][]int, shards)
+		parallel.ForShard(workers, len(symbols), func(sh, a, b int) {
+			t := parallel.Ints(span)
+			for i := range t {
+				t[i] = 0
+			}
+			for _, s := range symbols[a:b] {
+				t[s-lo]++
+			}
+			tables[sh] = t
+		})
+		for _, t := range tables {
+			for i, c := range t {
+				total[i] += c
+			}
+			parallel.PutInts(t)
+		}
+	}
+	nsyms := 0
+	for _, c := range total {
+		if c > 0 {
+			nsyms++
+		}
+	}
+	out := make([]symCount, 0, nsyms)
+	for i, c := range total {
+		if c > 0 {
+			out = append(out, symCount{lo + i, c})
+		}
+	}
+	return out
+}
+
+// codeLengths computes Huffman code lengths from a symbol-sorted histogram.
+// The result is a deterministic function of the histogram alone.
+func codeLengths(hist []symCount) []symLen {
+	if len(hist) == 0 {
+		return nil
+	}
+	if len(hist) == 1 {
+		return []symLen{{hist[0].symbol, 1}}
+	}
+	h := make(nodeHeap, 0, len(hist))
+	seq := 0
+	for _, e := range hist {
+		h = append(h, &node{count: e.count, symbol: e.symbol, seq: seq})
+		seq++
 	}
 	heap.Init(&h)
 	for h.Len() > 1 {
 		a := heap.Pop(&h).(*node)
 		b := heap.Pop(&h).(*node)
-		heap.Push(&h, &node{count: a.count + b.count, symbol: min(a.symbol, b.symbol), left: a, right: b})
+		heap.Push(&h, &node{count: a.count + b.count, symbol: min(a.symbol, b.symbol), seq: seq, left: a, right: b})
+		seq++
 	}
 	root := h[0]
-	lengths := make(map[int]int)
+	lengths := make([]symLen, 0, len(hist))
 	var walk func(n *node, depth int)
 	walk = func(n *node, depth int) {
 		if n.left == nil {
 			if depth == 0 {
 				depth = 1
 			}
-			lengths[n.symbol] = depth
+			lengths = append(lengths, symLen{n.symbol, depth})
 			return
 		}
 		walk(n.left, depth+1)
@@ -91,38 +234,99 @@ func codeLengths(symbols []int) map[int]int {
 	return lengths
 }
 
-// canonical assigns canonical codes (numeric order by (length, symbol)).
-func canonical(lengths map[int]int) (map[int]uint64, []symLen) {
-	sl := make([]symLen, 0, len(lengths))
-	for s, l := range lengths {
-		sl = append(sl, symLen{s, l})
-	}
+// canonicalize sorts entries into canonical order (length, then symbol) and
+// assigns the canonical code values, returned parallel to the sorted slice.
+func canonicalize(sl []symLen) []uint64 {
 	sort.Slice(sl, func(i, j int) bool {
 		if sl[i].length != sl[j].length {
 			return sl[i].length < sl[j].length
 		}
 		return sl[i].symbol < sl[j].symbol
 	})
-	codes := make(map[int]uint64, len(sl))
+	codes := make([]uint64, len(sl))
 	var code uint64
 	prevLen := 0
-	for _, e := range sl {
+	for i, e := range sl {
 		code <<= uint(e.length - prevLen)
-		codes[e.symbol] = code
+		codes[i] = code
 		code++
 		prevLen = e.length
 	}
-	return codes, sl
+	return codes
 }
 
 type symLen struct {
 	symbol, length int
 }
 
-// Encode compresses symbols into a self-describing byte stream.
-func Encode(symbols []int) []byte {
-	lengths := codeLengths(symbols)
-	codes, sl := canonical(lengths)
+// codeTable resolves symbol -> (code, length) for the payload loop. For
+// compact alphabets it is two flat arrays indexed by symbol-base — one
+// load per symbol instead of two map probes.
+type codeTable struct {
+	dense   bool
+	base    int
+	codeArr []uint64
+	lenArr  []uint8
+	codeMap map[int]uint64
+	lenMap  map[int]int
+}
+
+func buildCodeTable(sl []symLen, codes []uint64) codeTable {
+	if len(sl) == 0 {
+		return codeTable{}
+	}
+	lo, hi := sl[0].symbol, sl[0].symbol
+	for _, e := range sl[1:] {
+		if e.symbol < lo {
+			lo = e.symbol
+		}
+		if e.symbol > hi {
+			hi = e.symbol
+		}
+	}
+	span := hi - lo + 1
+	if span <= denseRangeCap && span <= 4*len(sl)+1024 {
+		t := codeTable{dense: true, base: lo, codeArr: make([]uint64, span), lenArr: make([]uint8, span)}
+		for i, e := range sl {
+			t.codeArr[e.symbol-lo] = codes[i]
+			t.lenArr[e.symbol-lo] = uint8(e.length)
+		}
+		return t
+	}
+	t := codeTable{codeMap: make(map[int]uint64, len(sl)), lenMap: make(map[int]int, len(sl))}
+	for i, e := range sl {
+		t.codeMap[e.symbol] = codes[i]
+		t.lenMap[e.symbol] = e.length
+	}
+	return t
+}
+
+// pack writes the codes for a run of symbols into w.
+func (t *codeTable) pack(w *bitstream.Writer, symbols []int) {
+	if t.dense {
+		base, codeArr, lenArr := t.base, t.codeArr, t.lenArr
+		for _, s := range symbols {
+			i := s - base
+			w.WriteBits(codeArr[i], uint(lenArr[i]))
+		}
+		return
+	}
+	for _, s := range symbols {
+		w.WriteBits(t.codeMap[s], uint(t.lenMap[s]))
+	}
+}
+
+// Encode compresses symbols into a self-describing byte stream, serially.
+func Encode(symbols []int) []byte { return EncodeParallel(symbols, 1) }
+
+// EncodeParallel is Encode over a worker pool. Output is byte-identical to
+// Encode for every worker count: the histogram merge is additive, the tree
+// build depends only on the totals, and shard payloads concatenate in
+// shard order.
+func EncodeParallel(symbols []int, workers int) []byte {
+	hist := histogram(symbols, workers)
+	sl := codeLengths(hist)
+	codes := canonicalize(sl)
 
 	var hdr []byte
 	hdr = binary.AppendUvarint(hdr, uint64(len(symbols)))
@@ -132,14 +336,23 @@ func Encode(symbols []int) []byte {
 		hdr = binary.AppendUvarint(hdr, uint64(e.length))
 	}
 
+	table := buildCodeTable(sl, codes)
 	var w bitstream.Writer
-	for _, s := range symbols {
-		l := lengths[s]
-		w.WriteBits(codes[s], uint(l))
+	if workers <= 1 || len(symbols) < minParallelSymbols {
+		table.pack(&w, symbols)
+	} else {
+		shards := parallel.Shards(workers, len(symbols))
+		ws := make([]bitstream.Writer, shards)
+		parallel.ForShard(workers, len(symbols), func(sh, a, b int) {
+			table.pack(&ws[sh], symbols[a:b])
+		})
+		for i := range ws {
+			w.AppendWriter(&ws[i])
+		}
 	}
 	payload := w.Bytes()
 
-	out := make([]byte, 0, len(hdr)+len(payload)+4)
+	out := make([]byte, 0, len(hdr)+len(payload))
 	out = append(out, hdr...)
 	out = append(out, payload...)
 	return out
@@ -211,22 +424,24 @@ func Decode(data []byte) ([]int, error) {
 		}
 	}
 
-	// Rebuild canonical codes and index them by (length, code value).
+	// Rebuild canonical codes and index them by length: code lengths are
+	// at most maxCodeLen, so a flat array replaces the map probe that used
+	// to sit inside the per-bit decode loop.
 	type lenGroup struct {
 		first  uint64 // first code of this length
 		offset int    // index into ordered symbols of first code
 		count  int
 	}
-	groups := make(map[int]*lenGroup)
+	var groups [maxCodeLen + 1]lenGroup
 	ordered := make([]int, len(sl))
 	var code uint64
 	prevLen := 0
 	for i, e := range sl {
 		code <<= uint(e.length - prevLen)
-		if g, ok := groups[e.length]; ok {
-			g.count++
+		if groups[e.length].count == 0 {
+			groups[e.length] = lenGroup{first: code, offset: i, count: 1}
 		} else {
-			groups[e.length] = &lenGroup{first: code, offset: i, count: 1}
+			groups[e.length].count++
 		}
 		ordered[i] = e.symbol
 		code++
@@ -246,8 +461,8 @@ func Decode(data []byte) ([]int, error) {
 			}
 			v = v<<1 | uint64(b)
 			l++
-			g, ok := groups[l]
-			if !ok {
+			g := &groups[l]
+			if g.count == 0 {
 				continue
 			}
 			idx := v - g.first

@@ -10,7 +10,13 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"lrm/internal/parallel"
 )
+
+// minParallelFlops gates the sharded kernels: below roughly this many
+// multiply-adds the pool fork/join costs more than the arithmetic.
+const minParallelFlops = 1 << 17
 
 // Matrix is a dense row-major matrix.
 type Matrix struct {
@@ -58,13 +64,33 @@ func (m *Matrix) T() *Matrix {
 	return t
 }
 
-// Mul returns m · b.
+// Mul returns m · b. Large products shard by output row across the worker
+// pool; every row keeps the serial per-element accumulation order, so the
+// result is bitwise identical at any worker count.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	return m.MulWorkers(b, parallel.DefaultWorkers())
+}
+
+// MulWorkers is Mul with an explicit worker count (1 = serial).
+func (m *Matrix) MulWorkers(b *Matrix, workers int) (*Matrix, error) {
 	if m.Cols != b.Rows {
 		return nil, fmt.Errorf("linalg: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
 	}
 	out := NewMatrix(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
+	if workers > 1 && m.Rows > 1 && m.Rows*m.Cols*b.Cols >= minParallelFlops {
+		parallel.ForShard(workers, m.Rows, func(_, lo, hi int) {
+			mulRows(m, b, out, lo, hi)
+		})
+	} else {
+		mulRows(m, b, out, 0, m.Rows)
+	}
+	return out, nil
+}
+
+// mulRows computes output rows [lo, hi) of m · b. Disjoint row ranges
+// touch disjoint output memory, so shards never conflict.
+func mulRows(m, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
 		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
 		for k, mv := range mrow {
@@ -77,7 +103,6 @@ func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	return out, nil
 }
 
 // Sub returns m - b.
@@ -160,7 +185,17 @@ func CenterColumns(m *Matrix, means []float64) {
 
 // Covariance returns the Cols×Cols sample covariance matrix of the columns
 // of m (columns are variables, rows are observations). m is not modified.
+// Large inputs shard across the worker pool by output row; each cov entry
+// accumulates its observation terms in ascending row order exactly as the
+// serial loop does (including the va == 0 skip, which also keeps -0.0
+// accumulators intact), so the result is bitwise identical at any worker
+// count.
 func Covariance(m *Matrix) *Matrix {
+	return CovarianceWorkers(m, parallel.DefaultWorkers())
+}
+
+// CovarianceWorkers is Covariance with an explicit worker count (1 = serial).
+func CovarianceWorkers(m *Matrix, workers int) *Matrix {
 	means := ColumnMeans(m)
 	n := m.Cols
 	cov := NewMatrix(n, n)
@@ -168,21 +203,52 @@ func Covariance(m *Matrix) *Matrix {
 	if m.Rows < 2 {
 		denom = 1
 	}
-	// Accumulate upper triangle, then mirror.
-	row := make([]float64, n)
-	for i := 0; i < m.Rows; i++ {
-		src := m.Data[i*n : (i+1)*n]
-		for j := range src {
-			row[j] = src[j] - means[j]
-		}
-		for a := 0; a < n; a++ {
-			va := row[a]
-			if va == 0 {
-				continue
+	if workers > 1 && n > 1 && m.Rows*n*n/2 >= minParallelFlops {
+		// Center once (elementwise, order-free), then give each worker a
+		// band of output rows a: the inner i-ascending accumulation per
+		// (a, b) matches the serial interleaved order term for term.
+		centered := make([]float64, m.Rows*n)
+		parallel.ForShard(workers, m.Rows, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				src := m.Data[i*n : (i+1)*n]
+				dst := centered[i*n : (i+1)*n]
+				for j := range src {
+					dst[j] = src[j] - means[j]
+				}
 			}
-			crow := cov.Data[a*n : (a+1)*n]
-			for b := a; b < n; b++ {
-				crow[b] += va * row[b]
+		})
+		parallel.ForShard(workers, n, func(_, alo, ahi int) {
+			for a := alo; a < ahi; a++ {
+				crow := cov.Data[a*n : (a+1)*n]
+				for i := 0; i < m.Rows; i++ {
+					row := centered[i*n : (i+1)*n]
+					va := row[a]
+					if va == 0 {
+						continue
+					}
+					for b := a; b < n; b++ {
+						crow[b] += va * row[b]
+					}
+				}
+			}
+		})
+	} else {
+		// Accumulate upper triangle row-by-row.
+		row := make([]float64, n)
+		for i := 0; i < m.Rows; i++ {
+			src := m.Data[i*n : (i+1)*n]
+			for j := range src {
+				row[j] = src[j] - means[j]
+			}
+			for a := 0; a < n; a++ {
+				va := row[a]
+				if va == 0 {
+					continue
+				}
+				crow := cov.Data[a*n : (a+1)*n]
+				for b := a; b < n; b++ {
+					crow[b] += va * row[b]
+				}
 			}
 		}
 	}

@@ -1,0 +1,64 @@
+package parallel
+
+import "sync"
+
+// The arenas below are sync.Pool-backed scratch allocators for the codec
+// hot loops. A kernel that needs a per-shard (or per-call) buffer takes it
+// from the arena and returns it when done; steady-state compression then
+// allocates nothing per block/symbol, which is where the allocs/op budget
+// of the BENCH gate comes from.
+//
+// Returned slices have the requested length but UNSPECIFIED contents — the
+// caller must fully initialise what it reads. Pools store pointers to
+// slices so Put does not itself allocate a header.
+
+type slicePool[T any] struct {
+	pool sync.Pool
+}
+
+func (p *slicePool[T]) get(n int) []T {
+	if v, ok := p.pool.Get().(*[]T); ok && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]T, n)
+}
+
+func (p *slicePool[T]) put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	p.pool.Put(&s)
+}
+
+var (
+	floatArena  slicePool[float64]
+	int64Arena  slicePool[int64]
+	uint64Arena slicePool[uint64]
+	intArena    slicePool[int]
+)
+
+// Floats returns a float64 scratch slice of length n from the arena.
+func Floats(n int) []float64 { return floatArena.get(n) }
+
+// PutFloats returns a slice obtained from Floats to the arena. The caller
+// must not use s afterwards.
+func PutFloats(s []float64) { floatArena.put(s) }
+
+// Int64s returns an int64 scratch slice of length n from the arena.
+func Int64s(n int) []int64 { return int64Arena.get(n) }
+
+// PutInt64s returns a slice obtained from Int64s to the arena.
+func PutInt64s(s []int64) { int64Arena.put(s) }
+
+// Uint64s returns a uint64 scratch slice of length n from the arena.
+func Uint64s(n int) []uint64 { return uint64Arena.get(n) }
+
+// PutUint64s returns a slice obtained from Uint64s to the arena.
+func PutUint64s(s []uint64) { uint64Arena.put(s) }
+
+// Ints returns an int scratch slice of length n from the arena.
+func Ints(n int) []int { return intArena.get(n) }
+
+// PutInts returns a slice obtained from Ints to the arena.
+func PutInts(s []int) { intArena.put(s) }

@@ -1,0 +1,126 @@
+// Package parallel provides the bounded fork/join worker pool and scratch
+// buffer arenas behind the codec kernels and the chunked container.
+//
+// Two properties shape the API:
+//
+//   - Workers == 1 (or a degenerate range) runs the loop inline on the
+//     calling goroutine, with no pool, no channels and no extra
+//     allocation: it IS the serial execution, not an emulation of it.
+//   - Work is partitioned deterministically. ForShard always cuts [0, n)
+//     into the same contiguous ranges for a given (workers, n), so
+//     encoders that write one private bitstream per shard and concatenate
+//     them in shard order produce byte-identical output to a single
+//     serial pass, regardless of how the goroutines interleave.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config selects the degree of parallelism for a compression run. The zero
+// value means "use DefaultWorkers()"; Workers == 1 forces fully serial
+// execution on the calling goroutine.
+type Config struct {
+	// Workers is the maximum number of concurrently running worker
+	// goroutines. 0 defaults to DefaultWorkers(); negative values are
+	// treated as 1.
+	Workers int
+}
+
+// Resolve returns the effective worker count for the config.
+func (c Config) Resolve() int {
+	if c.Workers == 0 {
+		return DefaultWorkers()
+	}
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// DefaultWorkers is the pool size used when no explicit worker count is
+// configured: one worker per schedulable CPU.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n), using at most `workers` concurrent
+// goroutines, and returns only after every call has completed (fork/join).
+// With workers <= 1 or n <= 1 the loop runs inline in index order. Indices
+// are handed out through a shared cursor, so call order across workers is
+// nondeterministic: fn must only touch state owned by index i (or state
+// protected by the caller).
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Shards reports how many contiguous ranges ForShard will use for n items
+// at the given worker count: min(workers, n), at least 1 for n > 0.
+func Shards(workers, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		return n
+	}
+	return workers
+}
+
+// ShardBounds returns the half-open range [lo, hi) of shard s when n items
+// are cut into `shards` near-equal contiguous pieces. The partition is a
+// pure function of (n, shards): it never depends on scheduling.
+func ShardBounds(n, shards, s int) (lo, hi int) {
+	return s * n / shards, (s + 1) * n / shards
+}
+
+// ForShard cuts [0, n) into Shards(workers, n) contiguous ranges and runs
+// fn(shard, lo, hi) for each, with at most `workers` goroutines. The shard
+// index is dense in [0, Shards(workers, n)), so callers can give every
+// shard a private output slot and merge the slots in shard order after the
+// join.
+func ForShard(workers, n int, fn func(shard, lo, hi int)) {
+	s := Shards(workers, n)
+	if s == 0 {
+		return
+	}
+	if s == 1 {
+		fn(0, 0, n)
+		return
+	}
+	For(workers, s, func(i int) {
+		lo, hi := ShardBounds(n, s, i)
+		fn(i, lo, hi)
+	})
+}

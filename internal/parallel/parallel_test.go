@@ -1,0 +1,195 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestConfigResolve(t *testing.T) {
+	if got := (Config{}).Resolve(); got != DefaultWorkers() {
+		t.Fatalf("zero config resolved to %d, want DefaultWorkers()=%d", got, DefaultWorkers())
+	}
+	if got := (Config{Workers: -3}).Resolve(); got != 1 {
+		t.Fatalf("negative workers resolved to %d, want 1", got)
+	}
+	for _, w := range []int{1, 2, 7, 64} {
+		if got := (Config{Workers: w}).Resolve(); got != w {
+			t.Fatalf("Workers=%d resolved to %d", w, got)
+		}
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestForEveryIndexOnce checks that For visits each index exactly once at
+// every worker count, including degenerate ones.
+func TestForEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			visits := make([]atomic.Int32, max(n, 1))
+			For(workers, n, func(i int) {
+				if i < 0 || i >= n {
+					t.Errorf("workers=%d n=%d: index %d out of range", workers, n, i)
+					return
+				}
+				visits[i].Add(1)
+			})
+			for i := 0; i < n; i++ {
+				if got := visits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForSerialIsInline checks the documented Workers<=1 contract: the loop
+// runs on the calling goroutine in index order.
+func TestForSerialIsInline(t *testing.T) {
+	var order []int
+	For(1, 10, func(i int) { order = append(order, i) }) // no sync: must be inline
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial For out of order at %d: got %v", i, order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("serial For visited %d of 10 indices", len(order))
+	}
+}
+
+func TestShardBoundsPartition(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 97, 1024} {
+		for _, workers := range []int{1, 2, 3, 7, 16, 200} {
+			s := Shards(workers, n)
+			if s < 1 || s > n || s > max(workers, 1) {
+				t.Fatalf("Shards(%d,%d) = %d out of range", workers, n, s)
+			}
+			prev := 0
+			for i := 0; i < s; i++ {
+				lo, hi := ShardBounds(n, s, i)
+				if lo != prev {
+					t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d", n, s, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d shards=%d: shard %d empty-negative [%d,%d)", n, s, i, lo, hi)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d shards=%d: shards cover %d of %d", n, s, prev, n)
+			}
+		}
+	}
+	if got := Shards(8, 0); got != 0 {
+		t.Fatalf("Shards(8,0) = %d, want 0", got)
+	}
+}
+
+// TestForShardCoverage checks that the shard callbacks jointly cover [0, n)
+// exactly once and that shard indices are dense.
+func TestForShardCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		for _, n := range []int{1, 3, 16, 1000} {
+			covered := make([]atomic.Int32, n)
+			var shardsSeen atomic.Int32
+			ForShard(workers, n, func(shard, lo, hi int) {
+				shardsSeen.Add(1)
+				if shard < 0 || shard >= Shards(workers, n) {
+					t.Errorf("shard index %d out of range", shard)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+			})
+			if int(shardsSeen.Load()) != Shards(workers, n) {
+				t.Fatalf("workers=%d n=%d: %d shard calls, want %d", workers, n, shardsSeen.Load(), Shards(workers, n))
+			}
+			for i := 0; i < n; i++ {
+				if got := covered[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestArenas checks the length contract and that recycled buffers keep
+// capacity. Contents after get are unspecified, so only shape is asserted.
+func TestArenas(t *testing.T) {
+	f := Floats(100)
+	if len(f) != 100 {
+		t.Fatalf("Floats(100) len %d", len(f))
+	}
+	PutFloats(f)
+	f2 := Floats(50)
+	if len(f2) != 50 {
+		t.Fatalf("Floats(50) len %d", len(f2))
+	}
+	PutFloats(f2)
+
+	i64 := Int64s(17)
+	if len(i64) != 17 {
+		t.Fatalf("Int64s(17) len %d", len(i64))
+	}
+	PutInt64s(i64)
+	u64 := Uint64s(9)
+	if len(u64) != 9 {
+		t.Fatalf("Uint64s(9) len %d", len(u64))
+	}
+	PutUint64s(u64)
+	is := Ints(3)
+	if len(is) != 3 {
+		t.Fatalf("Ints(3) len %d", len(is))
+	}
+	PutInts(is)
+
+	// Zero-length slices round-trip without panicking.
+	PutFloats(Floats(0))
+	PutInts(nil)
+}
+
+// TestPoolStress hammers For/ForShard and the arenas from many goroutines at
+// once. Its real assertion is the -race detector (the verify gate runs this
+// package under -race): any unsynchronised access in the pool internals or
+// arena recycling shows up here.
+func TestPoolStress(t *testing.T) {
+	const rounds = 50
+	var total atomic.Int64
+	For(8, rounds, func(r int) {
+		n := 64 + r
+		buf := Floats(n)
+		for i := range buf {
+			buf[i] = float64(i)
+		}
+		sums := make([]float64, Shards(4, n))
+		ForShard(4, n, func(shard, lo, hi int) {
+			scratch := Int64s(hi - lo)
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				scratch[i-lo] = int64(buf[i])
+				s += buf[i]
+			}
+			PutInt64s(scratch)
+			sums[shard] = s
+		})
+		got := 0.0
+		for _, s := range sums {
+			got += s
+		}
+		want := float64(n*(n-1)) / 2
+		if got != want {
+			t.Errorf("round %d: shard sum %v, want %v", r, got, want)
+		}
+		PutFloats(buf)
+		total.Add(int64(n))
+	})
+	if total.Load() == 0 {
+		t.Fatal("stress loop did not run")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"lrm/internal/grid"
 	"lrm/internal/linalg"
+	"lrm/internal/parallel"
 )
 
 // PCA is the principal-component-analysis reduced model (Section V-A.1):
@@ -96,18 +97,22 @@ func pcaFactor(mat *linalg.Matrix, energy float64, maxK int) ([]float64, []float
 			vecs[i*k+j] = eigvecs.At(i, j)
 		}
 	}
-	// Scores: centered data projected onto the components (m x k).
+	// Scores: centered data projected onto the components (m x k). Rows
+	// project independently (each with the serial accumulation order), so
+	// the shards produce bitwise-identical scores at any worker count.
 	scores := make([]float64, m*k)
-	for r := 0; r < m; r++ {
-		row := mat.Data[r*n : (r+1)*n]
-		for j := 0; j < k; j++ {
-			s := 0.0
-			for i := 0; i < n; i++ {
-				s += row[i] * vecs[i*k+j]
+	parallel.ForShard(parallel.DefaultWorkers(), m, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := mat.Data[r*n : (r+1)*n]
+			for j := 0; j < k; j++ {
+				s := 0.0
+				for i := 0; i < n; i++ {
+					s += row[i] * vecs[i*k+j]
+				}
+				scores[r*k+j] = s
 			}
-			scores[r*k+j] = s
 		}
-	}
+	})
 	return means, vecs, k, scores, nil
 }
 
@@ -198,15 +203,18 @@ func reconstructPCA(rep *Rep) (*grid.Field, error) {
 		vpos += need
 
 		// X_hat = scores * vecs^T + means, written into columns [col, col+w).
-		for r := 0; r < m; r++ {
-			for i := 0; i < w; i++ {
-				s := means[i]
-				for j := 0; j < k; j++ {
-					s += scores[r*k+j] * vecs[i*k+j]
+		// Rows reconstruct independently; shards write disjoint output rows.
+		parallel.ForShard(parallel.DefaultWorkers(), m, func(_, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				for i := 0; i < w; i++ {
+					s := means[i]
+					for j := 0; j < k; j++ {
+						s += scores[r*k+j] * vecs[i*k+j]
+					}
+					out[r*n+col+i] = s
 				}
-				out[r*n+col+i] = s
 			}
-		}
+		})
 		col += w
 	}
 	if col != n {

@@ -6,6 +6,7 @@ import (
 
 	"lrm/internal/grid"
 	"lrm/internal/linalg"
+	"lrm/internal/parallel"
 )
 
 // SVD is the singular-value-decomposition reduced model (Section V-A.2):
@@ -119,19 +120,23 @@ func reconstructSVD(rep *Rep) (*grid.Field, error) {
 	uk := rep.Values[k : k+m*k]
 	vk := rep.Values[k+m*k:]
 
+	// Rows of U·S·V^T reconstruct independently with the serial per-row
+	// accumulation order, so sharding is bitwise-exact.
 	out := make([]float64, m*n)
-	for r := 0; r < m; r++ {
-		for j := 0; j < k; j++ {
-			f := uk[r*k+j] * sk[j]
-			if f == 0 {
-				continue
-			}
-			row := out[r*n : (r+1)*n]
-			for i := 0; i < n; i++ {
-				row[i] += f * vk[i*k+j]
+	parallel.ForShard(parallel.DefaultWorkers(), m, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			for j := 0; j < k; j++ {
+				f := uk[r*k+j] * sk[j]
+				if f == 0 {
+					continue
+				}
+				row := out[r*n : (r+1)*n]
+				for i := 0; i < n; i++ {
+					row[i] += f * vk[i*k+j]
+				}
 			}
 		}
-	}
+	})
 	return grid.FromData(out, rep.Dims...)
 }
 

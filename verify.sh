@@ -36,7 +36,10 @@ step go test -tags invariants ./internal/compress/... ./internal/reduce/... ./in
 
 if [ "${1:-}" != "quick" ]; then
 	# Concurrent packages under the race detector.
-	step go test -race ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/...
+	step go test -race ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/linalg/...
+	# Benchmark smoke: one iteration of the JSON benchmark harness proves
+	# the artifact pipeline end to end without paying full measurement cost.
+	step go run ./cmd/lrmbench -iters 1 -out /tmp/lrmbench-smoke.json
 	# Short fuzz pass over the decoder targets (seed corpus + a few seconds
 	# of mutation each). -fuzz accepts a single package per invocation.
 	for pkg in ./internal/compress/sz ./internal/compress/zfp ./internal/compress/fpc; do
