@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint test invariants race fuzz bench bench-smoke verify
+.PHONY: build vet fmt lint test invariants faultsweep race fuzz bench bench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,14 @@ test:
 invariants:
 	$(GO) test -tags invariants ./internal/compress/... ./internal/reduce/... ./internal/core/...
 
+# Fault-injection sweep: every archive mutation must yield a classified
+# error (never a panic, never an unbounded allocation).
+faultsweep:
+	$(GO) test -run TestSweepCorpus -count=1 ./internal/faultinject
+
 # Concurrent packages under the race detector.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/linalg/...
+	$(GO) test -race ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/...
 
 # JSON benchmark harness (BENCH_<n>.json artifact); bench-smoke is the CI
 # single-iteration configuration.
@@ -41,6 +46,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=10s -run='^$$' ./internal/compress/sz
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=10s -run='^$$' ./internal/compress/zfp
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=10s -run='^$$' ./internal/compress/fpc
+	$(GO) test -fuzz=FuzzDecompressChunked -fuzztime=10s -run='^$$' ./internal/core
 
 verify:
 	./verify.sh

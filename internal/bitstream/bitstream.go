@@ -114,6 +114,12 @@ func (w *Writer) Reset() {
 // ErrOutOfBits is returned when a Reader is asked for more bits than exist.
 var ErrOutOfBits = errors.New("bitstream: out of bits")
 
+// ErrReadWidth is returned by ReadBits for widths above 64. The reader is
+// on the decode path of untrusted streams, so an absurd width surfaces as
+// an error rather than a panic (the Writer, which only ever sees
+// encoder-chosen widths, keeps its panic).
+var ErrReadWidth = errors.New("bitstream: read width exceeds 64 bits")
+
 // Reader consumes bits most-significant-bit first from a byte buffer.
 type Reader struct {
 	buf []byte
@@ -138,7 +144,7 @@ func (r *Reader) ReadBit() (uint, error) {
 // On ErrOutOfBits the reader is positioned at the end of the stream.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
-		panic("bitstream: ReadBits n > 64")
+		return 0, ErrReadWidth
 	}
 	end := r.pos + int(n)
 	if end > 8*len(r.buf) {

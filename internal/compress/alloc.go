@@ -1,0 +1,78 @@
+package compress
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lrm/internal/grid"
+)
+
+// DefaultDecodeAllocCap is the default per-allocation byte cap on decode
+// paths: room for the largest legitimate field (MaxElements float64s) plus
+// slack for stream-side buffers.
+const DefaultDecodeAllocCap = int64(8*MaxElements) + 1<<16
+
+var decodeAllocCap atomic.Int64
+
+func init() { decodeAllocCap.Store(DefaultDecodeAllocCap) }
+
+// DecodeAllocCap returns the process-wide decode-side allocation cap in
+// bytes. Decoders refuse any single header-driven allocation above it.
+func DecodeAllocCap() int64 { return decodeAllocCap.Load() }
+
+// SetDecodeAllocCap lowers (or restores) the decode-side allocation cap and
+// returns the previous value; n <= 0 restores the default. Tests and
+// memory-constrained embedders use this to bound what a hostile archive can
+// make any decoder allocate in one call:
+//
+//	prev := compress.SetDecodeAllocCap(1 << 20)
+//	defer compress.SetDecodeAllocCap(prev)
+func SetDecodeAllocCap(n int64) (prev int64) {
+	prev = decodeAllocCap.Load()
+	if n <= 0 {
+		n = DefaultDecodeAllocCap
+	}
+	decodeAllocCap.Store(n)
+	return prev
+}
+
+// CheckedAlloc guards a decode-side allocation of elems elements of
+// elemBytes bytes each, where elems comes from an untrusted header.
+// maxElems is the largest element count the remaining input could
+// legitimately back — derived by the caller from the bytes or bits left in
+// the stream — so a tiny archive cannot claim a huge buffer. Claims beyond
+// maxElems, or beyond the process-wide DecodeAllocCap, return a wrapped
+// ErrCorrupt before a single byte is allocated.
+func CheckedAlloc(what string, elems, maxElems uint64, elemBytes int) error {
+	if elems > maxElems {
+		return fmt.Errorf("%s: claimed %d elements exceed the %d the input can back: %w",
+			what, elems, maxElems, ErrCorrupt)
+	}
+	if need := elems * uint64(elemBytes); need > uint64(DecodeAllocCap()) {
+		return fmt.Errorf("%s: %d-byte allocation exceeds decode cap %d: %w",
+			what, need, DecodeAllocCap(), ErrCorrupt)
+	}
+	return nil
+}
+
+// NewCheckedField allocates the zero-filled output field for header-claimed
+// dims, enforcing the decode allocation cap before touching the allocator.
+// Dims usually arrive pre-validated by DecodeDimsHeader; invalid dims are
+// reported as a header error rather than a panic.
+func NewCheckedField(what string, dims []int) (*grid.Field, error) {
+	elems := uint64(1)
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("%s: non-positive extent in %v: %w", what, dims, ErrHeader)
+		}
+		elems *= uint64(d)
+	}
+	if err := CheckedAlloc(what, elems, elems, 8); err != nil {
+		return nil, err
+	}
+	f, err := grid.NewChecked(dims...)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v: %w", what, err, ErrHeader)
+	}
+	return f, nil
+}

@@ -88,15 +88,28 @@ const maxInflate = int64(8*MaxElements) + 1
 
 // InflateBytes reverses FlateBytes. Output is capped so a crafted tiny
 // stream cannot expand without bound.
-func InflateBytes(b []byte) ([]byte, error) {
+func InflateBytes(b []byte) ([]byte, error) { return InflateBytesCap(b, maxInflate-1) }
+
+// InflateBytesCap is InflateBytes with a caller-supplied output bound, for
+// decoders that already know (from an earlier header field) how large the
+// inflated content can legitimately be. The effective bound is further
+// clamped by the global maxInflate and the decode allocation cap, so a
+// hostile length claim cannot widen it. maxOut < 0 means "no caller bound".
+func InflateBytesCap(b []byte, maxOut int64) ([]byte, error) {
+	if maxOut < 0 || maxOut > maxInflate-1 {
+		maxOut = maxInflate - 1
+	}
+	if c := DecodeAllocCap(); maxOut > c {
+		maxOut = c
+	}
 	r := flate.NewReader(bytes.NewReader(b))
 	defer r.Close()
-	out, err := io.ReadAll(io.LimitReader(r, maxInflate))
+	out, err := io.ReadAll(io.LimitReader(r, maxOut+1))
 	if err != nil {
-		return nil, fmt.Errorf("compress: inflate: %w", err)
+		return nil, Classify(fmt.Errorf("compress: inflate: %w", err))
 	}
-	if int64(len(out)) >= maxInflate {
-		return nil, fmt.Errorf("compress: inflated output exceeds %d bytes", maxInflate-1)
+	if int64(len(out)) > maxOut {
+		return nil, fmt.Errorf("compress: inflated output exceeds %d bytes: %w", maxOut, ErrCorrupt)
 	}
 	return out, nil
 }
@@ -143,9 +156,17 @@ func (c *Flate) Decompress(b []byte) (*grid.Field, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw, err := InflateBytes(rest)
+	n := int64(1)
+	for _, d := range dims {
+		n *= int64(d)
+	}
+	raw, err := InflateBytesCap(rest, 8*n)
 	if err != nil {
 		return nil, err
 	}
-	return grid.FromBytes(raw, dims...)
+	f, err := grid.FromBytes(raw, dims...)
+	if err != nil {
+		return nil, Classify(err)
+	}
+	return f, nil
 }

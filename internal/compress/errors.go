@@ -1,0 +1,46 @@
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"lrm/internal/bitstream"
+)
+
+// Decode-error taxonomy. Every decode path in this repository — the three
+// codecs, the huffman stage, and the core containers — returns errors that
+// wrap one of these sentinels, so callers can dispatch on the failure class
+// with errors.Is regardless of which layer detected the problem:
+//
+//	ErrTruncated — the stream ends before the structure it promises.
+//	ErrCorrupt   — the stream is structurally invalid (bad magic, CRC
+//	               mismatch, implausible header claims, invalid codes).
+//	ErrHeader    — a malformed header specifically; a sub-class of
+//	               ErrCorrupt, so errors.Is(err, ErrCorrupt) also holds.
+//
+// The split matters operationally: a truncated archive is usually a short
+// write (retry the transfer), while a corrupt one is bit rot or a hostile
+// stream (quarantine it).
+var (
+	ErrTruncated = errors.New("compress: truncated input")
+	ErrCorrupt   = errors.New("compress: corrupt input")
+	ErrHeader    = fmt.Errorf("%w (invalid header)", ErrCorrupt)
+)
+
+// Classify wraps err into the decode-error taxonomy. Errors that already
+// carry a sentinel pass through unchanged; end-of-input conditions map to
+// ErrTruncated; everything else maps to ErrCorrupt. Decode paths call this
+// at their boundary as a safety net so no error escapes unclassified.
+func Classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) || errors.Is(err, bitstream.ErrOutOfBits) {
+		return fmt.Errorf("%w: %w", ErrTruncated, err)
+	}
+	return fmt.Errorf("%w: %w", ErrCorrupt, err)
+}

@@ -12,7 +12,6 @@ package fpc
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
 
@@ -179,18 +178,32 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 	return append(out, residuals...), nil
 }
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec. Failures wrap the
+// compress.ErrTruncated / compress.ErrCorrupt taxonomy.
 func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
+	f, err := c.decompress(data)
+	if err != nil {
+		return nil, compress.Classify(err)
+	}
+	return f, nil
+}
+
+func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 	dims, rest, err := compress.DecodeDimsHeader(data)
 	if err != nil {
 		return nil, err
 	}
 	if len(rest) < 5 {
-		return nil, errors.New("fpc: truncated stream")
+		return nil, fmt.Errorf("fpc: truncated stream: %w", compress.ErrTruncated)
 	}
 	level := uint(rest[0])
 	if level < 1 || level > 24 {
-		return nil, fmt.Errorf("fpc: invalid level %d in stream", level)
+		return nil, fmt.Errorf("fpc: invalid level %d in stream: %w", level, compress.ErrHeader)
+	}
+	// The predictor tables are sized by an untrusted header byte (up to
+	// 2*2^24 entries); charge them against the decode cap before allocating.
+	if err := compress.CheckedAlloc("fpc: predictor tables", 2<<level, 2<<level, 8); err != nil {
+		return nil, err
 	}
 	residLen := int(binary.LittleEndian.Uint32(rest[1:5]))
 	rest = rest[5:]
@@ -200,14 +213,22 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 		n *= d
 	}
 	headerLen := (n + 1) / 2
+	if len(rest) < headerLen+residLen {
+		return nil, fmt.Errorf("fpc: stream length %d < headers %d + residuals %d: %w",
+			len(rest), headerLen, residLen, compress.ErrTruncated)
+	}
 	if len(rest) != headerLen+residLen {
-		return nil, fmt.Errorf("fpc: stream length %d != headers %d + residuals %d", len(rest), headerLen, residLen)
+		return nil, fmt.Errorf("fpc: stream length %d != headers %d + residuals %d: %w",
+			len(rest), headerLen, residLen, compress.ErrCorrupt)
 	}
 	headers := rest[:headerLen]
 	residuals := rest[headerLen:]
 
 	p := newPredictor(level)
-	f := grid.New(dims...)
+	f, err := compress.NewCheckedField("fpc: field", dims)
+	if err != nil {
+		return nil, err
+	}
 	rp := 0
 	for i := 0; i < n; i++ {
 		var nibble uint8
@@ -220,7 +241,7 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 		lzb := codeToLzb(nibble & 7)
 		count := 8 - lzb
 		if rp+count > len(residuals) {
-			return nil, errors.New("fpc: residual bytes exhausted")
+			return nil, fmt.Errorf("fpc: residual bytes exhausted: %w", compress.ErrTruncated)
 		}
 		var resid uint64
 		for b := 0; b < count; b++ {
@@ -238,7 +259,7 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 		p.update(bits)
 	}
 	if rp != len(residuals) {
-		return nil, errors.New("fpc: trailing residual bytes")
+		return nil, fmt.Errorf("fpc: trailing residual bytes: %w", compress.ErrCorrupt)
 	}
 	return f, nil
 }

@@ -2,7 +2,6 @@ package compress
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 )
 
@@ -25,11 +24,11 @@ func EncodeDimsHeader(dims []int) []byte {
 // bytes.
 func DecodeDimsHeader(b []byte) (dims []int, rest []byte, err error) {
 	if len(b) < 1 {
-		return nil, nil, errors.New("compress: empty stream")
+		return nil, nil, fmt.Errorf("compress: empty stream: %w", ErrTruncated)
 	}
 	rank := int(b[0])
 	if rank < 1 || rank > 3 {
-		return nil, nil, fmt.Errorf("compress: bad rank %d in header", rank)
+		return nil, nil, fmt.Errorf("compress: bad rank %d: %w", rank, ErrHeader)
 	}
 	pos := 1
 	dims = make([]int, rank)
@@ -37,14 +36,14 @@ func DecodeDimsHeader(b []byte) (dims []int, rest []byte, err error) {
 	for i := range dims {
 		v, n := binary.Uvarint(b[pos:])
 		if n <= 0 {
-			return nil, nil, errors.New("compress: truncated dims header")
+			return nil, nil, fmt.Errorf("compress: truncated dims header: %w", ErrTruncated)
 		}
 		if v == 0 || v > MaxElements {
-			return nil, nil, fmt.Errorf("compress: implausible extent %d", v)
+			return nil, nil, fmt.Errorf("compress: implausible extent %d: %w", v, ErrHeader)
 		}
 		total *= v
 		if total > MaxElements {
-			return nil, nil, fmt.Errorf("compress: field of %d+ elements exceeds MaxElements", total)
+			return nil, nil, fmt.Errorf("compress: field of %d+ elements exceeds MaxElements: %w", total, ErrHeader)
 		}
 		dims[i] = int(v)
 		pos += n

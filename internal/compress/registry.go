@@ -13,9 +13,16 @@ import (
 // suffices regardless of how the encoder was configured.
 type Decoder func([]byte) (*grid.Field, error)
 
+// WorkersDecoder is a Decoder with an explicit decode-side worker budget.
+// workers <= 0 selects the codec's default pool size. Implementations must
+// return identical fields at every worker count (the same contract as
+// Parallelizable on the compress side).
+type WorkersDecoder func(b []byte, workers int) (*grid.Field, error)
+
 var (
-	registryMu sync.RWMutex
-	decoders   = map[string]Decoder{}
+	registryMu      sync.RWMutex
+	decoders        = map[string]Decoder{}
+	workersDecoders = map[string]WorkersDecoder{}
 )
 
 // RegisterDecoder installs the decoder for a codec family (the part of a
@@ -31,21 +38,51 @@ func RegisterDecoder(family string, d Decoder) {
 	decoders[family] = d
 }
 
+// RegisterWorkersDecoder installs a worker-aware decoder for a family whose
+// decode path runs on a bounded pool, and derives the family's plain
+// Decoder from it (default budget). Codec packages with parallel decoders
+// call this INSTEAD of RegisterDecoder.
+func RegisterWorkersDecoder(family string, d WorkersDecoder) {
+	RegisterDecoder(family, func(b []byte) (*grid.Field, error) { return d(b, 0) })
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	workersDecoders[family] = d
+}
+
 // DecoderFor returns the decoder registered for a codec family.
 func DecoderFor(family string) (Decoder, error) {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
 	d, ok := decoders[family]
 	if !ok {
-		return nil, fmt.Errorf("compress: no decoder registered for family %q (have %v)", family, Families())
+		return nil, fmt.Errorf("compress: no decoder registered for family %q (have %v): %w",
+			family, familiesLocked(), ErrCorrupt)
 	}
 	return d, nil
+}
+
+// DecoderForWorkers returns a decoder bound to the given worker budget.
+// Families without a registered worker-aware decoder (serial decode paths)
+// fall back to their plain decoder, which trivially honours any budget.
+func DecoderForWorkers(family string, workers int) (Decoder, error) {
+	registryMu.RLock()
+	wd, ok := workersDecoders[family]
+	registryMu.RUnlock()
+	if ok {
+		return func(b []byte) (*grid.Field, error) { return wd(b, workers) }, nil
+	}
+	return DecoderFor(family)
 }
 
 // Families lists the registered codec families, sorted.
 func Families() []string {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
+	return familiesLocked()
+}
+
+// familiesLocked is Families for callers already holding registryMu.
+func familiesLocked() []string {
 	out := make([]string, 0, len(decoders))
 	for f := range decoders {
 		out = append(out, f)

@@ -430,14 +430,17 @@ func buildPayload(codes []int, exact []float64, workers int) []byte {
 func parsePayload(b []byte, n int) (codes []int, exact []float64, err error) {
 	cnt, sz := binary.Uvarint(b)
 	if sz <= 0 {
-		return nil, nil, errors.New("sz: truncated payload")
+		return nil, nil, fmt.Errorf("sz: truncated payload: %w", compress.ErrTruncated)
 	}
 	pos := sz
 	if cnt > uint64(n) {
-		return nil, nil, fmt.Errorf("sz: exact count %d exceeds points %d", cnt, n)
+		return nil, nil, fmt.Errorf("sz: exact count %d exceeds points %d: %w", cnt, n, compress.ErrCorrupt)
 	}
 	if len(b)-pos < int(cnt)*8 {
-		return nil, nil, errors.New("sz: truncated exact values")
+		return nil, nil, fmt.Errorf("sz: truncated exact values: %w", compress.ErrTruncated)
+	}
+	if err := compress.CheckedAlloc("sz: exact values", cnt, uint64(len(b)-pos)/8, 8); err != nil {
+		return nil, nil, err
 	}
 	exact = make([]float64, cnt)
 	for i := range exact {
@@ -531,14 +534,23 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 	return append(hdr, body...), nil
 }
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec. Failures wrap the
+// compress.ErrTruncated / compress.ErrCorrupt taxonomy.
 func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
+	f, err := c.decompress(data)
+	if err != nil {
+		return nil, compress.Classify(err)
+	}
+	return f, nil
+}
+
+func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 	dims, rest, err := compress.DecodeDimsHeader(data)
 	if err != nil {
 		return nil, err
 	}
 	if len(rest) < 1+1+8+8 {
-		return nil, errors.New("sz: truncated header")
+		return nil, fmt.Errorf("sz: truncated header: %w", compress.ErrTruncated)
 	}
 	mode := Mode(rest[0])
 	if mode > PointwiseRel {
@@ -557,19 +569,22 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("sz: invalid effective bound %v", eb)
 	}
-	raw, err := compress.InflateBytes(rest[18:])
-	if err != nil {
-		return nil, err
-	}
-
 	n := 1
 	for _, d := range dims {
 		n *= d
 	}
+	// The dims are already parsed, so the inflated size is boundable up
+	// front: worst case ~26 bytes/point (exact value + huffman code + zero
+	// list) plus a bounded alphabet header. Anything larger is a bomb.
+	raw, err := compress.InflateBytesCap(rest[18:], 32*int64(n)+(1<<20))
+	if err != nil {
+		return nil, err
+	}
+
 	// Every point costs at least one Huffman bit, so the claimed dims
 	// cannot exceed the inflated payload's bit count.
-	if n > 8*len(raw)+64 {
-		return nil, fmt.Errorf("sz: %d points exceed payload capacity", n)
+	if err := compress.CheckedAlloc("sz: field", uint64(n), 8*uint64(len(raw))+64, 8); err != nil {
+		return nil, err
 	}
 
 	switch mode {
@@ -589,26 +604,30 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 		pos := 0
 		zcnt, sz := binary.Uvarint(raw)
 		if sz <= 0 || zcnt > uint64(n) {
-			return nil, errors.New("sz: bad zero list")
+			return nil, fmt.Errorf("sz: bad zero list: %w", compress.ErrCorrupt)
 		}
 		pos += sz
+		// Every zero-list entry costs at least one delta byte.
+		if err := compress.CheckedAlloc("sz: zero list", zcnt, uint64(len(raw)-pos), 8); err != nil {
+			return nil, err
+		}
 		zeros := make([]int, zcnt)
 		prev := uint64(0)
 		for i := range zeros {
 			d, s := binary.Uvarint(raw[pos:])
 			if s <= 0 {
-				return nil, errors.New("sz: truncated zero list")
+				return nil, fmt.Errorf("sz: truncated zero list: %w", compress.ErrTruncated)
 			}
 			pos += s
 			prev += d
 			if prev >= uint64(n) {
-				return nil, errors.New("sz: zero index out of range")
+				return nil, fmt.Errorf("sz: zero index out of range: %w", compress.ErrCorrupt)
 			}
 			zeros[i] = int(prev)
 		}
 		signBytes := (n + 7) / 8
 		if len(raw)-pos < signBytes {
-			return nil, errors.New("sz: truncated sign bitmap")
+			return nil, fmt.Errorf("sz: truncated sign bitmap: %w", compress.ErrTruncated)
 		}
 		signs := raw[pos : pos+signBytes]
 		pos += signBytes
@@ -637,5 +656,10 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 }
 
 func init() {
-	compress.RegisterDecoder("sz", MustNew(Abs, 1e-5).Decompress)
+	// Streams are self-describing (mode/bound come from the header), so the
+	// constructor arguments only seed a receiver; the worker budget is the
+	// one knob that matters on decode.
+	compress.RegisterWorkersDecoder("sz", func(b []byte, workers int) (*grid.Field, error) {
+		return MustNew(Abs, 1e-5).WithWorkers(workers).Decompress(b)
+	})
 }

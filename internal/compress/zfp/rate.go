@@ -295,12 +295,15 @@ func (c *Codec) DecodeAt(data []byte, coord ...int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if len(rest) < 2 || rest[0] != modeRate {
+	if len(rest) < 2 {
+		return 0, fmt.Errorf("zfp: truncated stream: %w", compress.ErrTruncated)
+	}
+	if rest[0] != modeRate {
 		return 0, errors.New("zfp: DecodeAt requires a fixed-rate stream")
 	}
 	rate := uint(rest[1])
 	if rate < 1 || rate > 62 {
-		return 0, fmt.Errorf("zfp: invalid rate %d in stream", rate)
+		return 0, fmt.Errorf("zfp: invalid rate %d in stream: %w", rate, compress.ErrHeader)
 	}
 	if len(coord) != len(dims) {
 		return 0, fmt.Errorf("zfp: coordinate rank %d != field rank %d", len(coord), len(dims))
@@ -337,7 +340,7 @@ func (c *Codec) DecodeAt(data []byte, coord ...int) (float64, error) {
 	r := bitstream.NewReader(payload)
 	offset := blockIdx * budget
 	if offset+budget > 8*len(payload) {
-		return 0, errors.New("zfp: stream too short for requested block")
+		return 0, fmt.Errorf("zfp: stream too short for requested block: %w", compress.ErrTruncated)
 	}
 	// O(1) seek straight to the block: fixed-rate blocks all cost the
 	// same number of bits.
@@ -347,7 +350,7 @@ func (c *Codec) DecodeAt(data []byte, coord ...int) (float64, error) {
 	s := newBlockScratch(size)
 	defer s.release()
 	if err := decodeRateBlock(r, rate, rank, s); err != nil {
-		return 0, err
+		return 0, compress.Classify(err)
 	}
 	lz, ly, lx := cz%4, cy%4, cx%4
 	yl, xl := 4, 4
@@ -362,11 +365,11 @@ func (c *Codec) DecodeAt(data []byte, coord ...int) (float64, error) {
 // seeked readers — no serial parse stage.
 func decompressRate(dims []int, rest []byte, workers int) (*grid.Field, error) {
 	if len(rest) < 1 {
-		return nil, errors.New("zfp: truncated rate header")
+		return nil, fmt.Errorf("zfp: truncated rate header: %w", compress.ErrTruncated)
 	}
 	rate := uint(rest[0])
 	if rate < 1 || rate > 62 {
-		return nil, fmt.Errorf("zfp: invalid rate %d in stream", rate)
+		return nil, fmt.Errorf("zfp: invalid rate %d in stream: %w", rate, compress.ErrHeader)
 	}
 	rank := len(dims)
 	size := 1 << (2 * uint(rank))
@@ -374,9 +377,13 @@ func decompressRate(dims []int, rest []byte, workers int) (*grid.Field, error) {
 	payload := rest[1:]
 	// Rate streams have a deterministic size: validate before allocating.
 	if need := blockCount(dims) * budget; need > 8*len(payload) {
-		return nil, fmt.Errorf("zfp: rate stream needs %d bits, payload has %d", need, 8*len(payload))
+		return nil, fmt.Errorf("zfp: rate stream needs %d bits, payload has %d: %w",
+			need, 8*len(payload), compress.ErrTruncated)
 	}
-	f := grid.New(dims...)
+	f, err := compress.NewCheckedField("zfp: rate field", dims)
+	if err != nil {
+		return nil, err
+	}
 	bs := blocks(dims)
 
 	if workers <= 1 || len(bs) < minParallelBlocks {

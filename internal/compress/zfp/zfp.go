@@ -789,14 +789,23 @@ func reconstructBlock(f *grid.Field, b blockShape, nb []uint64, emax, rank int, 
 // parallel decode path; it cannot collide with a real biased exponent.
 const emptyEmax = math.MinInt32
 
-// Decompress implements compress.Codec.
+// Decompress implements compress.Codec. Failures wrap the
+// compress.ErrTruncated / compress.ErrCorrupt taxonomy.
 func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
+	f, err := c.decompress(data)
+	if err != nil {
+		return nil, compress.Classify(err)
+	}
+	return f, nil
+}
+
+func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 	dims, rest, err := compress.DecodeDimsHeader(data)
 	if err != nil {
 		return nil, err
 	}
 	if len(rest) < 2 {
-		return nil, errors.New("zfp: truncated stream")
+		return nil, fmt.Errorf("zfp: truncated stream: %w", compress.ErrTruncated)
 	}
 	mode := rest[0]
 	var precision uint
@@ -805,37 +814,47 @@ func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
 	case modePrecision:
 		precision = uint(rest[1])
 		if precision < 1 || precision > MaxPrecision {
-			return nil, fmt.Errorf("zfp: invalid precision %d in stream", precision)
+			return nil, fmt.Errorf("zfp: invalid precision %d in stream: %w", precision, compress.ErrHeader)
 		}
 		rest = rest[2:]
 	case modeAccuracy:
 		if len(rest) < 9 {
-			return nil, errors.New("zfp: truncated tolerance")
+			return nil, fmt.Errorf("zfp: truncated tolerance: %w", compress.ErrTruncated)
 		}
 		tolerance = math.Float64frombits(binary.LittleEndian.Uint64(rest[1:9]))
 		if tolerance <= 0 || math.IsNaN(tolerance) || math.IsInf(tolerance, 0) {
-			return nil, fmt.Errorf("zfp: invalid tolerance %v in stream", tolerance)
+			return nil, fmt.Errorf("zfp: invalid tolerance %v in stream: %w", tolerance, compress.ErrHeader)
 		}
 		rest = rest[9:]
 	case modeRate:
 		return decompressRate(dims, rest[1:], c.workerCount())
 	default:
-		return nil, fmt.Errorf("zfp: unknown mode %d in stream", mode)
+		return nil, fmt.Errorf("zfp: unknown mode %d in stream: %w", mode, compress.ErrHeader)
 	}
 	r := bitstream.NewReader(rest)
 
 	// Every block costs at least one bit, so the claimed dims cannot imply
 	// more blocks than the payload has bits.
 	if nb := blockCount(dims); nb > 8*len(rest) {
-		return nil, fmt.Errorf("zfp: %d blocks exceed payload capacity", nb)
+		return nil, fmt.Errorf("zfp: %d blocks exceed payload capacity: %w", nb, compress.ErrCorrupt)
 	}
-	f := grid.New(dims...)
+	f, err := compress.NewCheckedField("zfp: field", dims)
+	if err != nil {
+		return nil, err
+	}
 	rank := f.Rank()
 	size := 1 << (2 * uint(rank))
 	bs := blocks(dims)
 	workers := c.workerCount()
 	if workers > 1 && len(bs) >= minParallelBlocks {
-		return c.decompressParallel(f, bs, r, mode, precision, tolerance, rank, size, workers)
+		// The parallel path buffers every parsed block's coefficients at
+		// once; degenerate shapes (many mostly-padding blocks) can make that
+		// buffer exceed the decode cap even when the field itself fits, so
+		// fall back to the serial per-block scratch rather than failing.
+		nbElems := uint64(len(bs)) * uint64(size)
+		if compress.CheckedAlloc("zfp: parsed blocks", nbElems, nbElems, 8) == nil {
+			return c.decompressParallel(f, bs, r, mode, precision, tolerance, rank, size, workers)
+		}
 	}
 
 	s := newBlockScratch(size)
@@ -925,5 +944,7 @@ func (c *Codec) decompressParallel(f *grid.Field, bs []blockShape, r *bitstream.
 }
 
 func init() {
-	compress.RegisterDecoder("zfp", MustNew(16).Decompress)
+	compress.RegisterWorkersDecoder("zfp", func(b []byte, workers int) (*grid.Field, error) {
+		return MustNew(16).WithWorkers(workers).Decompress(b)
+	})
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 
+	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/mpi"
 	"lrm/internal/parallel"
@@ -78,7 +80,7 @@ func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
 		if o.err != nil {
 			return nil, fmt.Errorf("core: chunk %d: %w", c, o.err)
 		}
-		writeUvarint(&buf, uint64(crc32.ChecksumIEEE(o.res.Archive)))
+		writeUvarint(&buf, uint64(chunkCRC(c, o.res.Archive)))
 		writeBytes(&buf, o.res.Archive)
 		total.RepMetaBytes += o.res.RepMetaBytes
 		total.RepValueBytes += o.res.RepValueBytes
@@ -88,13 +90,30 @@ func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
 	return total, nil
 }
 
-// decompressChunked reverses CompressChunked. Chunks are decompressed
-// concurrently on the bounded pool and stitched back along the leading
-// dimension.
-func decompressChunked(archive []byte) (*grid.Field, error) {
+// chunkCRC is the per-record checksum: CRC32 (IEEE) over the chunk's index
+// as a little-endian uint32, then its archive bytes. Seeding with the index
+// makes duplicated, reordered, or spliced records fail validation — a plain
+// content CRC would accept chunk 3's intact record sitting at slot 1 and
+// silently scramble the field.
+func chunkCRC(idx int, archive []byte) uint32 {
+	var le [4]byte
+	binary.LittleEndian.PutUint32(le[:], uint32(idx))
+	return crc32.Update(crc32.ChecksumIEEE(le[:]), crc32.IEEETable, archive)
+}
+
+// chunkedDecode parses and decodes an LRMC archive on a resolved worker
+// budget. In strict mode (degraded == false) the first failure aborts; in
+// degraded mode every chunk is attempted, failures are reported per chunk,
+// and the surviving chunks' regions are returned (failed regions stay
+// zero). A container header too damaged to frame any chunk fails outright
+// in both modes.
+func chunkedDecode(archive []byte, workers int, degraded bool) (*Partial, error) {
 	r := &reader{buf: archive}
 	if string(r.take(4)) != chunkedMagic {
-		return nil, errors.New("core: bad chunked magic")
+		if len(archive) < 4 {
+			return nil, fmt.Errorf("core: truncated chunked magic: %w", compress.ErrTruncated)
+		}
+		return nil, fmt.Errorf("core: bad chunked magic: %w", compress.ErrHeader)
 	}
 	chunks := int(r.uvarint())
 	rank := int(r.byte())
@@ -102,64 +121,127 @@ func decompressChunked(archive []byte) (*grid.Field, error) {
 		return nil, fmt.Errorf("core: corrupt chunked header: %w", r.err)
 	}
 	if rank < 1 || rank > 3 || chunks < 1 {
-		return nil, fmt.Errorf("core: implausible chunked header (rank %d, chunks %d)", rank, chunks)
+		return nil, fmt.Errorf("core: implausible chunked header (rank %d, chunks %d): %w",
+			rank, chunks, compress.ErrHeader)
 	}
 	dims := make([]int, rank)
+	total := uint64(1)
 	for i := range dims {
 		v := r.uvarint()
-		if v == 0 || v > 1<<32 {
-			return nil, errors.New("core: bad chunked dims")
+		if r.err != nil {
+			return nil, fmt.Errorf("core: corrupt chunked header: %w", r.err)
+		}
+		if v == 0 || v > compress.MaxElements {
+			return nil, fmt.Errorf("core: bad chunked dims: %w", compress.ErrHeader)
 		}
 		dims[i] = int(v)
+		total *= v
+	}
+	// Bound the product, not just each extent: dims like {2^28, 2^28, 2^28}
+	// pass the per-extent check but would demand an absurd allocation (or,
+	// without grid's overflow guard, wrap int and panic downstream).
+	if total > compress.MaxElements {
+		return nil, fmt.Errorf("core: chunked dims %v claim %d elements (max %d): %w",
+			dims, total, compress.MaxElements, compress.ErrHeader)
 	}
 	if chunks > dims[0] {
-		return nil, fmt.Errorf("core: %d chunks exceed leading extent %d", chunks, dims[0])
+		return nil, fmt.Errorf("core: %d chunks exceed leading extent %d: %w",
+			chunks, dims[0], compress.ErrHeader)
 	}
 
-	type job struct {
-		idx     int
+	// Parse the chunk records. A CRC mismatch poisons only its chunk, but a
+	// framing failure (truncated or unparseable record) poisons every chunk
+	// from that point on: record boundaries are no longer trustable.
+	type record struct {
 		archive []byte
+		err     error
 	}
-	jobs := make([]job, chunks)
-	for c := 0; c < chunks; c++ {
+	recs := make([]record, chunks)
+	trailing := 0
+	framingOK := true
+	for c := 0; c < chunks && framingOK; c++ {
 		wantCRC := uint32(r.uvarint())
 		chunkArchive := r.bytes()
 		if r.err != nil {
-			return nil, fmt.Errorf("core: truncated chunk %d: %w", c, r.err)
+			err := fmt.Errorf("core: truncated chunk %d: %w", c, r.err)
+			if !degraded {
+				return nil, err
+			}
+			for i := c; i < chunks; i++ {
+				recs[i] = record{err: err}
+			}
+			framingOK = false
+			break
 		}
-		if crc32.ChecksumIEEE(chunkArchive) != wantCRC {
-			return nil, fmt.Errorf("core: chunk %d failed CRC validation", c)
+		if chunkCRC(c, chunkArchive) != wantCRC {
+			err := fmt.Errorf("core: chunk %d failed CRC validation: %w", c, compress.ErrCorrupt)
+			if !degraded {
+				return nil, err
+			}
+			recs[c] = record{err: err}
+			continue
 		}
-		jobs[c] = job{idx: c, archive: chunkArchive}
+		recs[c] = record{archive: chunkArchive}
 	}
-	if r.pos != len(r.buf) {
-		return nil, fmt.Errorf("core: %d trailing bytes after chunks", len(r.buf)-r.pos)
+	if framingOK && r.pos != len(r.buf) {
+		trailing = len(r.buf) - r.pos
+		if !degraded {
+			return nil, fmt.Errorf("core: %d trailing bytes after chunks: %w", trailing, compress.ErrCorrupt)
+		}
 	}
 
-	out := grid.New(dims...)
+	// The output allocation is bounded by what the archive could
+	// legitimately back: SZ's worst double-compressed expansion stays under
+	// 2^16 elements per archive byte by a wide margin.
+	if err := compress.CheckedAlloc("core: chunked field", total, uint64(len(archive))<<16, 8); err != nil {
+		return nil, err
+	}
+	out, err := grid.NewChecked(dims...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %v: %w", err, compress.ErrHeader)
+	}
 	slab := 1
 	for _, d := range dims[1:] {
 		slab *= d
 	}
+
+	// Divide the budget like CompressChunked: chunk-level concurrency
+	// first, leftover capacity to each chunk's codec-internal kernels.
+	running := min(workers, chunks)
+	inner := max(1, workers/running)
 	errs := make([]error, chunks)
-	parallel.For(parallel.DefaultWorkers(), chunks, func(c int) {
-		j := jobs[c]
-		f, err := Decompress(j.archive)
-		if err != nil {
-			errs[j.idx] = err
+	parallel.For(workers, chunks, func(c int) {
+		if recs[c].err != nil {
+			errs[c] = recs[c].err
 			return
 		}
-		lo, hi := mpi.Slab1D(dims[0], chunks, j.idx)
+		// Chunk records are always single archives (CompressChunked stores
+		// Compress output); refusing nested containers here keeps a hostile
+		// archive from driving recursive header-sized allocations.
+		f, err := decompressSingle(recs[c].archive, inner)
+		if err != nil {
+			errs[c] = err
+			return
+		}
+		lo, hi := mpi.Slab1D(dims[0], chunks, c)
 		if f.Dims[0] != hi-lo || f.Len() != (hi-lo)*slab {
-			errs[j.idx] = fmt.Errorf("chunk shape %v does not fit slab [%d,%d)", f.Dims, lo, hi)
+			errs[c] = fmt.Errorf("chunk shape %v does not fit slab [%d,%d): %w",
+				f.Dims, lo, hi, compress.ErrCorrupt)
 			return
 		}
 		copy(out.Data[lo*slab:hi*slab], f.Data)
 	})
+
+	p := &Partial{Field: out, Chunks: chunks, Trailing: trailing}
 	for c, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !degraded {
 			return nil, fmt.Errorf("core: chunk %d: %w", c, err)
 		}
+		lo, hi := mpi.Slab1D(dims[0], chunks, c)
+		p.Errors = append(p.Errors, ChunkError{Chunk: c, Lo: lo, Hi: hi, Err: compress.Classify(err)})
 	}
-	return out, nil
+	return p, nil
 }

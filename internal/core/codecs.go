@@ -15,10 +15,12 @@ import (
 func codecBase(name string) string { return compress.CodecFamily(name) }
 
 // decoderFor returns a decompression function for a codec family from the
-// shared registry. Codec packages register themselves at init; the imports
-// below (for PaperCodecs) pull every built-in family in.
-func decoderFor(family string) (compress.Decoder, error) {
-	return compress.DecoderFor(family)
+// shared registry, bound to the given worker budget (families without a
+// worker-aware decoder fall back to their serial one). Codec packages
+// register themselves at init; the imports below (for PaperCodecs) pull
+// every built-in family in.
+func decoderFor(family string, workers int) (compress.Decoder, error) {
+	return compress.DecoderForWorkers(family, workers)
 }
 
 // PaperCodecs returns the paper's standard codec configurations

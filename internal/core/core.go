@@ -254,19 +254,60 @@ func storeRepValues(rep *reduce.Rep, codec compress.Codec) (stream []byte, store
 	return stream, &cp, nil
 }
 
-// Decompress reverses Compress and CompressChunked. Archives are fully
-// self-describing; the container magic selects the format.
+// DecompressOpts configures decompression. The zero value matches
+// Decompress: default worker pool, fail-fast on any chunk error.
+type DecompressOpts struct {
+	// Parallel is the worker budget shared by chunk-level concurrency and
+	// codec-internal kernels, mirroring Options.Parallel on the compression
+	// side. The zero value resolves to GOMAXPROCS; Workers == 1 reproduces
+	// the serial execution.
+	Parallel parallel.Config
+}
+
+// Decompress reverses Compress and CompressChunked with default options.
+// Archives are fully self-describing; the container magic selects the
+// format. Failures wrap compress.ErrTruncated / compress.ErrCorrupt.
 func Decompress(archive []byte) (*grid.Field, error) {
-	if len(archive) >= 4 && string(archive[:4]) == chunkedMagic {
-		return decompressChunked(archive)
+	return DecompressWithOpts(archive, DecompressOpts{})
+}
+
+// DecompressWithOpts is Decompress with an explicit worker budget.
+func DecompressWithOpts(archive []byte, opts DecompressOpts) (*grid.Field, error) {
+	f, err := decompress(archive, opts.Parallel.Resolve())
+	if err != nil {
+		return nil, compress.Classify(err)
 	}
+	return f, nil
+}
+
+// decompress dispatches on the container magic with a resolved worker
+// budget.
+func decompress(archive []byte, workers int) (*grid.Field, error) {
+	if len(archive) >= 4 && string(archive[:4]) == chunkedMagic {
+		p, err := chunkedDecode(archive, workers, false)
+		if err != nil {
+			return nil, err
+		}
+		return p.Field, nil
+	}
+	return decompressSingle(archive, workers)
+}
+
+// decompressSingle decodes one LRM1 archive.
+func decompressSingle(archive []byte, workers int) (*grid.Field, error) {
 	r := &reader{buf: archive}
 	if string(r.take(4)) != magic {
-		return nil, errors.New("core: bad magic")
+		if len(archive) < 4 {
+			return nil, fmt.Errorf("core: truncated magic: %w", compress.ErrTruncated)
+		}
+		return nil, fmt.Errorf("core: bad magic: %w", compress.ErrHeader)
 	}
 	mode := r.byte()
 	dataCodecName := r.string()
-	dataDecode, err := decoderFor(dataCodecName)
+	if r.err != nil {
+		return nil, fmt.Errorf("core: corrupt archive: %w", r.err)
+	}
+	dataDecode, err := decoderFor(dataCodecName, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -286,17 +327,26 @@ func Decompress(archive []byte) (*grid.Field, error) {
 			return nil, fmt.Errorf("core: corrupt archive: %w", r.err)
 		}
 		if rank < 1 || rank > 3 {
-			return nil, fmt.Errorf("core: bad rank %d", rank)
+			return nil, fmt.Errorf("core: bad rank %d: %w", rank, compress.ErrHeader)
 		}
 		dims := make([]int, rank)
+		total := uint64(1)
 		for i := range dims {
 			v := r.uvarint()
-			if v == 0 || v > 1<<32 {
-				return nil, errors.New("core: bad dims")
+			if r.err != nil {
+				return nil, fmt.Errorf("core: corrupt archive: %w", r.err)
+			}
+			if v == 0 || v > compress.MaxElements {
+				return nil, fmt.Errorf("core: bad dims: %w", compress.ErrHeader)
 			}
 			dims[i] = int(v)
+			total *= v
 		}
-		metaLen := int(r.uvarint())
+		if total > compress.MaxElements {
+			return nil, fmt.Errorf("core: dims %v claim %d elements (max %d): %w",
+				dims, total, compress.MaxElements, compress.ErrHeader)
+		}
+		metaLen := r.uvarint()
 		metaStream := r.bytes()
 		repValStream := r.bytes()
 		deltaCodecName := r.string()
@@ -305,12 +355,18 @@ func Decompress(archive []byte) (*grid.Field, error) {
 			return nil, fmt.Errorf("core: corrupt archive: %w", r.err)
 		}
 
-		meta, err := compress.InflateBytes(metaStream)
+		// The claimed pre-flate size drives the inflate output cap; a
+		// hostile claim is bounded by what the deflated stream could
+		// legitimately expand to (flate tops out near 1032:1).
+		if err := compress.CheckedAlloc("core: rep meta", metaLen, 2048*uint64(len(metaStream))+1024, 1); err != nil {
+			return nil, err
+		}
+		meta, err := compress.InflateBytesCap(metaStream, int64(metaLen))
 		if err != nil {
 			return nil, fmt.Errorf("core: rep meta: %w", err)
 		}
-		if len(meta) != metaLen {
-			return nil, fmt.Errorf("core: rep meta length %d != %d", len(meta), metaLen)
+		if uint64(len(meta)) != metaLen {
+			return nil, fmt.Errorf("core: rep meta length %d != %d: %w", len(meta), metaLen, compress.ErrCorrupt)
 		}
 		rep := &reduce.Rep{Model: modelName, Dims: dims, Meta: meta}
 		if len(repValStream) > 0 {
@@ -322,9 +378,9 @@ func Decompress(archive []byte) (*grid.Field, error) {
 		}
 		recon, err := reduce.Reconstruct(rep)
 		if err != nil {
-			return nil, fmt.Errorf("core: reconstruct: %w", err)
+			return nil, fmt.Errorf("core: reconstruct: %w", compress.Classify(err))
 		}
-		deltaDecode, err := decoderFor(deltaCodecName)
+		deltaDecode, err := decoderFor(deltaCodecName, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -333,11 +389,11 @@ func Decompress(archive []byte) (*grid.Field, error) {
 			return nil, fmt.Errorf("core: delta: %w", err)
 		}
 		if err := recon.AddInPlace(delta); err != nil {
-			return nil, fmt.Errorf("core: apply delta: %w", err)
+			return nil, fmt.Errorf("core: apply delta: %w", compress.Classify(err))
 		}
 		return recon, nil
 	}
-	return nil, fmt.Errorf("core: unknown mode %d", mode)
+	return nil, fmt.Errorf("core: unknown mode %d: %w", mode, compress.ErrCorrupt)
 }
 
 // --- binary helpers ---
@@ -376,7 +432,9 @@ func (r *reader) take(n int) []byte {
 
 func (r *reader) setErr() {
 	if r.err == nil {
-		r.err = errors.New("truncated")
+		// The sentinel itself: every reader-detected failure is the stream
+		// ending before the structure it promises.
+		r.err = compress.ErrTruncated
 	}
 }
 

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 
+	"lrm/internal/compress"
 	"lrm/internal/grid"
+	"lrm/internal/parallel"
 )
 
 // seriesMagic marks the time-series container format.
@@ -107,10 +109,22 @@ func CompressSeries(snaps []*grid.Field, opts Options) (*SeriesResult, error) {
 }
 
 // DecompressSeries reverses CompressSeries, returning every frame.
+// Failures wrap compress.ErrTruncated / compress.ErrCorrupt.
 func DecompressSeries(archive []byte) ([]*grid.Field, error) {
+	frames, err := decompressSeries(archive)
+	if err != nil {
+		return nil, compress.Classify(err)
+	}
+	return frames, nil
+}
+
+func decompressSeries(archive []byte) ([]*grid.Field, error) {
 	r := &reader{buf: archive}
 	if string(r.take(4)) != seriesMagic {
-		return nil, errors.New("core: bad series magic")
+		if len(archive) < 4 {
+			return nil, fmt.Errorf("core: truncated series magic: %w", compress.ErrTruncated)
+		}
+		return nil, fmt.Errorf("core: bad series magic: %w", compress.ErrHeader)
 	}
 	count := int(r.uvarint())
 	deltaCodecName := r.string()
@@ -118,9 +132,15 @@ func DecompressSeries(archive []byte) ([]*grid.Field, error) {
 		return nil, fmt.Errorf("core: corrupt series header: %w", r.err)
 	}
 	if count < 1 || count > 1<<24 {
-		return nil, fmt.Errorf("core: implausible frame count %d", count)
+		return nil, fmt.Errorf("core: implausible frame count %d: %w", count, compress.ErrHeader)
 	}
-	deltaDecode, err := decoderFor(deltaCodecName)
+	// Every stored frame costs at least one byte, so a tiny archive cannot
+	// claim a frame-slice allocation it could never fill.
+	if err := compress.CheckedAlloc("core: series frames", uint64(count), uint64(len(archive)), 8); err != nil {
+		return nil, err
+	}
+	workers := parallel.Config{}.Resolve()
+	deltaDecode, err := decoderFor(deltaCodecName, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +150,7 @@ func DecompressSeries(archive []byte) ([]*grid.Field, error) {
 	if r.err != nil {
 		return nil, fmt.Errorf("core: truncated series frame 0: %w", r.err)
 	}
-	cur, err := Decompress(firstArchive)
+	cur, err := decompress(firstArchive, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: series frame 0: %w", err)
 	}
@@ -146,12 +166,12 @@ func DecompressSeries(archive []byte) ([]*grid.Field, error) {
 			return nil, fmt.Errorf("core: series frame %d: %w", i, err)
 		}
 		if err := cur.AddInPlace(delta); err != nil {
-			return nil, fmt.Errorf("core: series frame %d: %w", i, err)
+			return nil, fmt.Errorf("core: series frame %d: %w", i, compress.Classify(err))
 		}
 		frames = append(frames, cur.Clone())
 	}
 	if r.pos != len(r.buf) {
-		return nil, fmt.Errorf("core: %d trailing bytes after series", len(r.buf)-r.pos)
+		return nil, fmt.Errorf("core: %d trailing bytes after series: %w", len(r.buf)-r.pos, compress.ErrCorrupt)
 	}
 	return frames, nil
 }

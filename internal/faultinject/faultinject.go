@@ -1,0 +1,288 @@
+// Package faultinject is a deterministic archive-mutation harness for the
+// decode paths of this repository. It takes a known-good archive and a
+// decoder, applies an exhaustive family of mutations — single-bit flips,
+// truncation at every byte offset, maximal-varint bombs, container-magic
+// splices, and chunk-record surgery on LRMC containers — and checks the
+// decode contract on every mutant:
+//
+//   - never panic;
+//   - either decode cleanly or fail with an error wrapping
+//     compress.ErrCorrupt or compress.ErrTruncated;
+//   - never allocate beyond the configured decode cap (the harness records
+//     the largest per-decode allocation for the caller to assert against).
+//
+// The harness is pure mechanism: it knows nothing about specific codecs, so
+// any decoder — codec-level or container-level — can be swept by adapting
+// it to a DecodeFunc.
+package faultinject
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"lrm/internal/compress"
+)
+
+// DecodeFunc adapts one decoder for the harness; the decoded value is
+// irrelevant, only the error contract is checked.
+type DecodeFunc func([]byte) error
+
+// Failure is one contract violation: a mutation that made the decoder
+// panic or return an error outside the compress taxonomy.
+type Failure struct {
+	Class  string // mutation class, e.g. "bitflip"
+	Detail string // which mutation within the class
+	Err    error  // the panic (wrapped) or unclassified error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s[%s]: %v", f.Class, f.Detail, f.Err)
+}
+
+// Report aggregates one sweep's outcomes.
+type Report struct {
+	Mutations int // mutants decoded
+	Errored   int // mutants rejected with a properly classified error
+	Clean     int // mutants that decoded without error (e.g. flips in slack bits)
+	// Failures lists every contract violation; an empty slice is a pass.
+	Failures []Failure
+	// MaxAllocBytes is the largest total allocation any single decode
+	// performed, for asserting against the decode cap.
+	MaxAllocBytes uint64
+}
+
+func (r *Report) merge(o Report) {
+	r.Mutations += o.Mutations
+	r.Errored += o.Errored
+	r.Clean += o.Clean
+	r.Failures = append(r.Failures, o.Failures...)
+	if o.MaxAllocBytes > r.MaxAllocBytes {
+		r.MaxAllocBytes = o.MaxAllocBytes
+	}
+}
+
+// Options tunes a sweep. The zero value is exhaustive.
+type Options struct {
+	// MaxVarintSites caps how many byte offsets receive a varint bomb
+	// (0 = every offset). Bombs are placed at evenly spaced offsets.
+	MaxVarintSites int
+}
+
+// Sweep runs every mutation class against the archive. The caller should
+// pass a serial decoder (workers = 1): the allocation accounting reads
+// runtime totals, so concurrent allocation inflates MaxAllocBytes.
+func Sweep(archive []byte, decode DecodeFunc, opt Options) Report {
+	var rep Report
+	rep.merge(BitFlips(archive, decode))
+	rep.merge(Truncations(archive, decode))
+	rep.merge(VarintBombs(archive, decode, opt.MaxVarintSites))
+	rep.merge(HeaderSplices(archive, decode))
+	rep.merge(ChunkRecords(archive, decode))
+	return rep
+}
+
+// probe decodes one mutant and records the outcome.
+func probe(rep *Report, class, detail string, decode DecodeFunc, b []byte) {
+	rep.Mutations++
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.TotalAlloc
+	err, panicked := runProtected(decode, b)
+	runtime.ReadMemStats(&ms)
+	if d := ms.TotalAlloc - before; d > rep.MaxAllocBytes {
+		rep.MaxAllocBytes = d
+	}
+	switch {
+	case panicked != nil:
+		rep.Failures = append(rep.Failures, Failure{class, detail, fmt.Errorf("panic: %v", panicked)})
+	case err == nil:
+		rep.Clean++
+	case errors.Is(err, compress.ErrCorrupt) || errors.Is(err, compress.ErrTruncated):
+		rep.Errored++
+	default:
+		rep.Failures = append(rep.Failures, Failure{class, detail, fmt.Errorf("unclassified error: %w", err)})
+	}
+}
+
+func runProtected(decode DecodeFunc, b []byte) (err error, panicked any) {
+	defer func() { panicked = recover() }()
+	return decode(b), nil
+}
+
+// BitFlips decodes the archive once per bit position, with exactly that bit
+// flipped.
+func BitFlips(archive []byte, decode DecodeFunc) Report {
+	var rep Report
+	mut := make([]byte, len(archive))
+	for i := range archive {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, archive)
+			mut[i] ^= 1 << bit
+			probe(&rep, "bitflip", fmt.Sprintf("byte %d bit %d", i, bit), decode, mut)
+		}
+	}
+	return rep
+}
+
+// Truncations decodes every strict prefix of the archive, including the
+// empty one.
+func Truncations(archive []byte, decode DecodeFunc) Report {
+	var rep Report
+	for n := 0; n < len(archive); n++ {
+		probe(&rep, "truncate", fmt.Sprintf("%d of %d bytes", n, len(archive)), decode, archive[:n])
+	}
+	return rep
+}
+
+// varintBomb is a maximal 10-byte uvarint (the encoding of a value beyond
+// uint64), the classic length-field attack payload.
+var varintBomb = []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+
+// VarintBombs overwrites the bytes at each chosen offset with a maximal
+// uvarint, so any length or dimension field parsed there claims an absurd
+// value. maxSites caps the offset count (0 = every offset).
+func VarintBombs(archive []byte, decode DecodeFunc, maxSites int) Report {
+	var rep Report
+	step := 1
+	if maxSites > 0 && len(archive) > maxSites {
+		step = (len(archive) + maxSites - 1) / maxSites
+	}
+	mut := make([]byte, len(archive))
+	for i := 0; i < len(archive); i += step {
+		copy(mut, archive)
+		copy(mut[i:], varintBomb) // clipped at the end of the buffer
+		probe(&rep, "varintbomb", fmt.Sprintf("offset %d", i), decode, mut)
+	}
+	return rep
+}
+
+// containerMagics are the repository's container signatures plus garbage,
+// spliced over the first four bytes to exercise format-confusion paths.
+var containerMagics = []string{"LRM1", "LRMC", "LRMS", "\xff\xff\xff\xff", "\x00\x00\x00\x00"}
+
+// HeaderSplices overwrites the archive's leading magic with every container
+// signature (and garbage), leaving the rest of the stream intact — the
+// wrong-decoder-for-this-stream scenario.
+func HeaderSplices(archive []byte, decode DecodeFunc) Report {
+	var rep Report
+	if len(archive) < 4 {
+		return rep
+	}
+	for _, m := range containerMagics {
+		mut := append([]byte(nil), archive...)
+		copy(mut, m)
+		probe(&rep, "headersplice", fmt.Sprintf("magic %q", m), decode, mut)
+	}
+	return rep
+}
+
+// --- LRMC chunk-record surgery ---
+
+// chunkRecord is one parsed LRMC record.
+type chunkRecord struct {
+	crc  uint64
+	body []byte
+}
+
+// parseChunked splits a well-formed LRMC archive into its container header
+// and records; ok is false for anything else (the other mutation classes
+// cover malformed containers).
+func parseChunked(archive []byte) (header []byte, recs []chunkRecord, ok bool) {
+	if len(archive) < 4 || string(archive[:4]) != "LRMC" {
+		return nil, nil, false
+	}
+	pos := 4
+	chunks, n := binary.Uvarint(archive[pos:])
+	if n <= 0 || chunks < 1 || chunks > 1<<12 {
+		return nil, nil, false
+	}
+	pos += n
+	if pos >= len(archive) {
+		return nil, nil, false
+	}
+	rank := int(archive[pos])
+	pos++
+	if rank < 1 || rank > 3 {
+		return nil, nil, false
+	}
+	for i := 0; i < rank; i++ {
+		_, n := binary.Uvarint(archive[pos:])
+		if n <= 0 {
+			return nil, nil, false
+		}
+		pos += n
+	}
+	header = archive[:pos]
+	for c := uint64(0); c < chunks; c++ {
+		crc, n := binary.Uvarint(archive[pos:])
+		if n <= 0 {
+			return nil, nil, false
+		}
+		pos += n
+		blen, n := binary.Uvarint(archive[pos:])
+		if n <= 0 || blen > uint64(len(archive)-pos-n) {
+			return nil, nil, false
+		}
+		pos += n
+		recs = append(recs, chunkRecord{crc: crc, body: archive[pos : pos+int(blen)]})
+		pos += int(blen)
+	}
+	if pos != len(archive) {
+		return nil, nil, false
+	}
+	return header, recs, true
+}
+
+// rebuildChunked re-serialises a header + record list.
+func rebuildChunked(header []byte, recs []chunkRecord) []byte {
+	out := append([]byte(nil), header...)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, rec := range recs {
+		out = append(out, tmp[:binary.PutUvarint(tmp[:], rec.crc)]...)
+		out = append(out, tmp[:binary.PutUvarint(tmp[:], uint64(len(rec.body)))]...)
+		out = append(out, rec.body...)
+	}
+	return out
+}
+
+// ChunkRecords applies record-level surgery to an LRMC archive: duplicated
+// records, reordered (swapped) records, a deleted trailing record, and
+// corrupted CRC fields. Every mutant keeps valid varint framing, so these
+// reach the validation logic the byte-level classes cannot target
+// precisely. Non-LRMC archives yield an empty report.
+func ChunkRecords(archive []byte, decode DecodeFunc) Report {
+	var rep Report
+	header, recs, ok := parseChunked(archive)
+	if !ok {
+		return rep
+	}
+	for i := range recs {
+		for j := range recs {
+			if i == j {
+				continue
+			}
+			// Record i's intact record (CRC and all) spliced over slot j.
+			mut := append([]chunkRecord(nil), recs...)
+			mut[j] = recs[i]
+			probe(&rep, "chunkrecord", fmt.Sprintf("duplicate %d over %d", i, j), decode, rebuildChunked(header, mut))
+		}
+	}
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			mut := append([]chunkRecord(nil), recs...)
+			mut[i], mut[j] = mut[j], mut[i]
+			probe(&rep, "chunkrecord", fmt.Sprintf("swap %d and %d", i, j), decode, rebuildChunked(header, mut))
+		}
+	}
+	if len(recs) > 1 {
+		probe(&rep, "chunkrecord", "drop last record", decode, rebuildChunked(header, recs[:len(recs)-1]))
+	}
+	for i := range recs {
+		mut := append([]chunkRecord(nil), recs...)
+		mut[i].crc++
+		probe(&rep, "chunkrecord", fmt.Sprintf("corrupt CRC %d", i), decode, rebuildChunked(header, mut))
+	}
+	return rep
+}

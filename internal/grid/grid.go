@@ -22,13 +22,24 @@ type Field struct {
 	Data []float64
 }
 
-// New returns a zero-filled field with the given extents.
+// New returns a zero-filled field with the given extents. It panics on
+// invalid extents; decode paths handling untrusted dims use NewChecked.
 func New(dims ...int) *Field {
-	n, err := checkDims(dims)
+	f, err := NewChecked(dims...)
 	if err != nil {
 		panic(err)
 	}
-	return &Field{Dims: append([]int(nil), dims...), Data: make([]float64, n)}
+	return f
+}
+
+// NewChecked is New for untrusted extents: it returns an error instead of
+// panicking when the dims are out of range or their product overflows int.
+func NewChecked(dims ...int) (*Field, error) {
+	n, err := checkDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	return &Field{Dims: append([]int(nil), dims...), Data: make([]float64, n)}, nil
 }
 
 // FromData wraps data (not copied) as a field with the given extents.
@@ -51,6 +62,12 @@ func checkDims(dims []int) (int, error) {
 	for _, d := range dims {
 		if d <= 0 {
 			return 0, fmt.Errorf("grid: non-positive extent in %v", dims)
+		}
+		if n > math.MaxInt/d {
+			// Without this guard the product wraps (e.g. three 2^32 extents
+			// multiply to 0), yielding a Field whose Data is far smaller
+			// than Dims claims — and index panics downstream.
+			return 0, fmt.Errorf("grid: element count of dims %v overflows int", dims)
 		}
 		n *= d
 	}

@@ -18,11 +18,11 @@ package huffman
 import (
 	"container/heap"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"sort"
 
 	"lrm/internal/bitstream"
+	"lrm/internal/compress"
 	"lrm/internal/parallel"
 )
 
@@ -358,13 +358,15 @@ func EncodeParallel(symbols []int, workers int) []byte {
 	return out
 }
 
-// Decode reverses Encode.
+// Decode reverses Encode. Every failure wraps compress.ErrTruncated or
+// compress.ErrCorrupt, and header-claimed allocations are bounded against
+// the input that must back them (compress.CheckedAlloc).
 func Decode(data []byte) ([]int, error) {
 	pos := 0
 	readUvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(data[pos:])
 		if n <= 0 {
-			return 0, errors.New("huffman: truncated header")
+			return 0, fmt.Errorf("huffman: truncated header: %w", compress.ErrTruncated)
 		}
 		pos += n
 		return v, nil
@@ -372,7 +374,7 @@ func Decode(data []byte) ([]int, error) {
 	readVarint := func() (int64, error) {
 		v, n := binary.Varint(data[pos:])
 		if n <= 0 {
-			return 0, errors.New("huffman: truncated header")
+			return 0, fmt.Errorf("huffman: truncated header: %w", compress.ErrTruncated)
 		}
 		pos += n
 		return v, nil
@@ -390,16 +392,16 @@ func Decode(data []byte) ([]int, error) {
 		return []int{}, nil
 	}
 	if nsyms == 0 {
-		return nil, errors.New("huffman: empty alphabet with nonzero count")
+		return nil, fmt.Errorf("huffman: empty alphabet with nonzero count: %w", compress.ErrCorrupt)
 	}
 	// Bound both counts against the data that must back them, so corrupt
 	// headers cannot drive huge allocations: every alphabet entry costs at
 	// least 2 header bytes and every encoded symbol at least 1 payload bit.
-	if nsyms > uint64(len(data)-pos)/2 {
-		return nil, fmt.Errorf("huffman: alphabet size %d exceeds header data", nsyms)
+	if err := compress.CheckedAlloc("huffman: alphabet", nsyms, uint64(len(data)-pos)/2, 16); err != nil {
+		return nil, err
 	}
-	if count > 8*uint64(len(data)) {
-		return nil, fmt.Errorf("huffman: symbol count %d exceeds payload capacity", count)
+	if err := compress.CheckedAlloc("huffman: symbols", count, 8*uint64(len(data)), 8); err != nil {
+		return nil, err
 	}
 	sl := make([]symLen, nsyms)
 	for i := range sl {
@@ -412,7 +414,7 @@ func Decode(data []byte) ([]int, error) {
 			return nil, err
 		}
 		if l == 0 || l > maxCodeLen {
-			return nil, fmt.Errorf("huffman: invalid code length %d", l)
+			return nil, fmt.Errorf("huffman: invalid code length %d: %w", l, compress.ErrCorrupt)
 		}
 		sl[i] = symLen{int(s), int(l)}
 	}
@@ -420,7 +422,7 @@ func Decode(data []byte) ([]int, error) {
 	for i := 1; i < len(sl); i++ {
 		if sl[i].length < sl[i-1].length ||
 			(sl[i].length == sl[i-1].length && sl[i].symbol <= sl[i-1].symbol) {
-			return nil, errors.New("huffman: header not in canonical order")
+			return nil, fmt.Errorf("huffman: header not in canonical order: %w", compress.ErrCorrupt)
 		}
 	}
 
@@ -457,7 +459,7 @@ func Decode(data []byte) ([]int, error) {
 		for l < maxCodeLen {
 			b, err := r.ReadBit()
 			if err != nil {
-				return nil, fmt.Errorf("huffman: truncated payload after %d symbols", len(out))
+				return nil, fmt.Errorf("huffman: truncated payload after %d symbols: %w", len(out), compress.ErrTruncated)
 			}
 			v = v<<1 | uint64(b)
 			l++
@@ -473,7 +475,7 @@ func Decode(data []byte) ([]int, error) {
 			}
 		}
 		if !decoded {
-			return nil, errors.New("huffman: invalid code in payload")
+			return nil, fmt.Errorf("huffman: invalid code in payload: %w", compress.ErrCorrupt)
 		}
 	}
 	return out, nil

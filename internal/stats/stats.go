@@ -152,15 +152,22 @@ func RMSE(a, b []float64) float64 {
 	return math.Sqrt(s / float64(len(a)))
 }
 
+// valueRange returns the min and max of vals (±Inf sentinels for empty
+// input), the shared normalisation scan of NRMSE and PSNR.
+func valueRange(vals []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
 // NRMSE returns RMSE normalised by the value range of a.
 // It returns RMSE unchanged when a has zero range.
 func NRMSE(a, b []float64) float64 {
 	r := RMSE(a, b)
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range a {
-		lo = math.Min(lo, v)
-		hi = math.Max(hi, v)
-	}
+	lo, hi := valueRange(a)
 	if hi <= lo {
 		return r
 	}
@@ -169,17 +176,21 @@ func NRMSE(a, b []float64) float64 {
 
 // PSNR returns the peak signal-to-noise ratio in dB of b against reference
 // a, using a's value range as the peak. It returns +Inf for identical data.
+// A constant (zero-range) reference uses peak 1, mirroring NRMSE's
+// fall-back to the unnormalised value — the old behaviour took
+// log10(0/r) = -Inf, reporting maximally-bad quality for a reference that
+// merely happened to be flat.
 func PSNR(a, b []float64) float64 {
 	r := RMSE(a, b)
 	if r == 0 {
 		return math.Inf(1)
 	}
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range a {
-		lo = math.Min(lo, v)
-		hi = math.Max(hi, v)
+	lo, hi := valueRange(a)
+	peak := hi - lo
+	if peak <= 0 {
+		peak = 1
 	}
-	return 20 * math.Log10((hi-lo)/r)
+	return 20 * math.Log10(peak/r)
 }
 
 // MaxAbsError returns the largest |a[i]-b[i]|.

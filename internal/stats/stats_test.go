@@ -220,3 +220,37 @@ func TestPSNRMoreNoiseLowerPSNR(t *testing.T) {
 		t.Fatal("PSNR should decrease with more noise")
 	}
 }
+
+func TestPSNRConstantReference(t *testing.T) {
+	// A flat reference has zero value range; PSNR falls back to peak 1
+	// instead of reporting log10(0) = -Inf.
+	a := []float64{3, 3, 3, 3}
+	b := []float64{3.1, 2.9, 3.1, 2.9}
+	got := PSNR(a, b)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("PSNR(constant ref) = %v, want finite", got)
+	}
+	want := 20 * math.Log10(1/RMSE(a, b))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PSNR(constant ref) = %v, want %v", got, want)
+	}
+}
+
+func TestPSNRIdenticalInputs(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if got := PSNR(a, a); !math.IsInf(got, 1) {
+		t.Fatalf("PSNR(identical) = %v, want +Inf", got)
+	}
+	c := []float64{5, 5, 5}
+	if got := PSNR(c, c); !math.IsInf(got, 1) {
+		t.Fatalf("PSNR(identical constant) = %v, want +Inf", got)
+	}
+}
+
+func TestNRMSEConstantReference(t *testing.T) {
+	a := []float64{2, 2, 2}
+	b := []float64{2.5, 1.5, 2.5}
+	if got, want := NRMSE(a, b), RMSE(a, b); got != want {
+		t.Fatalf("NRMSE(constant ref) = %v, want RMSE %v", got, want)
+	}
+}

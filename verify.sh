@@ -33,10 +33,13 @@ step go test ./...
 # Invariant-instrumented packages: the assertions themselves must hold on
 # every test input.
 step go test -tags invariants ./internal/compress/... ./internal/reduce/... ./internal/core/...
+# Fault-injection sweep: every archive mutation must yield a classified
+# error (never a panic, never an unbounded allocation).
+step go test -run TestSweepCorpus -count=1 ./internal/faultinject
 
 if [ "${1:-}" != "quick" ]; then
 	# Concurrent packages under the race detector.
-	step go test -race ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/linalg/...
+	step go test -race ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/...
 	# Benchmark smoke: one iteration of the JSON benchmark harness proves
 	# the artifact pipeline end to end without paying full measurement cost.
 	step go run ./cmd/lrmbench -iters 1 -out /tmp/lrmbench-smoke.json
@@ -45,6 +48,7 @@ if [ "${1:-}" != "quick" ]; then
 	for pkg in ./internal/compress/sz ./internal/compress/zfp ./internal/compress/fpc; do
 		step go test -fuzz=FuzzDecompress -fuzztime=10s -run='^$' "$pkg"
 	done
+	step go test -fuzz=FuzzDecompressChunked -fuzztime=10s -run='^$' ./internal/core
 fi
 
 echo "==> verify OK"
