@@ -4,15 +4,20 @@
 //
 // Usage:
 //
-//	lrmbench [-out BENCH.json] [-iters N] [-baseline old.json]
+//	lrmbench [-out BENCH.json] [-iters N] [-baseline old.json] [-stats]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-debug-addr :8080]
 //
 // Each benchmark compresses (and decompresses) a Heat3d field at two
-// problem sizes, per codec, at worker counts 1 and 4. ns_op is the best of
-// -iters runs (the conventional noise-resistant statistic); b_op and
-// allocs_op are per-run heap deltas. When -baseline points at a previous
-// lrmbench JSON, matching benchmarks gain baseline_ns_op and
-// speedup_vs_baseline so regressions and wins are visible in the artifact
-// itself.
+// problem sizes, per codec, at worker counts 1 and 4, plus the chunked
+// container path. ns_op is the best of -iters runs (the conventional
+// noise-resistant statistic); b_op and allocs_op are per-run heap deltas.
+// When -baseline points at a previous lrmbench JSON, matching benchmarks
+// gain baseline_ns_op and speedup_vs_baseline so regressions and wins are
+// visible in the artifact itself. With -stats the internal/obs registry is
+// enabled and every cell carries a per-stage breakdown (wall time, calls,
+// bytes in/out) of the pipeline stages it exercised. -cpuprofile and
+// -memprofile write pprof profiles of the whole run; -debug-addr serves
+// /metrics, /debug/vars and /debug/pprof live while the run is in flight.
 package main
 
 import (
@@ -28,7 +33,10 @@ import (
 	"lrm/internal/compress/fpc"
 	"lrm/internal/compress/sz"
 	"lrm/internal/compress/zfp"
+	"lrm/internal/core"
 	"lrm/internal/grid"
+	"lrm/internal/obs"
+	"lrm/internal/parallel"
 	"lrm/internal/sim/heat3d"
 )
 
@@ -41,15 +49,28 @@ type parallelizable interface {
 	WithWorkers(workers int) compress.Codec
 }
 
+// StageStat is one pipeline stage's accumulated contribution to a cell,
+// distilled from the internal/obs stage metric bundle (-stats only).
+type StageStat struct {
+	NsTotal  int64 `json:"ns_total"`
+	Calls    int64 `json:"calls"`
+	BytesIn  int64 `json:"bytes_in,omitempty"`
+	BytesOut int64 `json:"bytes_out,omitempty"`
+	Items    int64 `json:"items,omitempty"`
+}
+
 // Benchmark is one measured (codec, size, direction, workers) cell.
 type Benchmark struct {
-	Name              string  `json:"name"` // e.g. "zfp/medium/compress/workers=4"
-	NsOp              int64   `json:"ns_op"`
-	BOp               int64   `json:"b_op"`
-	AllocsOp          int64   `json:"allocs_op"`
-	MBs               float64 `json:"mb_s"` // uncompressed MB processed per second
-	BaselineNsOp      int64   `json:"baseline_ns_op,omitempty"`
-	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+	Name              string               `json:"name"` // e.g. "zfp/medium/compress/workers=4"
+	Workers           int                  `json:"workers"`
+	GoMaxProcs        int                  `json:"gomaxprocs"`
+	NsOp              int64                `json:"ns_op"`
+	BOp               int64                `json:"b_op"`
+	AllocsOp          int64                `json:"allocs_op"`
+	MBs               float64              `json:"mb_s"` // uncompressed MB processed per second
+	BaselineNsOp      int64                `json:"baseline_ns_op,omitempty"`
+	SpeedupVsBaseline float64              `json:"speedup_vs_baseline,omitempty"`
+	Stages            map[string]StageStat `json:"stages,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -60,12 +81,16 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-const schemaID = "lrm-bench/1"
+const schemaID = "lrm-bench/2"
 
 func main() {
 	out := flag.String("out", "", "write JSON here (default stdout)")
 	iters := flag.Int("iters", 5, "measurement repetitions; best-of is reported")
 	baselinePath := flag.String("baseline", "", "previous lrmbench JSON to compute speedups against")
+	stats := flag.Bool("stats", false, "enable the obs registry and emit per-stage breakdowns")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run here")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit here")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
 	var baseline *Report
@@ -78,7 +103,30 @@ func main() {
 		baseline = b
 	}
 
-	rep := run(*iters, baseline)
+	if *stats || *debugAddr != "" {
+		obs.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		go obs.ServeDebug(*debugAddr)
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrmbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			if err := obs.WriteHeapProfile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "lrmbench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	rep := run(*iters, baseline, *stats)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lrmbench: %v\n", err)
@@ -126,7 +174,7 @@ func benchField(size string) *grid.Field {
 	panic("unknown size " + size)
 }
 
-func run(iters int, baseline *Report) *Report {
+func run(iters int, baseline *Report, stats bool) *Report {
 	if iters < 1 {
 		iters = 1
 	}
@@ -159,16 +207,44 @@ func run(iters int, baseline *Report) *Report {
 				prefix := fmt.Sprintf("%s/%s", c.family, size)
 				suffix := fmt.Sprintf("workers=%d", w)
 				rep.Benchmarks = append(rep.Benchmarks,
-					measure(fmt.Sprintf("%s/compress/%s", prefix, suffix), iters, 8*f.Len(), func() error {
+					measure(fmt.Sprintf("%s/compress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, func() error {
 						_, err := codec.Compress(f)
 						return err
 					}),
-					measure(fmt.Sprintf("%s/decompress/%s", prefix, suffix), iters, 8*f.Len(), func() error {
+					measure(fmt.Sprintf("%s/decompress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, func() error {
 						_, err := codec.Decompress(enc)
 						return err
 					}),
 				)
 			}
+		}
+
+		// Chunked container path: N independent slabs through the full
+		// core pipeline, the Table IV per-rank pattern.
+		const chunks = 4
+		for _, w := range []int{1, 4} {
+			opts := core.Options{
+				DataCodec: zfp.MustNew(16),
+				Parallel:  parallel.Config{Workers: w},
+			}
+			res, err := core.CompressChunked(f, opts, chunks)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrmbench: chunked/%s: %v\n", size, err)
+				os.Exit(1)
+			}
+			dopts := core.DecompressOpts{Parallel: parallel.Config{Workers: w}}
+			prefix := fmt.Sprintf("chunked/%s", size)
+			suffix := fmt.Sprintf("workers=%d", w)
+			rep.Benchmarks = append(rep.Benchmarks,
+				measure(fmt.Sprintf("%s/compress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, func() error {
+					_, err := core.CompressChunked(f, opts, chunks)
+					return err
+				}),
+				measure(fmt.Sprintf("%s/decompress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, func() error {
+					_, err := core.DecompressWithOpts(res.Archive, dopts)
+					return err
+				}),
+			)
 		}
 	}
 	if baseline != nil {
@@ -178,8 +254,13 @@ func run(iters int, baseline *Report) *Report {
 }
 
 // measure runs fn iters times and reports best-of wall time plus mean heap
-// growth, the same statistics `go test -bench -benchmem` prints.
-func measure(name string, iters, rawBytes int, fn func() error) Benchmark {
+// growth, the same statistics `go test -bench -benchmem` prints. With stats
+// the obs registry is reset before the first iteration and the cell carries
+// the stage totals accumulated across all iters.
+func measure(name string, iters, rawBytes, workers int, stats bool, fn func() error) Benchmark {
+	if stats {
+		obs.Reset()
+	}
 	var best time.Duration = 1<<63 - 1
 	var mallocs, bytes uint64
 	for i := 0; i < iters; i++ {
@@ -204,13 +285,56 @@ func measure(name string, iters, rawBytes int, fn func() error) Benchmark {
 	if best > 0 {
 		mbs = float64(rawBytes) / 1e6 / best.Seconds()
 	}
-	return Benchmark{
-		Name:     name,
-		NsOp:     best.Nanoseconds(),
-		BOp:      int64(bytes / uint64(iters)),
-		AllocsOp: int64(mallocs / uint64(iters)),
-		MBs:      mbs,
+	b := Benchmark{
+		Name:       name,
+		Workers:    workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NsOp:       best.Nanoseconds(),
+		BOp:        int64(bytes / uint64(iters)),
+		AllocsOp:   int64(mallocs / uint64(iters)),
+		MBs:        mbs,
 	}
+	if stats {
+		b.Stages = stageBreakdown(obs.Snapshot())
+	}
+	return b
+}
+
+// stageBreakdown folds the registry's stage.<name>.* counters into one
+// StageStat per stage, dropping stages the cell never touched.
+func stageBreakdown(snap *obs.Snap) map[string]StageStat {
+	out := make(map[string]StageStat)
+	for name, v := range snap.Counters {
+		rest, ok := strings.CutPrefix(name, "stage.")
+		if !ok {
+			continue
+		}
+		i := strings.LastIndex(rest, ".")
+		if i < 0 {
+			continue
+		}
+		stage, field := rest[:i], rest[i+1:]
+		s := out[stage]
+		switch field {
+		case "ns_total":
+			s.NsTotal = v
+		case "calls":
+			s.Calls = v
+		case "bytes_in":
+			s.BytesIn = v
+		case "bytes_out":
+			s.BytesOut = v
+		case "items":
+			s.Items = v
+		}
+		out[stage] = s
+	}
+	for stage, s := range out {
+		if s.Calls == 0 && s.NsTotal == 0 {
+			delete(out, stage)
+		}
+	}
+	return out
 }
 
 // attach joins baseline numbers onto matching benchmark names. A

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"lrm/internal/obs"
 )
 
 // TestRunProducesFullMatrix runs the benchmark harness at one iteration
@@ -13,13 +15,20 @@ func TestRunProducesFullMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench smoke is not short")
 	}
-	rep := run(1, nil)
+	prev := obs.SetEnabled(true)
+	defer func() {
+		obs.SetEnabled(prev)
+		obs.Reset()
+	}()
+	rep := run(1, nil, true)
 	if rep.Schema != schemaID {
 		t.Fatalf("schema %q", rep.Schema)
 	}
 	names := make(map[string]bool)
+	stages := make(map[string]map[string]StageStat)
 	for _, b := range rep.Benchmarks {
 		names[b.Name] = true
+		stages[b.Name] = b.Stages
 		if b.NsOp <= 0 {
 			t.Errorf("%s: ns_op %d", b.Name, b.NsOp)
 		}
@@ -28,6 +37,12 @@ func TestRunProducesFullMatrix(t *testing.T) {
 		}
 		if b.AllocsOp < 0 || b.BOp < 0 {
 			t.Errorf("%s: negative mem stats", b.Name)
+		}
+		if b.Workers < 1 {
+			t.Errorf("%s: workers %d not recorded", b.Name, b.Workers)
+		}
+		if b.GoMaxProcs < 1 {
+			t.Errorf("%s: gomaxprocs %d not recorded", b.Name, b.GoMaxProcs)
 		}
 	}
 	for _, size := range []string{"small", "medium"} {
@@ -38,12 +53,34 @@ func TestRunProducesFullMatrix(t *testing.T) {
 				"sz/" + size + "/" + dir + "/workers=1",
 				"sz/" + size + "/" + dir + "/workers=4",
 				"fpc/" + size + "/" + dir + "/workers=1",
+				"chunked/" + size + "/" + dir + "/workers=1",
+				"chunked/" + size + "/" + dir + "/workers=4",
 			} {
 				if !names[want] {
 					t.Errorf("missing benchmark %q", want)
 				}
 			}
 		}
+	}
+	// -stats must surface the per-codec stage breakdown with nonzero time
+	// and byte attribution for the stages each cell exercises.
+	for cell, want := range map[string]string{
+		"sz/medium/compress/workers=1":      "sz.quantize",
+		"zfp/medium/compress/workers=1":     "zfp.plane_code",
+		"fpc/medium/compress/workers=1":     "fpc.compress",
+		"chunked/medium/compress/workers=1": "core.chunk_compress",
+	} {
+		st, ok := stages[cell][want]
+		if !ok {
+			t.Errorf("%s: stage %q missing from breakdown %v", cell, want, stages[cell])
+			continue
+		}
+		if st.Calls < 1 {
+			t.Errorf("%s: stage %q has no calls: %+v", cell, want, st)
+		}
+	}
+	if st := stages["sz/medium/compress/workers=1"]["sz.compress"]; st.BytesIn <= 0 || st.BytesOut <= 0 {
+		t.Errorf("sz.compress stage lacks byte attribution: %+v", st)
 	}
 
 	data, err := json.Marshal(rep)

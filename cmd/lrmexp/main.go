@@ -17,14 +17,50 @@ import (
 
 	"lrm/internal/dataset"
 	"lrm/internal/experiments"
+	"lrm/internal/obs"
 )
 
 func main() {
 	size := flag.String("size", "small", "dataset scale: small, medium, or large")
 	snapshots := flag.Int("snapshots", 0, "snapshot count per application (0 = default; the paper uses 20)")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the formatted table")
+	statsOut := flag.String("stats", "", "enable the obs registry and write its Prometheus snapshot here at exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run here")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit here")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *statsOut != "" || *debugAddr != "" {
+		obs.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		go obs.ServeDebug(*debugAddr)
+	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrmexp: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			if err := obs.WriteHeapProfile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "lrmexp: memprofile: %v\n", err)
+			}
+		}()
+	}
+	if *statsOut != "" {
+		path := *statsOut
+		defer func() {
+			if err := writeStats(path); err != nil {
+				fmt.Fprintf(os.Stderr, "lrmexp: stats: %v\n", err)
+			}
+		}()
+	}
 
 	if flag.NArg() != 1 {
 		usage()
@@ -67,6 +103,19 @@ func main() {
 	}
 }
 
+// writeStats dumps the obs registry as Prometheus text exposition.
+func writeStats(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func runOne(id string, cfg experiments.Config, csvOut bool) error {
 	start := time.Now()
 	res, err := experiments.Run(id, cfg)
@@ -96,6 +145,10 @@ Precondition Lossy Compression" (IPDPS 2019).
 Flags:
   -size string       dataset scale: small, medium, large (default "small")
   -snapshots int     outputs per application (default 5; the paper uses 20)
+  -stats file        enable pipeline metrics; write a Prometheus snapshot at exit
+  -cpuprofile file   write a CPU profile of the whole run
+  -memprofile file   write a heap profile at exit
+  -debug-addr addr   serve /metrics, /debug/vars and /debug/pprof while running
 
 Examples:
   lrmexp list

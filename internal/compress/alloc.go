@@ -5,7 +5,12 @@ import (
 	"sync/atomic"
 
 	"lrm/internal/grid"
+	"lrm/internal/obs"
 )
+
+// obsAllocHighWater tracks the largest single decode-side allocation
+// admitted by CheckedAlloc since the last registry reset.
+var obsAllocHighWater = obs.GetGauge("compress.checked_alloc_high_water_bytes")
 
 // DefaultDecodeAllocCap is the default per-allocation byte cap on decode
 // paths: room for the largest legitimate field (MaxElements float64s) plus
@@ -48,9 +53,13 @@ func CheckedAlloc(what string, elems, maxElems uint64, elemBytes int) error {
 		return fmt.Errorf("%s: claimed %d elements exceed the %d the input can back: %w",
 			what, elems, maxElems, ErrCorrupt)
 	}
-	if need := elems * uint64(elemBytes); need > uint64(DecodeAllocCap()) {
+	need := elems * uint64(elemBytes)
+	if need > uint64(DecodeAllocCap()) {
 		return fmt.Errorf("%s: %d-byte allocation exceeds decode cap %d: %w",
 			what, need, DecodeAllocCap(), ErrCorrupt)
+	}
+	if obs.Enabled() {
+		obsAllocHighWater.SetMax(int64(need))
 	}
 	return nil
 }

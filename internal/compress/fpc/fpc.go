@@ -18,6 +18,14 @@ import (
 	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
+	"lrm/internal/obs"
+)
+
+// Hoisted predictor-selection counters: the encode loop accumulates plain
+// locals and flushes once per call, so the hot path never touches atomics.
+var (
+	obsFCMSelected  = obs.GetCounter("fpc.fcm_selected")
+	obsDFCMSelected = obs.GetCounter("fpc.dfcm_selected")
 )
 
 // Codec is an FPC compressor. Level selects the predictor table size:
@@ -121,11 +129,14 @@ func codeToLzb(c uint8) int {
 
 // Compress implements compress.Codec.
 func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
+	sp := obs.Start("fpc.compress")
+	defer sp.End()
 	n := f.Len()
 	p := newPredictor(c.level)
 
 	headers := make([]byte, (n+1)/2) // one nibble per value
 	var residuals []byte
+	var nFCM, nDFCM int64
 
 	for i, v := range f.Data {
 		bits := math.Float64bits(v)
@@ -137,8 +148,10 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		var resid uint64
 		if lzf, lzd := leadingZeroBytes(xf), leadingZeroBytes(xd); lzf >= lzd {
 			sel, resid = 0, xf
+			nFCM++
 		} else {
 			sel, resid = 1, xd
+			nDFCM++
 		}
 		lzb := leadingZeroBytes(resid)
 		nibble := sel<<3 | lzbToCode(lzb)
@@ -175,16 +188,26 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 	out = append(out, byte(c.level))
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(residuals)))
 	out = append(out, headers...)
-	return append(out, residuals...), nil
+	out = append(out, residuals...)
+	if sp != nil {
+		obsFCMSelected.Add(nFCM)
+		obsDFCMSelected.Add(nDFCM)
+		sp.SetBytes(int64(8*n), int64(len(out)))
+		sp.AddItems(int64(n))
+	}
+	return out, nil
 }
 
 // Decompress implements compress.Codec. Failures wrap the
 // compress.ErrTruncated / compress.ErrCorrupt taxonomy.
 func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
+	sp := obs.Start("fpc.decompress")
+	defer sp.End()
 	f, err := c.decompress(data)
 	if err != nil {
 		return nil, compress.Classify(err)
 	}
+	sp.SetBytes(int64(len(data)), int64(8*f.Len()))
 	return f, nil
 }
 

@@ -27,7 +27,15 @@ import (
 	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
+	"lrm/internal/obs"
 	"lrm/internal/parallel"
+)
+
+// Hoisted observability metrics: pointer lookups stay off the hot path, and
+// recording is gated per call site on the span (nil when obs is disabled).
+var (
+	obsBinHits       = obs.GetCounter("sz.bin_hits")
+	obsUnpredictable = obs.GetCounter("sz.unpredictable")
 )
 
 // Mode selects how the error bound is interpreted.
@@ -456,6 +464,8 @@ func parsePayload(b []byte, n int) (codes []int, exact []float64, err error) {
 
 // Compress implements compress.Codec.
 func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
+	sp := obs.Start("sz.compress")
+	defer sp.End()
 	workers := c.workerCount()
 	if hasNaNOrInf(f.Data, workers) {
 		return nil, errors.New("sz: NaN/Inf not supported")
@@ -475,7 +485,14 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		eb := c.effectiveBound(f)
 		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(eb))
 		decoded := make([]float64, f.Len())
+		qs := sp.StartChild("sz.quantize")
 		codes, exact := quantizeCore(f.Data, f.Dims, eb, decoded, c.predictor(), workers)
+		qs.AddItems(int64(len(codes)))
+		qs.End()
+		if sp != nil {
+			obsBinHits.Add(int64(len(codes) - len(exact)))
+			obsUnpredictable.Add(int64(len(exact)))
+		}
 		if invariant.Enabled {
 			// Predict→quantize boundary: the on-the-fly reconstruction (the
 			// decoder's exact view) must honour the pointwise bound, and
@@ -485,7 +502,10 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 				invariant.InRange(q, 0, unpredictable+1, "sz: quantization code")
 			}
 		}
+		hs := sp.StartChild("sz.huffman")
 		raw = buildPayload(codes, exact, workers)
+		hs.SetBytes(int64(8*len(codes)), int64(len(raw)))
+		hs.End()
 
 	case PointwiseRel:
 		// Log-domain transform: bounding |log2 x - log2 x'| <= eb' bounds
@@ -508,7 +528,14 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 			}
 		}
 		decoded := make([]float64, f.Len())
+		qs := sp.StartChild("sz.quantize")
 		codes, exact := quantizeCore(logs, f.Dims, ebLog, decoded, c.predictor(), workers)
+		qs.AddItems(int64(len(codes)))
+		qs.End()
+		if sp != nil {
+			obsBinHits.Add(int64(len(codes) - len(exact)))
+			obsUnpredictable.Add(int64(len(exact)))
+		}
 		if invariant.Enabled {
 			// Log-domain quantize boundary: bounding |log2 x − log2 x′|
 			// by ebLog is what bounds the relative error by 2^ebLog − 1.
@@ -524,23 +551,34 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 			prev = z
 		}
 		raw = append(zb, signs...)
+		hs := sp.StartChild("sz.huffman")
 		raw = append(raw, buildPayload(codes, exact, workers)...)
+		hs.SetBytes(int64(8*len(codes)), int64(len(raw)))
+		hs.End()
 	}
 
+	fs := sp.StartChild("sz.flate")
 	body, err := compress.FlateBytes(raw, 6)
+	fs.SetBytes(int64(len(raw)), int64(len(body)))
+	fs.End()
 	if err != nil {
 		return nil, err
 	}
-	return append(hdr, body...), nil
+	out := append(hdr, body...)
+	sp.SetBytes(int64(8*f.Len()), int64(len(out)))
+	return out, nil
 }
 
 // Decompress implements compress.Codec. Failures wrap the
 // compress.ErrTruncated / compress.ErrCorrupt taxonomy.
 func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
+	sp := obs.Start("sz.decompress")
+	defer sp.End()
 	f, err := c.decompress(data)
 	if err != nil {
 		return nil, compress.Classify(err)
 	}
+	sp.SetBytes(int64(len(data)), int64(8*f.Len()))
 	return f, nil
 }
 
@@ -576,7 +614,10 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 	// The dims are already parsed, so the inflated size is boundable up
 	// front: worst case ~26 bytes/point (exact value + huffman code + zero
 	// list) plus a bounded alphabet header. Anything larger is a bomb.
+	is := obs.Start("sz.inflate")
 	raw, err := compress.InflateBytesCap(rest[18:], 32*int64(n)+(1<<20))
+	is.SetBytes(int64(len(rest)-18), int64(len(raw)))
+	is.End()
 	if err != nil {
 		return nil, err
 	}
@@ -593,7 +634,10 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 		if err != nil {
 			return nil, err
 		}
+		ds := obs.Start("sz.dequantize")
 		vals, err := dequantizeCore(codes, dims, eb, exact, pred4, c.workerCount())
+		ds.AddItems(int64(len(codes)))
+		ds.End()
 		if err != nil {
 			return nil, err
 		}
@@ -635,7 +679,10 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 		if err != nil {
 			return nil, err
 		}
+		ds := obs.Start("sz.dequantize")
 		logs, err := dequantizeCore(codes, dims, eb, exact, pred4, c.workerCount())
+		ds.AddItems(int64(len(codes)))
+		ds.End()
 		if err != nil {
 			return nil, err
 		}

@@ -31,12 +31,24 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"time"
 
 	"lrm/internal/bitstream"
 	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
+	"lrm/internal/obs"
 	"lrm/internal/parallel"
+)
+
+// Hoisted observability metrics. The per-block kernels are far too hot for
+// a span per block, so each shard snapshots obs.Enabled() once, accumulates
+// plain local nanosecond/count tallies, and flushes them here at shard end
+// (the accumulate-then-flush pattern from internal/obs).
+var (
+	obsBlocks      = obs.GetCounter("zfp.blocks")
+	obsEmptyBlocks = obs.GetCounter("zfp.empty_blocks")
+	obsPlanesHist  = obs.GetHistogram("zfp.planes_per_block", []int64{8, 16, 24, 32, 40, 48, 56, 64})
 )
 
 // Codec is a ZFP-style compressor in one of two modes, mirroring real
@@ -569,6 +581,8 @@ func (s *blockScratch) release() {
 
 // Compress implements compress.Codec.
 func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
+	sp := obs.Start("zfp.compress")
+	defer sp.End()
 	if c.mode == modeRate {
 		return c.compressRate(f)
 	}
@@ -583,7 +597,9 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 	} else {
 		out = append(out, byte(c.precision))
 	}
-	return append(out, w.Bytes()...), nil
+	out = append(out, w.Bytes()...)
+	sp.SetBytes(int64(8*f.Len()), int64(len(out)))
+	return out, nil
 }
 
 // encodeShards fans the block list out over the worker pool. Every shard
@@ -621,6 +637,10 @@ func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer
 	vals, blk, nb := s.vals, s.blk, s.nb
 	perm := permFor(rank)
 
+	rec := obs.Enabled()
+	var alignNs, transformNs, planeNs, nBlocks, nEmpty int64
+	var t0 time.Time
+
 	for _, b := range bs {
 		if invariant.Enabled {
 			// Block-grid invariant: every (possibly partial) block keeps
@@ -629,6 +649,10 @@ func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer
 				invariant.InRange(b.size[d], 1, 5, "zfp: block extent")
 				invariant.Assert(b.origin[d] >= 0, "zfp: negative block origin %d", b.origin[d])
 			}
+		}
+		if rec {
+			nBlocks++
+			t0 = time.Now()
 		}
 		gather(f, b, vals)
 
@@ -644,6 +668,10 @@ func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer
 		}
 		if maxAbs == 0 {
 			w.WriteBit(0) // empty block
+			if rec {
+				nEmpty++
+				alignNs += time.Since(t0).Nanoseconds()
+			}
 			continue
 		}
 		w.WriteBit(1)
@@ -659,12 +687,22 @@ func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer
 		for i, v := range vals {
 			blk[i] = int64(v * scale)
 		}
+		if rec {
+			now := time.Now()
+			alignNs += now.Sub(t0).Nanoseconds()
+			t0 = now
+		}
 
 		// Step 2: decorrelating transform, then reorder coefficients by
 		// total sequency so significant bits cluster at low indices.
 		transformForward(blk, rank)
 		for i := range blk {
 			nb[i] = int2nb(blk[perm[i]])
+		}
+		if rec {
+			now := time.Now()
+			transformNs += now.Sub(t0).Nanoseconds()
+			t0 = now
 		}
 
 		// Step 3: embedded bit-plane coding down to the mode's floor plane.
@@ -679,6 +717,17 @@ func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer
 			}
 		}
 		encodePlanes(w, nb, size, kmin)
+		if rec {
+			planeNs += time.Since(t0).Nanoseconds()
+			obsPlanesHist.Observe(int64(intprec - kmin))
+		}
+	}
+	if rec {
+		obs.StageAdd("zfp.align", alignNs, nBlocks)
+		obs.StageAdd("zfp.transform", transformNs, nBlocks-nEmpty)
+		obs.StageAdd("zfp.plane_code", planeNs, nBlocks-nEmpty)
+		obsBlocks.Add(nBlocks)
+		obsEmptyBlocks.Add(nEmpty)
 	}
 	return nil
 }
@@ -792,10 +841,13 @@ const emptyEmax = math.MinInt32
 // Decompress implements compress.Codec. Failures wrap the
 // compress.ErrTruncated / compress.ErrCorrupt taxonomy.
 func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
+	sp := obs.Start("zfp.decompress")
+	defer sp.End()
 	f, err := c.decompress(data)
 	if err != nil {
 		return nil, compress.Classify(err)
 	}
+	sp.SetBytes(int64(len(data)), int64(8*f.Len()))
 	return f, nil
 }
 
@@ -859,6 +911,9 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 
 	s := newBlockScratch(size)
 	defer s.release()
+	rec := obs.Enabled()
+	var planeNs, invNs, nBlocks int64
+	var t0 time.Time
 	for _, b := range bs {
 		if invariant.Enabled {
 			for d := 0; d < 3; d++ {
@@ -881,10 +936,26 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 			return nil, fmt.Errorf("zfp: truncated exponent: %w", err)
 		}
 		emax := int(e) - 16384
+		if rec {
+			nBlocks++
+			t0 = time.Now()
+		}
 		if err := decodePlanes(r, s.nb, size, kminFor(mode, precision, tolerance, emax)); err != nil {
 			return nil, fmt.Errorf("zfp: truncated plane: %w", err)
 		}
+		if rec {
+			now := time.Now()
+			planeNs += now.Sub(t0).Nanoseconds()
+			t0 = now
+		}
 		reconstructBlock(f, b, s.nb, emax, rank, s)
+		if rec {
+			invNs += time.Since(t0).Nanoseconds()
+		}
+	}
+	if rec {
+		obs.StageAdd("zfp.plane_decode", planeNs, nBlocks)
+		obs.StageAdd("zfp.inv_transform", invNs, nBlocks)
 	}
 	return f, nil
 }
@@ -901,6 +972,9 @@ func (c *Codec) decompressParallel(f *grid.Field, bs []blockShape, r *bitstream.
 	emaxs := parallel.Ints(len(bs))
 	defer parallel.PutInts(emaxs)
 
+	rec := obs.Enabled()
+	var planeNs, nBlocks int64
+	var t0 time.Time
 	for bi, b := range bs {
 		if invariant.Enabled {
 			for d := 0; d < 3; d++ {
@@ -921,14 +995,26 @@ func (c *Codec) decompressParallel(f *grid.Field, bs []blockShape, r *bitstream.
 		}
 		emax := int(e) - 16384
 		emaxs[bi] = emax
+		if rec {
+			nBlocks++
+			t0 = time.Now()
+		}
 		if err := decodePlanes(r, nbAll[bi*size:(bi+1)*size], size, kminFor(mode, precision, tolerance, emax)); err != nil {
 			return nil, fmt.Errorf("zfp: truncated plane: %w", err)
 		}
+		if rec {
+			planeNs += time.Since(t0).Nanoseconds()
+		}
+	}
+	if rec {
+		obs.StageAdd("zfp.plane_decode", planeNs, nBlocks)
 	}
 
 	parallel.ForShard(workers, len(bs), func(_, lo, hi int) {
 		s := newBlockScratch(size)
 		defer s.release()
+		var invNs, n int64
+		var st time.Time
 		for bi := lo; bi < hi; bi++ {
 			if emaxs[bi] == emptyEmax {
 				for i := range s.vals {
@@ -937,7 +1023,17 @@ func (c *Codec) decompressParallel(f *grid.Field, bs []blockShape, r *bitstream.
 				scatter(f, bs[bi], s.vals)
 				continue
 			}
+			if rec {
+				n++
+				st = time.Now()
+			}
 			reconstructBlock(f, bs[bi], nbAll[bi*size:(bi+1)*size], emaxs[bi], rank, s)
+			if rec {
+				invNs += time.Since(st).Nanoseconds()
+			}
+		}
+		if rec {
+			obs.StageAdd("zfp.inv_transform", invNs, n)
 		}
 	})
 	return f, nil

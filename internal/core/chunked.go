@@ -10,7 +10,15 @@ import (
 	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/mpi"
+	"lrm/internal/obs"
 	"lrm/internal/parallel"
+)
+
+// Hoisted chunk-level counters (see internal/obs): decode failures are
+// counted per chunk so degraded-mode recovery is visible in the snapshot.
+var (
+	obsChunksDecoded = obs.GetCounter("core.chunks_decoded")
+	obsChunkErrors   = obs.GetCounter("core.chunk_errors")
 )
 
 // chunkedMagic marks the multi-chunk container format.
@@ -31,6 +39,8 @@ const chunkedMagic = "LRMC"
 // siblings. Preconditioning applies per chunk: one-base on a chunk is the
 // paper's multi-base picture, one local base per sub-domain.
 func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
+	sp := obs.Start("core.compress_chunked")
+	defer sp.End()
 	if opts.DataCodec == nil {
 		return nil, errors.New("core: DataCodec is required")
 	}
@@ -57,6 +67,8 @@ func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
 	}
 	outs := make([]chunkOut, chunks)
 	parallel.For(workers, chunks, func(c int) {
+		csp := obs.Start("core.chunk_compress")
+		defer csp.End()
 		lo, hi := mpi.Slab1D(f.Dims[0], chunks, c)
 		dims := append([]int{hi - lo}, f.Dims[1:]...)
 		sub, err := grid.FromData(f.Data[lo*slab:hi*slab], dims...)
@@ -66,6 +78,9 @@ func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
 		}
 		res, err := Compress(sub, inner)
 		outs[c] = chunkOut{res: res, err: err}
+		if res != nil {
+			csp.SetBytes(int64(8*sub.Len()), int64(len(res.Archive)))
+		}
 	})
 
 	var buf bytes.Buffer
@@ -87,6 +102,8 @@ func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
 		total.DeltaBytes += o.res.DeltaBytes
 	}
 	total.Archive = buf.Bytes()
+	sp.SetBytes(int64(total.OriginalBytes), int64(len(total.Archive)))
+	sp.AddItems(int64(chunks))
 	return total, nil
 }
 
@@ -108,6 +125,8 @@ func chunkCRC(idx int, archive []byte) uint32 {
 // zero). A container header too damaged to frame any chunk fails outright
 // in both modes.
 func chunkedDecode(archive []byte, workers int, degraded bool) (*Partial, error) {
+	sp := obs.Start("core.decompress_chunked")
+	defer sp.End()
 	r := &reader{buf: archive}
 	if string(r.take(4)) != chunkedMagic {
 		if len(archive) < 4 {
@@ -211,6 +230,8 @@ func chunkedDecode(archive []byte, workers int, degraded bool) (*Partial, error)
 	inner := max(1, workers/running)
 	errs := make([]error, chunks)
 	parallel.For(workers, chunks, func(c int) {
+		csp := obs.Start("core.chunk_decode")
+		defer csp.End()
 		if recs[c].err != nil {
 			errs[c] = recs[c].err
 			return
@@ -230,7 +251,21 @@ func chunkedDecode(archive []byte, workers int, degraded bool) (*Partial, error)
 			return
 		}
 		copy(out.Data[lo*slab:hi*slab], f.Data)
+		csp.SetBytes(int64(len(recs[c].archive)), int64(8*f.Len()))
 	})
+
+	if sp != nil {
+		sp.AddItems(int64(chunks))
+		sp.SetBytes(int64(len(archive)), int64(8*out.Len()))
+		failed := int64(0)
+		for _, err := range errs {
+			if err != nil {
+				failed++
+			}
+		}
+		obsChunksDecoded.Add(int64(chunks) - failed)
+		obsChunkErrors.Add(failed)
+	}
 
 	p := &Partial{Field: out, Chunks: chunks, Trailing: trailing}
 	for c, err := range errs {

@@ -24,9 +24,15 @@ import (
 	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
+	"lrm/internal/obs"
 	"lrm/internal/parallel"
 	"lrm/internal/reduce"
 )
+
+// obsDeltaEnergy reports ‖delta‖² / ‖data‖² for the most recent
+// preconditioned compression — the fraction of signal energy the reduced
+// model failed to capture (small is good; the paper's Section V-B knob).
+var obsDeltaEnergy = obs.GetFloatGauge("core.delta_energy")
 
 // Options configures one compression run.
 type Options struct {
@@ -94,6 +100,8 @@ const (
 
 // Compress runs the pipeline on f.
 func Compress(f *grid.Field, opts Options) (*Result, error) {
+	sp := obs.Start("core.compress")
+	defer sp.End()
 	if opts.DataCodec == nil {
 		return nil, errors.New("core: DataCodec is required")
 	}
@@ -115,6 +123,7 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		if invariant.Enabled {
 			assertEndToEndBound(f, opts.DataCodec, res.Archive)
 		}
+		sp.SetBytes(int64(res.OriginalBytes), int64(len(res.Archive)))
 		return res, nil
 	}
 
@@ -124,7 +133,9 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	}
 
 	// Reduction phase.
+	rs := sp.StartChild("core.reduce")
 	rep, err := opts.Model.Reduce(f)
+	rs.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: reduce: %w", err)
 	}
@@ -135,7 +146,9 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	// taken against the same perturbed reconstruction or the error would
 	// double-count. Compress the rep first, then reconstruct from the
 	// decompressed rep to compute the delta.
+	ss := sp.StartChild("core.rep_store")
 	repValStream, storedRep, err := storeRepValues(rep, opts.DataCodec)
+	ss.End()
 	if err != nil {
 		return nil, err
 	}
@@ -143,13 +156,29 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: reconstruct stored rep: %w", err)
 	}
+	dsp := sp.StartChild("core.delta")
 	delta, err := f.Sub(recon)
 	if err != nil {
+		dsp.End()
 		return nil, err
 	}
 	deltaStream, err := deltaCodec.Compress(delta)
+	dsp.SetBytes(int64(8*f.Len()), int64(len(deltaStream)))
+	dsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: delta compression: %w", err)
+	}
+	if sp != nil {
+		var dd, ff float64
+		for _, v := range delta.Data {
+			dd += v * v
+		}
+		for _, v := range f.Data {
+			ff += v * v
+		}
+		if ff > 0 {
+			obsDeltaEnergy.Set(dd / ff)
+		}
 	}
 	metaStream, err := compress.FlateBytes(rep.Meta, 6)
 	if err != nil {
@@ -180,6 +209,7 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		// assert against f is the delta codec's bound on the delta field.
 		assertEndToEndBoundEps(f, deltaCodec, delta, res.Archive)
 	}
+	sp.SetBytes(int64(res.OriginalBytes), int64(len(res.Archive)))
 	return res, nil
 }
 
@@ -273,10 +303,13 @@ func Decompress(archive []byte) (*grid.Field, error) {
 
 // DecompressWithOpts is Decompress with an explicit worker budget.
 func DecompressWithOpts(archive []byte, opts DecompressOpts) (*grid.Field, error) {
+	sp := obs.Start("core.decompress")
+	defer sp.End()
 	f, err := decompress(archive, opts.Parallel.Resolve())
 	if err != nil {
 		return nil, compress.Classify(err)
 	}
+	sp.SetBytes(int64(len(archive)), int64(8*f.Len()))
 	return f, nil
 }
 

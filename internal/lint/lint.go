@@ -8,6 +8,7 @@
 //   - mutexcopy:  by-value copies of types containing sync.Mutex/WaitGroup
 //   - goroutine:  goroutines launched with no completion/escape mechanism
 //   - deadassign: `_ = expr` blank assignments masking dead computation
+//   - obsspan:    obs.Start/StartChild spans without End() on every return path
 //
 // A diagnostic can be suppressed with a trailing or preceding comment
 //
@@ -133,6 +134,7 @@ func All() []*Analyzer {
 		AnalyzerMutexCopy,
 		AnalyzerGoroutine,
 		AnalyzerDeadAssign,
+		AnalyzerObsSpan,
 	}
 }
 

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerObsSpan flags observability spans that can leak: a span opened by
+// `obs.Start(...)` or `<span>.StartChild(...)` whose End() is not guaranteed
+// on every return path. A leaked span is silent data loss for the metrics
+// registry — the stage's duration, byte, and item attributes are recorded
+// only by End, so a missed path under-reports exactly the executions that
+// took the unusual exit (usually the error path).
+//
+// The rule is intentionally lexical rather than flow-sensitive:
+//
+//   - a dropped result (`obs.Start("x")` as a statement, or assignment to
+//     `_`) is always a finding — the span can never be ended;
+//   - `defer sp.End()` anywhere in the function covers every exit;
+//   - otherwise each return statement (and the fall-off end of the function)
+//     after the Start must have an explicit `sp.End()` call lexically
+//     between the Start and that exit.
+//
+// Function literals are analyzed as their own scopes, so a span opened
+// inside a parallel.For closure must be ended inside that closure.
+var AnalyzerObsSpan = &Analyzer{
+	Name: "obsspan",
+	Doc:  "obs.Start/StartChild span without End() on every return path",
+	Run:  runObsSpan,
+}
+
+func runObsSpan(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpanScope(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkSpanScope(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// spanWalk visits the nodes of one function body without descending into
+// nested function literals: those are separate scopes with their own check,
+// and an End() inside a closure does not end a span of the enclosing
+// function at any predictable time.
+func spanWalk(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// isSpanStart recognizes the two span constructors syntactically:
+// obs.Start(...) — a call through an identifier named obs — and any
+// .StartChild(...) call. Type information is deliberately not consulted so
+// the rule also fires in packages the loader cannot resolve.
+func isSpanStart(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Start":
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		return ok && id.Name == "obs"
+	case "StartChild":
+		return true
+	}
+	return false
+}
+
+func spanStartName(call *ast.CallExpr) string {
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if sel.Sel.Name == "Start" {
+		return "obs.Start"
+	}
+	return "StartChild"
+}
+
+// isEndOf reports whether call is `<name>.End()`.
+func isEndOf(call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// checkSpanScope runs the rule over one function body.
+func checkSpanScope(p *Pass, body *ast.BlockStmt) {
+	type spanVar struct {
+		name string
+		pos  token.Pos
+	}
+	var spans []spanVar
+
+	spanWalk(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isSpanStart(call) {
+				p.Reportf(call.Pos(), "result of %s dropped; the span can never be ended", spanStartName(call))
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isSpanStart(call) {
+				return
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return
+			}
+			if id.Name == "_" {
+				p.Reportf(call.Pos(), "result of %s assigned to _; the span can never be ended", spanStartName(call))
+				return
+			}
+			spans = append(spans, spanVar{name: id.Name, pos: call.Pos()})
+		}
+	})
+
+	if len(spans) == 0 {
+		return
+	}
+
+	for _, s := range spans {
+		// defer sp.End() anywhere in the scope covers every exit.
+		deferred := false
+		var ends []token.Pos
+		spanWalk(body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if isEndOf(n.Call, s.name) {
+					deferred = true
+				}
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isEndOf(call, s.name) {
+					ends = append(ends, call.Pos())
+				}
+			}
+		})
+		if deferred {
+			continue
+		}
+
+		// Exits after the Start: every return statement plus the fall-off
+		// end of the body. Each needs an End lexically in between.
+		var exits []token.Pos
+		spanWalk(body, func(n ast.Node) {
+			if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > s.pos {
+				exits = append(exits, r.Pos())
+			}
+		})
+		exits = append(exits, body.Rbrace)
+
+		for _, exit := range exits {
+			covered := false
+			for _, e := range ends {
+				if e > s.pos && e < exit {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				p.Reportf(s.pos, "span %s may leak: exit at line %d without %s.End() and no defer",
+					s.name, p.Fset.Position(exit).Line, s.name)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package obsspan exercises the obsspan rule: spans opened by obs.Start or
+// StartChild must be ended on every return path.
+package obsspan
+
+import "errors"
+
+var errFail = errors.New("fail")
+
+// Minimal stand-in for the real lrm/internal/obs API. The rule is
+// syntactic — a call through an identifier named obs with selector Start
+// triggers it — so the fixture stays stdlib-only.
+type span struct{}
+
+func (s *span) End()                         {}
+func (s *span) StartChild(name string) *span { return s }
+func (s *span) SetBytes(in, out int64)       {}
+
+type registry struct{}
+
+func (registry) Start(name string) *span { return &span{} }
+
+var obs registry
+
+// goodDefer ends its span via defer: every exit is covered.
+func goodDefer(fail bool) error {
+	sp := obs.Start("good.defer")
+	defer sp.End()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// goodExplicit ends the span lexically before each exit.
+func goodExplicit(fail bool) error {
+	sp := obs.Start("good.explicit")
+	if fail {
+		sp.End()
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// badEarlyReturn leaks the span on the error path.
+func badEarlyReturn(fail bool) error {
+	sp := obs.Start("bad.early") // want "span sp may leak"
+	if fail {
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// badFallOff leaks the span when control falls off the end of the body.
+func badFallOff() {
+	sp := obs.Start("bad.falloff") // want "span sp may leak"
+	_ = sp
+}
+
+// badDropped discards the span result outright.
+func badDropped() {
+	obs.Start("bad.dropped") // want "result of obs.Start dropped"
+}
+
+// badBlank assigns the span to the blank identifier.
+func badBlank() {
+	_ = obs.Start("bad.blank") // want "assigned to _"
+}
+
+// goodChild ends its child before the parent's defer fires.
+func goodChild() {
+	sp := obs.Start("good.child")
+	defer sp.End()
+	cs := sp.StartChild("good.child.inner")
+	cs.SetBytes(1, 2)
+	cs.End()
+}
+
+// badChild leaks the child span on the early return; the parent's defer
+// does not cover it.
+func badChild(fail bool) error {
+	sp := obs.Start("bad.child.parent")
+	defer sp.End()
+	cs := sp.StartChild("bad.child.inner") // want "span cs may leak"
+	if fail {
+		return errFail
+	}
+	cs.End()
+	return nil
+}
+
+// closureScopes: function literals are separate scopes, so a span opened
+// inside a closure must be ended inside that closure.
+func closureScopes() {
+	sp := obs.Start("closure.outer")
+	defer sp.End()
+	run(func() {
+		inner := obs.Start("closure.inner") // want "span inner may leak"
+		_ = inner
+	})
+	run(func() {
+		inner := obs.Start("closure.ok")
+		defer inner.End()
+	})
+}
+
+func run(f func()) { f() }

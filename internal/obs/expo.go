@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// WriteJSON writes the full registry snapshot as a single JSON object —
+// the document shape expvar consumers see under the "lrm" variable.
+func WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Snapshot())
+}
+
+// promName maps a registry metric name to a legal Prometheus metric name:
+// an "lrm_" prefix plus the name with every character outside
+// [a-zA-Z0-9_:] rewritten to '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("lrm_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-labelled buckets with _sum and
+// _count series. Output order is deterministic (sorted by metric name).
+func WriteProm(w io.Writer) error {
+	snap := Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		pn := promName(name)
+		p("# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		pn := promName(name)
+		p("# TYPE %s gauge\n%s %d\n", pn, pn, snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Floats) {
+		pn := promName(name)
+		p("# TYPE %s gauge\n%s %g\n", pn, pn, snap.Floats[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		pn := promName(name)
+		p("# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			p("%s_bucket{le=\"%d\"} %d\n", pn, bound, cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		p("%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		p("%s_sum %d\n", pn, h.Sum)
+		p("%s_count %d\n", pn, h.Count)
+	}
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the registry snapshot as the expvar variable "lrm",
+// making it part of the standard /debug/vars JSON document. Safe to call
+// more than once; only the first call publishes.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("lrm", expvar.Func(func() any { return Snapshot() }))
+	})
+}

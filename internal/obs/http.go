@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	runtimepprof "runtime/pprof"
+)
+
+// Handler returns the debug endpoint mux the commands mount behind their
+// -debug-addr flag:
+//
+//	/metrics      Prometheus text exposition (WriteProm)
+//	/debug/vars   expvar JSON (includes the "lrm" registry snapshot)
+//	/debug/pprof  net/http/pprof profile index (cpu, heap, goroutine, ...)
+//
+// The pprof handlers are mounted explicitly rather than via the package's
+// DefaultServeMux side effect, so embedders control exactly what is served.
+func Handler() http.Handler {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug blocks serving Handler on addr — commands run it on its own
+// goroutine (`go obs.ServeDebug(addr)`); errors surface on stderr rather
+// than killing the measurement run.
+func ServeDebug(addr string) {
+	if err := http.ListenAndServe(addr, Handler()); err != nil {
+		os.Stderr.WriteString("obs: debug server: " + err.Error() + "\n")
+	}
+}
+
+// StartCPUProfile begins a CPU profile into path. It returns a stop
+// function to defer; a creation failure is reported via the returned error
+// with a no-op stop.
+func StartCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return func() {}, err
+	}
+	if err := runtimepprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return func() {}, err
+	}
+	return func() {
+		runtimepprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes the current heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return runtimepprof.WriteHeapProfile(f)
+}

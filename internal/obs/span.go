@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span measures one pipeline stage execution. A span is created by Start
+// (or StartChild for a stage nested under another) and finalized by End,
+// which records the stage's duration, byte, and item attributes under the
+// stage metric bundle for the span's name:
+//
+//	stage.<name>.ns        duration histogram (DefTimeBounds buckets)
+//	stage.<name>.ns_total  accumulated wall time
+//	stage.<name>.calls     completed span count
+//	stage.<name>.bytes_in  accumulated input bytes (SetBytes)
+//	stage.<name>.bytes_out accumulated output bytes (SetBytes)
+//	stage.<name>.items     accumulated item count (AddItems)
+//
+// All Span methods are nil-receiver-safe: when observability is disabled,
+// Start returns nil and the entire span lifecycle costs one atomic load.
+type Span struct {
+	name     string
+	start    time.Time
+	bytesIn  int64
+	bytesOut int64
+	items    int64
+	parent   *Span
+}
+
+// Start opens a root span for the named stage. When observability is
+// disabled it returns nil (all Span methods tolerate a nil receiver), so
+// the disabled cost is a single atomic load.
+func Start(name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild opens a span nested under s. A child of a nil span is nil, so
+// a disabled root propagates the no-op through the whole stage tree without
+// further atomic loads.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), parent: s}
+}
+
+// Parent returns the span this one was started under (nil for roots).
+func (s *Span) Parent() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.parent
+}
+
+// SetBytes records the stage's input and output byte volumes, reported via
+// the stage.<name>.bytes_in / .bytes_out counters at End.
+func (s *Span) SetBytes(in, out int64) {
+	if s == nil {
+		return
+	}
+	s.bytesIn, s.bytesOut = in, out
+}
+
+// AddItems accumulates a stage-defined item count (points, blocks, chunks),
+// reported via the stage.<name>.items counter at End.
+func (s *Span) AddItems(n int64) {
+	if s == nil {
+		return
+	}
+	s.items += n
+}
+
+// End finalizes the span and records its metrics. Safe on a nil receiver.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	st := stageFor(s.name)
+	ns := time.Since(s.start).Nanoseconds()
+	st.ns.Observe(ns)
+	st.nsTotal.Add(ns)
+	st.calls.Inc()
+	if s.bytesIn != 0 || s.bytesOut != 0 {
+		st.bytesIn.Add(s.bytesIn)
+		st.bytesOut.Add(s.bytesOut)
+	}
+	if s.items != 0 {
+		st.items.Add(s.items)
+	}
+}
+
+// stageMetrics is the bundle End writes into, cached per stage name so one
+// End costs one sync.Map hit instead of six registry lookups.
+type stageMetrics struct {
+	ns       *Histogram
+	nsTotal  *Counter
+	calls    *Counter
+	bytesIn  *Counter
+	bytesOut *Counter
+	items    *Counter
+}
+
+var stageCache sync.Map // name -> *stageMetrics
+
+func stageFor(name string) *stageMetrics {
+	if v, ok := stageCache.Load(name); ok {
+		return v.(*stageMetrics)
+	}
+	st := &stageMetrics{
+		ns:       GetHistogram("stage."+name+".ns", nil),
+		nsTotal:  GetCounter("stage." + name + ".ns_total"),
+		calls:    GetCounter("stage." + name + ".calls"),
+		bytesIn:  GetCounter("stage." + name + ".bytes_in"),
+		bytesOut: GetCounter("stage." + name + ".bytes_out"),
+		items:    GetCounter("stage." + name + ".items"),
+	}
+	v, _ := stageCache.LoadOrStore(name, st)
+	return v.(*stageMetrics)
+}
+
+// StageAdd records an externally timed slice of work against a stage — the
+// accumulate-then-flush pattern for kernels too hot for a span per unit
+// (e.g. ZFP's per-block align/transform/plane phases, which accumulate
+// plain local nanosecond counters per shard and flush once at shard end).
+// Unlike Span.End it does not observe the latency histogram: accumulated
+// slices are not call latencies.
+func StageAdd(name string, ns, items int64) {
+	st := stageFor(name)
+	st.nsTotal.Add(ns)
+	st.calls.Inc()
+	if items != 0 {
+		st.items.Add(items)
+	}
+}

@@ -17,6 +17,21 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"lrm/internal/obs"
+)
+
+// Hoisted pool metrics (see internal/obs). parallel.queue_depth is the
+// high-water mark of tasks submitted to one fork/join batch;
+// stage.parallel.worker_busy accumulates per-worker busy nanoseconds (flushed
+// once per worker at join); parallel.task.ns is the per-task latency
+// histogram, recorded only on the pooled path so the inline serial loop
+// stays timing-free.
+var (
+	obsTasks      = obs.GetCounter("parallel.tasks")
+	obsQueueDepth = obs.GetGauge("parallel.queue_depth")
+	obsTaskNs     = obs.GetHistogram("parallel.task.ns", nil)
 )
 
 // Config selects the degree of parallelism for a compression run. The zero
@@ -59,11 +74,18 @@ func For(workers, n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	rec := obs.Enabled()
+	if rec {
+		obsTasks.Add(int64(n))
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
+	}
+	if rec {
+		obsQueueDepth.SetMax(int64(n))
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -71,12 +93,25 @@ func For(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var busyNs, done int64
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					break
 				}
-				fn(i)
+				if rec {
+					t0 := time.Now()
+					fn(i)
+					ns := time.Since(t0).Nanoseconds()
+					busyNs += ns
+					done++
+					obsTaskNs.Observe(ns)
+				} else {
+					fn(i)
+				}
+			}
+			if rec && done > 0 {
+				obs.StageAdd("parallel.worker_busy", busyNs, done)
 			}
 		}()
 	}

@@ -6,8 +6,13 @@ import (
 
 	"lrm/internal/grid"
 	"lrm/internal/linalg"
+	"lrm/internal/obs"
 	"lrm/internal/parallel"
 )
+
+// obsPCARank reports the rank retained by the most recent PCA fit (per
+// column block for the partitioned variant).
+var obsPCARank = obs.GetGauge("reduce.pca.rank")
 
 // PCA is the principal-component-analysis reduced model (Section V-A.1):
 // the data is matricized, the covariance of its columns eigendecomposed,
@@ -45,6 +50,9 @@ func init() { register("pca", reconstructPCA) }
 
 // Reduce implements Model.
 func (p PCA) Reduce(f *grid.Field) (*Rep, error) {
+	sp := obs.Start("reduce.pca.fit")
+	defer sp.End()
+	sp.AddItems(int64(f.Len()))
 	if err := checkFinite(f); err != nil {
 		return nil, err
 	}
@@ -89,6 +97,9 @@ func pcaFactor(mat *linalg.Matrix, energy float64, maxK int) ([]float64, []float
 	k := linalg.RankForEnergy(eigvals, energy)
 	if maxK > 0 && k > maxK {
 		k = maxK
+	}
+	if obs.Enabled() {
+		obsPCARank.Set(int64(k))
 	}
 	// Retain the top-k eigenvectors (columns of eigvecs).
 	vecs := make([]float64, n*k)

@@ -6,8 +6,12 @@ import (
 
 	"lrm/internal/grid"
 	"lrm/internal/linalg"
+	"lrm/internal/obs"
 	"lrm/internal/parallel"
 )
+
+// obsSVDRank reports the rank retained by the most recent SVD fit.
+var obsSVDRank = obs.GetGauge("reduce.svd.rank")
 
 // SVD is the singular-value-decomposition reduced model (Section V-A.2):
 // the matricized data is factored A = U S V^T and the k leading triples
@@ -46,6 +50,9 @@ func init() { register("svd", reconstructSVD) }
 
 // Reduce implements Model.
 func (s SVD) Reduce(f *grid.Field) (*Rep, error) {
+	sp := obs.Start("reduce.svd.fit")
+	defer sp.End()
+	sp.AddItems(int64(f.Len()))
 	if err := checkFinite(f); err != nil {
 		return nil, err
 	}
@@ -69,6 +76,9 @@ func (s SVD) Reduce(f *grid.Field) (*Rep, error) {
 	k := linalg.RankForEnergy(res.S, s.energy())
 	if s.MaxK > 0 && k > s.MaxK {
 		k = s.MaxK
+	}
+	if obs.Enabled() {
+		obsSVDRank.Set(int64(k))
 	}
 	uk, sk, vk := res.Truncate(k)
 

@@ -35,14 +35,14 @@ step go test ./...
 step go test -tags invariants ./internal/compress/... ./internal/reduce/... ./internal/core/...
 # Fault-injection sweep: every archive mutation must yield a classified
 # error (never a panic, never an unbounded allocation).
-step go test -run TestSweepCorpus -count=1 ./internal/faultinject
+step go test -run 'TestSweepCorpus|TestPartialDecodeMetricsUnderSweep' -count=1 ./internal/faultinject
 
 if [ "${1:-}" != "quick" ]; then
 	# Concurrent packages under the race detector.
-	step go test -race ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/...
+	step go test -race ./internal/obs/... ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/...
 	# Benchmark smoke: one iteration of the JSON benchmark harness proves
 	# the artifact pipeline end to end without paying full measurement cost.
-	step go run ./cmd/lrmbench -iters 1 -out /tmp/lrmbench-smoke.json
+	step go run ./cmd/lrmbench -iters 1 -stats -out /tmp/lrmbench-smoke.json
 	# Short fuzz pass over the decoder targets (seed corpus + a few seconds
 	# of mutation each). -fuzz accepts a single package per invocation.
 	for pkg in ./internal/compress/sz ./internal/compress/zfp ./internal/compress/fpc; do
