@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint test invariants faultsweep race fuzz bench bench-smoke verify
+.PHONY: build vet fmt lint test invariants faultsweep race race-trace fuzz bench bench-smoke bench-compare trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,12 @@ faultsweep:
 
 # Concurrent packages under the race detector.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/...
+	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/...
+
+# Trace recorder race-stress in isolation: concurrent Start/End against
+# Snapshot/export/Reset, repeated so interleavings vary.
+race-trace:
+	$(GO) test -race -run TestConcurrentTraceStress -count=2 ./internal/obs/trace
 
 # JSON benchmark harness (BENCH_<n>.json artifact); bench-smoke is the CI
 # single-iteration configuration.
@@ -40,6 +45,16 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/lrmbench -iters 1 -out /tmp/lrmbench-smoke.json
 
+# Compare a fresh smoke run against the checked-in baseline artifact; the
+# wide tolerance absorbs machine variance, not real regressions.
+bench-compare: bench-smoke
+	$(GO) run ./cmd/lrmbench -compare -tolerance 0.75 BENCH_5.json /tmp/lrmbench-smoke.json
+
+# One traced pipeline pass exported as Chrome trace JSON
+# (load at https://ui.perfetto.dev).
+trace-smoke:
+	$(GO) run ./cmd/lrmbench -iters 1 -out /tmp/lrmbench-smoke.json -trace /tmp/lrmbench-trace.json
+
 # Short mutation pass over the decoder fuzz targets (seeds always run in
 # plain `make test`; this adds -fuzztime of coverage-guided input search).
 fuzz:
@@ -47,6 +62,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=10s -run='^$$' ./internal/compress/zfp
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=10s -run='^$$' ./internal/compress/fpc
 	$(GO) test -fuzz=FuzzDecompressChunked -fuzztime=10s -run='^$$' ./internal/core
+	$(GO) test -fuzz=FuzzWriteChromeTrace -fuzztime=10s -run='^$$' ./internal/obs/trace
 
 verify:
 	./verify.sh

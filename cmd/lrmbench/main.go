@@ -5,7 +5,9 @@
 // Usage:
 //
 //	lrmbench [-out BENCH.json] [-iters N] [-baseline old.json] [-stats]
-//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-debug-addr :8080]
+//	         [-trace trace.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [-debug-addr :8080]
+//	lrmbench -compare [-tolerance 0.25] old.json new.json
 //
 // Each benchmark compresses (and decompresses) a Heat3d field at two
 // problem sizes, per codec, at worker counts 1 and 4, plus the chunked
@@ -18,14 +20,27 @@
 // bytes in/out) of the pipeline stages it exercised. -cpuprofile and
 // -memprofile write pprof profiles of the whole run; -debug-addr serves
 // /metrics, /debug/vars and /debug/pprof live while the run is in flight.
+//
+// -trace runs one deterministic traced pass over the full core pipeline
+// (single-field and chunked, medium size) after the benchmarks and writes
+// the retained traces as Chrome trace_event JSON — load it at
+// https://ui.perfetto.dev or chrome://tracing. -compare mode runs no
+// benchmarks at all: it joins two lrmbench JSON reports cell by cell and
+// exits non-zero when any cell's throughput regressed by more than
+// -tolerance (default 0.25, i.e. 25%).
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -36,9 +51,21 @@ import (
 	"lrm/internal/core"
 	"lrm/internal/grid"
 	"lrm/internal/obs"
+	"lrm/internal/obs/trace"
 	"lrm/internal/parallel"
 	"lrm/internal/sim/heat3d"
 )
+
+// logger stamps trace_id/span_id onto every record whose context carries a
+// live span, so diagnostics emitted inside the traced pass can be joined
+// against the exported trace file by grepping the ID.
+var logger = slog.New(trace.NewLogHandler(slog.NewTextHandler(os.Stderr, nil)))
+
+// fatal reports err through the correlated logger and exits.
+func fatal(ctx context.Context, msg string, args ...any) {
+	logger.ErrorContext(ctx, msg, args...)
+	os.Exit(1)
+}
 
 // parallelizable is declared structurally (rather than using
 // compress.Parallelizable) so this command also compiles against trees
@@ -91,7 +118,18 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run here")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit here")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	tracePath := flag.String("trace", "", "write a Chrome trace of one traced pipeline pass here")
+	compare := flag.Bool("compare", false, "compare two lrmbench JSON reports (old.json new.json) and fail on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput regression in -compare mode")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: lrmbench -compare [-tolerance F] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareMain(flag.Arg(0), flag.Arg(1), *tolerance))
+	}
 
 	var baseline *Report
 	if *baselinePath != "" {
@@ -127,6 +165,13 @@ func main() {
 	}
 
 	rep := run(*iters, baseline, *stats)
+
+	if *tracePath != "" {
+		if err := runTraced(*tracePath); err != nil {
+			fatal(context.Background(), "lrmbench: trace", "err", err)
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lrmbench: %v\n", err)
@@ -360,4 +405,138 @@ func attach(rep, baseline *Report) {
 			b.SpeedupVsBaseline = float64(ns) / float64(b.NsOp)
 		}
 	}
+}
+
+// runTraced executes one deterministic traced pass over the core pipeline —
+// the single-field path and the chunked container, both on the medium field
+// with a worker pool — and writes every retained trace as Chrome
+// trace_event JSON. Before writing it self-checks that a core.compress root
+// span and a chunked container trace were actually captured, so a silently
+// disabled trace layer fails loudly instead of emitting an empty file.
+func runTraced(path string) error {
+	wasMetrics, wasTracing := obs.Enabled(), trace.Enabled()
+	obs.SetEnabled(true) // exemplars need the metrics bit
+	trace.SetEnabled(true)
+	defer func() {
+		obs.SetEnabled(wasMetrics)
+		trace.SetEnabled(wasTracing)
+	}()
+	trace.Reset()
+
+	ctx := context.Background()
+	f := benchField("medium")
+	opts := core.Options{
+		DataCodec: zfp.MustNew(16),
+		Parallel:  parallel.Config{Workers: 4},
+	}
+
+	res, err := core.CompressCtx(ctx, f, opts)
+	if err != nil {
+		return fmt.Errorf("traced compress: %w", err)
+	}
+	if _, err := core.DecompressCtx(ctx, res.Archive); err != nil {
+		return fmt.Errorf("traced decompress: %w", err)
+	}
+	cres, err := core.CompressChunkedCtx(ctx, f, opts, 4)
+	if err != nil {
+		return fmt.Errorf("traced chunked compress: %w", err)
+	}
+	dopts := core.DecompressOpts{Parallel: parallel.Config{Workers: 4}}
+	if _, err := core.DecompressWithOptsCtx(ctx, cres.Archive, dopts); err != nil {
+		return fmt.Errorf("traced chunked decompress: %w", err)
+	}
+
+	traces := trace.Snapshot()
+	var haveCompress, haveChunked bool
+	for _, t := range traces {
+		switch t.Root {
+		case "core.compress":
+			haveCompress = true
+		case "core.compress_chunked":
+			haveChunked = true
+		}
+	}
+	if !haveCompress || !haveChunked {
+		return fmt.Errorf("traced pass retained %d traces but is missing a core.compress or core.compress_chunked root (tracing disabled?)", len(traces))
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, traces); err != nil {
+		return err
+	}
+	if !json.Valid(buf.Bytes()) {
+		return errors.New("trace export produced invalid JSON")
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	logger.InfoContext(ctx, "lrmbench: wrote Chrome trace",
+		"path", path, "traces", len(traces), "bytes", buf.Len())
+	return nil
+}
+
+// compareMain joins two lrmbench reports cell by cell and returns the
+// process exit code: 0 when every matched cell's throughput is within
+// tolerance, 1 when any cell regressed. A cell regresses when its new
+// wall time exceeds old_ns/(1-tolerance) — i.e. throughput dropped by more
+// than the tolerated fraction. Cells present in only one report are
+// listed but never fail the comparison (codec or size sets may differ
+// across trees).
+func compareMain(oldPath, newPath string, tolerance float64) int {
+	if tolerance < 0 || tolerance >= 1 {
+		fmt.Fprintf(os.Stderr, "lrmbench: -tolerance %v out of range [0,1)\n", tolerance)
+		return 2
+	}
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrmbench: compare: %v\n", err)
+		return 2
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrmbench: compare: %v\n", err)
+		return 2
+	}
+	base := make(map[string]int64, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		base[b.Name] = b.NsOp
+	}
+	matched, skipped, failed := 0, 0, 0
+	for _, b := range newRep.Benchmarks {
+		oldNs, ok := base[b.Name]
+		if !ok || oldNs <= 0 || b.NsOp <= 0 {
+			skipped++
+			continue
+		}
+		delete(base, b.Name)
+		matched++
+		limit := float64(oldNs) / (1 - tolerance)
+		ratio := float64(b.NsOp) / float64(oldNs)
+		status := "ok"
+		if float64(b.NsOp) > limit {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-44s old %12d ns  new %12d ns  x%.2f  %s\n",
+			b.Name, oldNs, b.NsOp, ratio, status)
+	}
+	leftover := make([]string, 0, len(base))
+	for name := range base {
+		leftover = append(leftover, name)
+	}
+	sort.Strings(leftover)
+	for _, name := range leftover {
+		skipped++
+		fmt.Printf("%-44s only in %s\n", name, oldPath)
+	}
+	fmt.Printf("lrmbench compare: %d matched, %d skipped, %d regressed (tolerance %.0f%%)\n",
+		matched, skipped, failed, 100*tolerance)
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "lrmbench: compare: no cells matched between the two reports")
+		return 2
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }

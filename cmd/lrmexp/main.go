@@ -12,27 +12,44 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"lrm/internal/dataset"
 	"lrm/internal/experiments"
 	"lrm/internal/obs"
+	"lrm/internal/obs/trace"
 )
+
+// logger replaces the old ad-hoc stderr prints. It routes through
+// trace.LogHandler so any future context-carrying call sites gain
+// trace_id/span_id correlation for free.
+var logger = slog.New(trace.NewLogHandler(slog.NewTextHandler(os.Stderr, nil)))
 
 func main() {
 	size := flag.String("size", "small", "dataset scale: small, medium, or large")
 	snapshots := flag.Int("snapshots", 0, "snapshot count per application (0 = default; the paper uses 20)")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of the formatted table")
 	statsOut := flag.String("stats", "", "enable the obs registry and write its Prometheus snapshot here at exit")
+	traceOut := flag.String("trace", "", "enable tracing and write retained traces as Chrome trace JSON here at exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run here")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit here")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Usage = usage
 	flag.Parse()
 
-	if *statsOut != "" || *debugAddr != "" {
+	if *statsOut != "" || *debugAddr != "" || *traceOut != "" {
 		obs.SetEnabled(true)
+	}
+	if *traceOut != "" {
+		trace.SetEnabled(true)
+		path := *traceOut
+		defer func() {
+			if err := writeTraces(path); err != nil {
+				logger.Error("lrmexp: trace", "err", err)
+			}
+		}()
 	}
 	if *debugAddr != "" {
 		go obs.ServeDebug(*debugAddr)
@@ -40,7 +57,7 @@ func main() {
 	if *cpuProfile != "" {
 		stop, err := obs.StartCPUProfile(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lrmexp: cpuprofile: %v\n", err)
+			logger.Error("lrmexp: cpuprofile", "err", err)
 			os.Exit(1)
 		}
 		defer stop()
@@ -49,7 +66,7 @@ func main() {
 		path := *memProfile
 		defer func() {
 			if err := obs.WriteHeapProfile(path); err != nil {
-				fmt.Fprintf(os.Stderr, "lrmexp: memprofile: %v\n", err)
+				logger.Error("lrmexp: memprofile", "err", err)
 			}
 		}()
 	}
@@ -57,7 +74,7 @@ func main() {
 		path := *statsOut
 		defer func() {
 			if err := writeStats(path); err != nil {
-				fmt.Fprintf(os.Stderr, "lrmexp: stats: %v\n", err)
+				logger.Error("lrmexp: stats", "err", err)
 			}
 		}()
 	}
@@ -77,7 +94,7 @@ func main() {
 	case "large":
 		cfg.Size = dataset.Large
 	default:
-		fmt.Fprintf(os.Stderr, "lrmexp: unknown size %q\n", *size)
+		logger.Error("lrmexp: unknown size", "size", *size)
 		os.Exit(2)
 	}
 
@@ -90,17 +107,35 @@ func main() {
 	case "all":
 		for _, eid := range experiments.IDs() {
 			if err := runOne(eid, cfg, *csvOut); err != nil {
-				fmt.Fprintf(os.Stderr, "lrmexp: %s: %v\n", eid, err)
+				logger.Error("lrmexp: experiment failed", "id", eid, "err", err)
 				os.Exit(1)
 			}
 		}
 		return
 	default:
 		if err := runOne(id, cfg, *csvOut); err != nil {
-			fmt.Fprintf(os.Stderr, "lrmexp: %v\n", err)
+			logger.Error("lrmexp: experiment failed", "id", id, "err", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// writeTraces dumps the trace ring as Chrome trace_event JSON.
+func writeTraces(path string) error {
+	traces := trace.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, traces); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	logger.Info("lrmexp: wrote Chrome trace", "path", path, "traces", len(traces))
+	return nil
 }
 
 // writeStats dumps the obs registry as Prometheus text exposition.
@@ -146,6 +181,7 @@ Flags:
   -size string       dataset scale: small, medium, large (default "small")
   -snapshots int     outputs per application (default 5; the paper uses 20)
   -stats file        enable pipeline metrics; write a Prometheus snapshot at exit
+  -trace file        enable tracing; write retained traces as Chrome trace JSON at exit
   -cpuprofile file   write a CPU profile of the whole run
   -memprofile file   write a heap profile at exit
   -debug-addr addr   serve /metrics, /debug/vars and /debug/pprof while running

@@ -1,0 +1,78 @@
+package compress
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"lrm/internal/grid"
+)
+
+// CtxCodec is the optional interface of codecs whose kernels accept a
+// context for trace propagation: spans the codec opens parent onto the
+// span carried by ctx, and pool workers inherit the submitting stage's
+// pprof labels. The streams produced are byte-identical to the plain
+// Compress/Decompress methods — ctx carries observability, never
+// configuration.
+type CtxCodec interface {
+	Codec
+	CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error)
+	DecompressCtx(ctx context.Context, b []byte) (*grid.Field, error)
+}
+
+// CompressCtx compresses f with c, threading ctx when the codec supports
+// it and falling back to the plain method when it does not.
+func CompressCtx(ctx context.Context, c Codec, f *grid.Field) ([]byte, error) {
+	if cc, ok := c.(CtxCodec); ok {
+		return cc.CompressCtx(ctx, f)
+	}
+	return c.Compress(f)
+}
+
+// DecompressCtx decompresses b with c, threading ctx when the codec
+// supports it.
+func DecompressCtx(ctx context.Context, c Codec, b []byte) (*grid.Field, error) {
+	if cc, ok := c.(CtxCodec); ok {
+		return cc.DecompressCtx(ctx, b)
+	}
+	return c.Decompress(b)
+}
+
+// CtxDecoder is a registry decoder that accepts a context and a worker
+// budget, combining WorkersDecoder's pool knob with trace propagation.
+type CtxDecoder func(ctx context.Context, b []byte, workers int) (*grid.Field, error)
+
+var (
+	ctxDecodersMu sync.RWMutex
+	ctxDecoders   = map[string]CtxDecoder{}
+)
+
+// RegisterCtxDecoder installs a context-aware decoder for a codec family,
+// alongside (not instead of) the family's plain registration. Registering
+// a family twice panics, matching RegisterDecoder.
+func RegisterCtxDecoder(family string, d CtxDecoder) {
+	ctxDecodersMu.Lock()
+	defer ctxDecodersMu.Unlock()
+	if _, dup := ctxDecoders[family]; dup {
+		panic(fmt.Sprintf("compress: ctx decoder %q registered twice", family))
+	}
+	ctxDecoders[family] = d
+}
+
+// DecoderCtxForWorkers returns a context-aware decode function for the
+// family at the given worker budget. Families without a CtxDecoder fall
+// back to their worker-aware or plain decoder with ctx ignored — decoding
+// still works, the stream just traces as a single opaque stage.
+func DecoderCtxForWorkers(family string, workers int) (func(ctx context.Context, b []byte) (*grid.Field, error), error) {
+	ctxDecodersMu.RLock()
+	cd, ok := ctxDecoders[family]
+	ctxDecodersMu.RUnlock()
+	if ok {
+		return func(ctx context.Context, b []byte) (*grid.Field, error) { return cd(ctx, b, workers) }, nil
+	}
+	d, err := DecoderForWorkers(family, workers)
+	if err != nil {
+		return nil, err
+	}
+	return func(_ context.Context, b []byte) (*grid.Field, error) { return d(b) }, nil
+}

@@ -11,6 +11,7 @@
 package fpc
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -19,6 +20,7 @@ import (
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
 	"lrm/internal/obs"
+	"lrm/internal/obs/trace"
 )
 
 // Hoisted predictor-selection counters: the encode loop accumulates plain
@@ -129,7 +131,15 @@ func codeToLzb(c uint8) int {
 
 // Compress implements compress.Codec.
 func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
-	sp := obs.Start("fpc.compress")
+	return c.CompressCtx(context.Background(), f)
+}
+
+// CompressCtx implements compress.CtxCodec: identical stream to Compress,
+// with the span parented onto the span carried by ctx. FPC's value loop is
+// inherently serial (the predictor tables evolve value by value), so the
+// codec contributes a single span rather than shard children.
+func (c *Codec) CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error) {
+	_, sp := trace.Start(ctx, "fpc.compress")
 	defer sp.End()
 	n := f.Len()
 	p := newPredictor(c.level)
@@ -201,11 +211,18 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 // Decompress implements compress.Codec. Failures wrap the
 // compress.ErrTruncated / compress.ErrCorrupt taxonomy.
 func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
-	sp := obs.Start("fpc.decompress")
+	return c.DecompressCtx(context.Background(), data)
+}
+
+// DecompressCtx implements compress.CtxCodec.
+func (c *Codec) DecompressCtx(ctx context.Context, data []byte) (*grid.Field, error) {
+	_, sp := trace.Start(ctx, "fpc.decompress")
 	defer sp.End()
 	f, err := c.decompress(data)
 	if err != nil {
-		return nil, compress.Classify(err)
+		err = compress.Classify(err)
+		sp.SetError(err)
+		return nil, err
 	}
 	sp.SetBytes(int64(len(data)), int64(8*f.Len()))
 	return f, nil
@@ -287,6 +304,13 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 	return f, nil
 }
 
+// The codec is fully context-aware: plain Compress/Decompress delegate to
+// the Ctx variants with a background context.
+var _ compress.CtxCodec = (*Codec)(nil)
+
 func init() {
 	compress.RegisterDecoder("fpc", MustNew(16).Decompress)
+	compress.RegisterCtxDecoder("fpc", func(ctx context.Context, b []byte, _ int) (*grid.Field, error) {
+		return MustNew(16).DecompressCtx(ctx, b)
+	})
 }

@@ -19,6 +19,7 @@
 package sz
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
 	"lrm/internal/obs"
+	"lrm/internal/obs/trace"
 	"lrm/internal/parallel"
 )
 
@@ -464,11 +466,19 @@ func parsePayload(b []byte, n int) (codes []int, exact []float64, err error) {
 
 // Compress implements compress.Codec.
 func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
-	sp := obs.Start("sz.compress")
+	return c.CompressCtx(context.Background(), f)
+}
+
+// CompressCtx implements compress.CtxCodec: identical stream to Compress,
+// with the stage spans parented onto the span carried by ctx.
+func (c *Codec) CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error) {
+	ctx, sp := trace.Start(ctx, "sz.compress")
 	defer sp.End()
 	workers := c.workerCount()
 	if hasNaNOrInf(f.Data, workers) {
-		return nil, errors.New("sz: NaN/Inf not supported")
+		err := errors.New("sz: NaN/Inf not supported")
+		sp.SetError(err)
+		return nil, err
 	}
 	hdr := compress.EncodeDimsHeader(f.Dims)
 	hdr = append(hdr, byte(c.mode))
@@ -485,7 +495,7 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 		eb := c.effectiveBound(f)
 		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(eb))
 		decoded := make([]float64, f.Len())
-		qs := sp.StartChild("sz.quantize")
+		_, qs := trace.Start(ctx, "sz.quantize")
 		codes, exact := quantizeCore(f.Data, f.Dims, eb, decoded, c.predictor(), workers)
 		qs.AddItems(int64(len(codes)))
 		qs.End()
@@ -502,7 +512,7 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 				invariant.InRange(q, 0, unpredictable+1, "sz: quantization code")
 			}
 		}
-		hs := sp.StartChild("sz.huffman")
+		_, hs := trace.Start(ctx, "sz.huffman")
 		raw = buildPayload(codes, exact, workers)
 		hs.SetBytes(int64(8*len(codes)), int64(len(raw)))
 		hs.End()
@@ -528,7 +538,7 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 			}
 		}
 		decoded := make([]float64, f.Len())
-		qs := sp.StartChild("sz.quantize")
+		_, qs := trace.Start(ctx, "sz.quantize")
 		codes, exact := quantizeCore(logs, f.Dims, ebLog, decoded, c.predictor(), workers)
 		qs.AddItems(int64(len(codes)))
 		qs.End()
@@ -551,17 +561,19 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 			prev = z
 		}
 		raw = append(zb, signs...)
-		hs := sp.StartChild("sz.huffman")
+		_, hs := trace.Start(ctx, "sz.huffman")
 		raw = append(raw, buildPayload(codes, exact, workers)...)
 		hs.SetBytes(int64(8*len(codes)), int64(len(raw)))
 		hs.End()
 	}
 
-	fs := sp.StartChild("sz.flate")
+	_, fs := trace.Start(ctx, "sz.flate")
 	body, err := compress.FlateBytes(raw, 6)
 	fs.SetBytes(int64(len(raw)), int64(len(body)))
+	fs.SetError(err)
 	fs.End()
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
 	out := append(hdr, body...)
@@ -572,17 +584,24 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 // Decompress implements compress.Codec. Failures wrap the
 // compress.ErrTruncated / compress.ErrCorrupt taxonomy.
 func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
-	sp := obs.Start("sz.decompress")
+	return c.DecompressCtx(context.Background(), data)
+}
+
+// DecompressCtx implements compress.CtxCodec.
+func (c *Codec) DecompressCtx(ctx context.Context, data []byte) (*grid.Field, error) {
+	ctx, sp := trace.Start(ctx, "sz.decompress")
 	defer sp.End()
-	f, err := c.decompress(data)
+	f, err := c.decompress(ctx, data)
 	if err != nil {
-		return nil, compress.Classify(err)
+		err = compress.Classify(err)
+		sp.SetError(err)
+		return nil, err
 	}
 	sp.SetBytes(int64(len(data)), int64(8*f.Len()))
 	return f, nil
 }
 
-func (c *Codec) decompress(data []byte) (*grid.Field, error) {
+func (c *Codec) decompress(ctx context.Context, data []byte) (*grid.Field, error) {
 	dims, rest, err := compress.DecodeDimsHeader(data)
 	if err != nil {
 		return nil, err
@@ -614,9 +633,10 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 	// The dims are already parsed, so the inflated size is boundable up
 	// front: worst case ~26 bytes/point (exact value + huffman code + zero
 	// list) plus a bounded alphabet header. Anything larger is a bomb.
-	is := obs.Start("sz.inflate")
+	_, is := trace.Start(ctx, "sz.inflate")
 	raw, err := compress.InflateBytesCap(rest[18:], 32*int64(n)+(1<<20))
 	is.SetBytes(int64(len(rest)-18), int64(len(raw)))
+	is.SetError(err)
 	is.End()
 	if err != nil {
 		return nil, err
@@ -634,9 +654,10 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds := obs.Start("sz.dequantize")
+		_, ds := trace.Start(ctx, "sz.dequantize")
 		vals, err := dequantizeCore(codes, dims, eb, exact, pred4, c.workerCount())
 		ds.AddItems(int64(len(codes)))
+		ds.SetError(err)
 		ds.End()
 		if err != nil {
 			return nil, err
@@ -679,9 +700,10 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds := obs.Start("sz.dequantize")
+		_, ds := trace.Start(ctx, "sz.dequantize")
 		logs, err := dequantizeCore(codes, dims, eb, exact, pred4, c.workerCount())
 		ds.AddItems(int64(len(codes)))
+		ds.SetError(err)
 		ds.End()
 		if err != nil {
 			return nil, err
@@ -702,11 +724,18 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 	return nil, fmt.Errorf("sz: unreachable mode %d", mode)
 }
 
+// The codec is fully context-aware: plain Compress/Decompress delegate to
+// the Ctx variants with a background context.
+var _ compress.CtxCodec = (*Codec)(nil)
+
 func init() {
 	// Streams are self-describing (mode/bound come from the header), so the
 	// constructor arguments only seed a receiver; the worker budget is the
 	// one knob that matters on decode.
 	compress.RegisterWorkersDecoder("sz", func(b []byte, workers int) (*grid.Field, error) {
 		return MustNew(Abs, 1e-5).WithWorkers(workers).Decompress(b)
+	})
+	compress.RegisterCtxDecoder("sz", func(ctx context.Context, b []byte, workers int) (*grid.Field, error) {
+		return compress.DecompressCtx(ctx, MustNew(Abs, 1e-5).WithWorkers(workers), b)
 	})
 }

@@ -1,6 +1,7 @@
 package zfp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"lrm/internal/bitstream"
 	"lrm/internal/compress"
 	"lrm/internal/grid"
+	"lrm/internal/obs/trace"
 	"lrm/internal/parallel"
 )
 
@@ -139,7 +141,7 @@ func blockBudgetBits(rate uint, size int) int { return int(rate) * size }
 // sharding the block list across the pool like the variable-rate encoder.
 // Because every block costs exactly `budget` bits, shard boundaries land
 // at deterministic offsets and concatenation reproduces the serial stream.
-func (c *Codec) compressRate(f *grid.Field) ([]byte, error) {
+func (c *Codec) compressRate(ctx context.Context, f *grid.Field) ([]byte, error) {
 	rank := f.Rank()
 	size := 1 << (2 * uint(rank))
 	budget := blockBudgetBits(c.rate, size)
@@ -151,15 +153,24 @@ func (c *Codec) compressRate(f *grid.Field) ([]byte, error) {
 	var w bitstream.Writer
 	workers := c.workerCount()
 	if workers <= 1 || len(bs) < minParallelBlocks {
-		if err := c.encodeRateBlocks(f, bs, budget, &w); err != nil {
+		_, sp := trace.Start(ctx, "zfp.shard_encode")
+		sp.AddItems(int64(len(bs)))
+		err := c.encodeRateBlocks(f, bs, budget, &w)
+		sp.SetError(err)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	} else {
 		shards := parallel.Shards(workers, len(bs))
 		ws := make([]bitstream.Writer, shards)
 		errs := make([]error, shards)
-		parallel.ForShard(workers, len(bs), func(s, lo, hi int) {
+		parallel.ForShardCtx(ctx, workers, len(bs), func(ctx context.Context, s, lo, hi int) {
+			_, sp := trace.Start(ctx, "zfp.shard_encode")
+			sp.AddItems(int64(hi - lo))
 			errs[s] = c.encodeRateBlocks(f, bs[lo:hi], budget, &ws[s])
+			sp.SetError(errs[s])
+			sp.End()
 		})
 		for _, err := range errs {
 			if err != nil {
@@ -363,7 +374,7 @@ func (c *Codec) DecodeAt(data []byte, coord ...int) (float64, error) {
 // decompressRate reverses compressRate. Fixed budgets mean block i begins
 // at bit i*budget, so shards decode fully independently from their own
 // seeked readers — no serial parse stage.
-func decompressRate(dims []int, rest []byte, workers int) (*grid.Field, error) {
+func decompressRate(ctx context.Context, dims []int, rest []byte, workers int) (*grid.Field, error) {
 	if len(rest) < 1 {
 		return nil, fmt.Errorf("zfp: truncated rate header: %w", compress.ErrTruncated)
 	}
@@ -389,9 +400,13 @@ func decompressRate(dims []int, rest []byte, workers int) (*grid.Field, error) {
 	if workers <= 1 || len(bs) < minParallelBlocks {
 		s := newBlockScratch(size)
 		defer s.release()
+		_, sp := trace.Start(ctx, "zfp.shard_decode")
+		defer sp.End()
+		sp.AddItems(int64(len(bs)))
 		r := bitstream.NewReader(payload)
 		for _, b := range bs {
 			if err := decodeRateBlock(r, rate, rank, s); err != nil {
+				sp.SetError(err)
 				return nil, err
 			}
 			scatter(f, b, s.vals)
@@ -401,16 +416,21 @@ func decompressRate(dims []int, rest []byte, workers int) (*grid.Field, error) {
 
 	shards := parallel.Shards(workers, len(bs))
 	errs := make([]error, shards)
-	parallel.ForShard(workers, len(bs), func(sh, lo, hi int) {
+	parallel.ForShardCtx(ctx, workers, len(bs), func(ctx context.Context, sh, lo, hi int) {
+		_, sp := trace.Start(ctx, "zfp.shard_decode")
+		defer sp.End()
+		sp.AddItems(int64(hi - lo))
 		s := newBlockScratch(size)
 		defer s.release()
 		r := bitstream.NewReader(payload)
 		if err := r.Seek(lo * budget); err != nil {
+			sp.SetError(err)
 			errs[sh] = err
 			return
 		}
 		for bi := lo; bi < hi; bi++ {
 			if err := decodeRateBlock(r, rate, rank, s); err != nil {
+				sp.SetError(err)
 				errs[sh] = err
 				return
 			}

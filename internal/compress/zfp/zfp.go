@@ -26,6 +26,7 @@
 package zfp
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -38,6 +39,7 @@ import (
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
 	"lrm/internal/obs"
+	"lrm/internal/obs/trace"
 	"lrm/internal/parallel"
 )
 
@@ -581,13 +583,26 @@ func (s *blockScratch) release() {
 
 // Compress implements compress.Codec.
 func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
-	sp := obs.Start("zfp.compress")
+	return c.CompressCtx(context.Background(), f)
+}
+
+// CompressCtx implements compress.CtxCodec: identical stream to Compress,
+// with the codec's spans parented onto the span carried by ctx.
+func (c *Codec) CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error) {
+	ctx, sp := trace.Start(ctx, "zfp.compress")
 	defer sp.End()
 	if c.mode == modeRate {
-		return c.compressRate(f)
+		out, err := c.compressRate(ctx, f)
+		if err != nil {
+			sp.SetError(err)
+			return nil, err
+		}
+		sp.SetBytes(int64(8*f.Len()), int64(len(out)))
+		return out, nil
 	}
 	var w bitstream.Writer
-	if err := c.encodeShards(f, blocks(f.Dims), &w); err != nil {
+	if err := c.encodeShards(ctx, f, blocks(f.Dims), &w); err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
 	out := compress.EncodeDimsHeader(f.Dims)
@@ -605,17 +620,28 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 // encodeShards fans the block list out over the worker pool. Every shard
 // encodes into a private bitstream; the shards are then concatenated at
 // bit granularity in shard order, which reproduces the serial stream
-// exactly — block i's bits always land at the same offset.
-func (c *Codec) encodeShards(f *grid.Field, bs []blockShape, w *bitstream.Writer) error {
+// exactly — block i's bits always land at the same offset. A
+// zfp.shard_encode span is opened per shard on both paths, so traces show
+// the shard structure even when the pool budget forces serial execution.
+func (c *Codec) encodeShards(ctx context.Context, f *grid.Field, bs []blockShape, w *bitstream.Writer) error {
 	workers := c.workerCount()
 	if workers <= 1 || len(bs) < minParallelBlocks {
-		return c.encodeBlocks(f, bs, w)
+		_, sp := trace.Start(ctx, "zfp.shard_encode")
+		sp.AddItems(int64(len(bs)))
+		err := c.encodeBlocks(f, bs, w)
+		sp.SetError(err)
+		sp.End()
+		return err
 	}
 	shards := parallel.Shards(workers, len(bs))
 	ws := make([]bitstream.Writer, shards)
 	errs := make([]error, shards)
-	parallel.ForShard(workers, len(bs), func(s, lo, hi int) {
+	parallel.ForShardCtx(ctx, workers, len(bs), func(ctx context.Context, s, lo, hi int) {
+		_, sp := trace.Start(ctx, "zfp.shard_encode")
+		sp.AddItems(int64(hi - lo))
 		errs[s] = c.encodeBlocks(f, bs[lo:hi], &ws[s])
+		sp.SetError(errs[s])
+		sp.End()
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -841,17 +867,24 @@ const emptyEmax = math.MinInt32
 // Decompress implements compress.Codec. Failures wrap the
 // compress.ErrTruncated / compress.ErrCorrupt taxonomy.
 func (c *Codec) Decompress(data []byte) (*grid.Field, error) {
-	sp := obs.Start("zfp.decompress")
+	return c.DecompressCtx(context.Background(), data)
+}
+
+// DecompressCtx implements compress.CtxCodec.
+func (c *Codec) DecompressCtx(ctx context.Context, data []byte) (*grid.Field, error) {
+	ctx, sp := trace.Start(ctx, "zfp.decompress")
 	defer sp.End()
-	f, err := c.decompress(data)
+	f, err := c.decompress(ctx, data)
 	if err != nil {
-		return nil, compress.Classify(err)
+		err = compress.Classify(err)
+		sp.SetError(err)
+		return nil, err
 	}
 	sp.SetBytes(int64(len(data)), int64(8*f.Len()))
 	return f, nil
 }
 
-func (c *Codec) decompress(data []byte) (*grid.Field, error) {
+func (c *Codec) decompress(ctx context.Context, data []byte) (*grid.Field, error) {
 	dims, rest, err := compress.DecodeDimsHeader(data)
 	if err != nil {
 		return nil, err
@@ -879,7 +912,7 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 		}
 		rest = rest[9:]
 	case modeRate:
-		return decompressRate(dims, rest[1:], c.workerCount())
+		return decompressRate(ctx, dims, rest[1:], c.workerCount())
 	default:
 		return nil, fmt.Errorf("zfp: unknown mode %d in stream: %w", mode, compress.ErrHeader)
 	}
@@ -905,9 +938,24 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 		// fall back to the serial per-block scratch rather than failing.
 		nbElems := uint64(len(bs)) * uint64(size)
 		if compress.CheckedAlloc("zfp: parsed blocks", nbElems, nbElems, 8) == nil {
-			return c.decompressParallel(f, bs, r, mode, precision, tolerance, rank, size, workers)
+			return c.decompressParallel(ctx, f, bs, r, mode, precision, tolerance, rank, size, workers)
 		}
 	}
+	if err := c.decodeSerial(ctx, f, bs, r, mode, precision, tolerance, rank, size); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// decodeSerial runs the interleaved parse + reconstruct loop on the calling
+// goroutine under a single zfp.shard_decode span, mirroring the shard spans
+// of the parallel path so chunked traces expose the decode structure at any
+// worker budget.
+func (c *Codec) decodeSerial(ctx context.Context, f *grid.Field, bs []blockShape, r *bitstream.Reader, mode byte, precision uint, tolerance float64, rank, size int) (err error) {
+	_, sp := trace.Start(ctx, "zfp.shard_decode")
+	defer sp.End()
+	defer func() { sp.SetError(err) }()
+	sp.AddItems(int64(len(bs)))
 
 	s := newBlockScratch(size)
 	defer s.release()
@@ -920,9 +968,9 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 				invariant.InRange(b.size[d], 1, 5, "zfp: decode block extent")
 			}
 		}
-		nonEmpty, err := r.ReadBit()
-		if err != nil {
-			return nil, fmt.Errorf("zfp: truncated stream: %w", err)
+		nonEmpty, rerr := r.ReadBit()
+		if rerr != nil {
+			return fmt.Errorf("zfp: truncated stream: %w", rerr)
 		}
 		if nonEmpty == 0 {
 			for i := range s.vals {
@@ -931,17 +979,17 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 			scatter(f, b, s.vals)
 			continue
 		}
-		e, err := r.ReadBits(15)
-		if err != nil {
-			return nil, fmt.Errorf("zfp: truncated exponent: %w", err)
+		e, rerr := r.ReadBits(15)
+		if rerr != nil {
+			return fmt.Errorf("zfp: truncated exponent: %w", rerr)
 		}
 		emax := int(e) - 16384
 		if rec {
 			nBlocks++
 			t0 = time.Now()
 		}
-		if err := decodePlanes(r, s.nb, size, kminFor(mode, precision, tolerance, emax)); err != nil {
-			return nil, fmt.Errorf("zfp: truncated plane: %w", err)
+		if derr := decodePlanes(r, s.nb, size, kminFor(mode, precision, tolerance, emax)); derr != nil {
+			return fmt.Errorf("zfp: truncated plane: %w", derr)
 		}
 		if rec {
 			now := time.Now()
@@ -957,7 +1005,7 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 		obs.StageAdd("zfp.plane_decode", planeNs, nBlocks)
 		obs.StageAdd("zfp.inv_transform", invNs, nBlocks)
 	}
-	return f, nil
+	return nil
 }
 
 // decompressParallel splits decoding in two stages: the bit-serial stream
@@ -966,7 +1014,7 @@ func (c *Codec) decompress(data []byte) (*grid.Field, error) {
 // coefficients, then the pool runs the independent inverse transforms and
 // scatters. Scatter regions are disjoint by construction, so workers never
 // write the same sample.
-func (c *Codec) decompressParallel(f *grid.Field, bs []blockShape, r *bitstream.Reader, mode byte, precision uint, tolerance float64, rank, size, workers int) (*grid.Field, error) {
+func (c *Codec) decompressParallel(ctx context.Context, f *grid.Field, bs []blockShape, r *bitstream.Reader, mode byte, precision uint, tolerance float64, rank, size, workers int) (*grid.Field, error) {
 	nbAll := parallel.Uint64s(len(bs) * size)
 	defer parallel.PutUint64s(nbAll)
 	emaxs := parallel.Ints(len(bs))
@@ -1010,7 +1058,10 @@ func (c *Codec) decompressParallel(f *grid.Field, bs []blockShape, r *bitstream.
 		obs.StageAdd("zfp.plane_decode", planeNs, nBlocks)
 	}
 
-	parallel.ForShard(workers, len(bs), func(_, lo, hi int) {
+	parallel.ForShardCtx(ctx, workers, len(bs), func(ctx context.Context, _, lo, hi int) {
+		_, sp := trace.Start(ctx, "zfp.shard_decode")
+		defer sp.End()
+		sp.AddItems(int64(hi - lo))
 		s := newBlockScratch(size)
 		defer s.release()
 		var invNs, n int64
@@ -1039,8 +1090,15 @@ func (c *Codec) decompressParallel(f *grid.Field, bs []blockShape, r *bitstream.
 	return f, nil
 }
 
+// The codec is fully context-aware: plain Compress/Decompress delegate to
+// the Ctx variants with a background context.
+var _ compress.CtxCodec = (*Codec)(nil)
+
 func init() {
 	compress.RegisterWorkersDecoder("zfp", func(b []byte, workers int) (*grid.Field, error) {
 		return MustNew(16).WithWorkers(workers).Decompress(b)
+	})
+	compress.RegisterCtxDecoder("zfp", func(ctx context.Context, b []byte, workers int) (*grid.Field, error) {
+		return compress.DecompressCtx(ctx, MustNew(16).WithWorkers(workers), b)
 	})
 }

@@ -2,15 +2,18 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"strconv"
 
 	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/mpi"
 	"lrm/internal/obs"
+	"lrm/internal/obs/trace"
 	"lrm/internal/parallel"
 )
 
@@ -39,13 +42,24 @@ const chunkedMagic = "LRMC"
 // siblings. Preconditioning applies per chunk: one-base on a chunk is the
 // paper's multi-base picture, one local base per sub-domain.
 func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
-	sp := obs.Start("core.compress_chunked")
+	return CompressChunkedCtx(context.Background(), f, opts, chunks)
+}
+
+// CompressChunkedCtx is CompressChunked with trace propagation: each chunk's
+// core.chunk_compress span parents onto the container span carried into the
+// pool workers, and the chunk's codec shards nest under the chunk in turn.
+func CompressChunkedCtx(ctx context.Context, f *grid.Field, opts Options, chunks int) (*Result, error) {
+	ctx, sp := trace.Start(ctx, "core.compress_chunked")
 	defer sp.End()
 	if opts.DataCodec == nil {
-		return nil, errors.New("core: DataCodec is required")
+		err := errors.New("core: DataCodec is required")
+		sp.SetError(err)
+		return nil, err
 	}
 	if chunks < 1 || chunks > f.Dims[0] {
-		return nil, fmt.Errorf("core: %d chunks cannot split leading extent %d", chunks, f.Dims[0])
+		err := fmt.Errorf("core: %d chunks cannot split leading extent %d", chunks, f.Dims[0])
+		sp.SetError(err)
+		return nil, err
 	}
 
 	slab := 1
@@ -66,17 +80,21 @@ func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
 		err error
 	}
 	outs := make([]chunkOut, chunks)
-	parallel.For(workers, chunks, func(c int) {
-		csp := obs.Start("core.chunk_compress")
+	parallel.ForCtx(ctx, workers, chunks, func(ctx context.Context, c int) {
+		ctx, restore := trace.WithLabels(ctx, "stage", "chunk_compress", "chunk", strconv.Itoa(c))
+		defer restore()
+		cctx, csp := trace.Start(ctx, "core.chunk_compress")
 		defer csp.End()
 		lo, hi := mpi.Slab1D(f.Dims[0], chunks, c)
 		dims := append([]int{hi - lo}, f.Dims[1:]...)
 		sub, err := grid.FromData(f.Data[lo*slab:hi*slab], dims...)
 		if err != nil {
+			csp.SetError(err)
 			outs[c] = chunkOut{err: err}
 			return
 		}
-		res, err := Compress(sub, inner)
+		res, err := CompressCtx(cctx, sub, inner)
+		csp.SetError(err)
 		outs[c] = chunkOut{res: res, err: err}
 		if res != nil {
 			csp.SetBytes(int64(8*sub.Len()), int64(len(res.Archive)))
@@ -93,7 +111,9 @@ func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
 	total := &Result{OriginalBytes: 8 * f.Len()}
 	for c, o := range outs {
 		if o.err != nil {
-			return nil, fmt.Errorf("core: chunk %d: %w", c, o.err)
+			err := fmt.Errorf("core: chunk %d: %w", c, o.err)
+			sp.SetError(err)
+			return nil, err
 		}
 		writeUvarint(&buf, uint64(chunkCRC(c, o.res.Archive)))
 		writeBytes(&buf, o.res.Archive)
@@ -124,8 +144,8 @@ func chunkCRC(idx int, archive []byte) uint32 {
 // and the surviving chunks' regions are returned (failed regions stay
 // zero). A container header too damaged to frame any chunk fails outright
 // in both modes.
-func chunkedDecode(archive []byte, workers int, degraded bool) (*Partial, error) {
-	sp := obs.Start("core.decompress_chunked")
+func chunkedDecode(ctx context.Context, archive []byte, workers int, degraded bool) (*Partial, error) {
+	ctx, sp := trace.Start(ctx, "core.decompress_chunked")
 	defer sp.End()
 	r := &reader{buf: archive}
 	if string(r.take(4)) != chunkedMagic {
@@ -229,18 +249,22 @@ func chunkedDecode(archive []byte, workers int, degraded bool) (*Partial, error)
 	running := min(workers, chunks)
 	inner := max(1, workers/running)
 	errs := make([]error, chunks)
-	parallel.For(workers, chunks, func(c int) {
-		csp := obs.Start("core.chunk_decode")
+	parallel.ForCtx(ctx, workers, chunks, func(ctx context.Context, c int) {
+		ctx, restore := trace.WithLabels(ctx, "stage", "chunk_decode", "chunk", strconv.Itoa(c))
+		defer restore()
+		cctx, csp := trace.Start(ctx, "core.chunk_decode")
 		defer csp.End()
 		if recs[c].err != nil {
+			csp.SetError(recs[c].err)
 			errs[c] = recs[c].err
 			return
 		}
 		// Chunk records are always single archives (CompressChunked stores
 		// Compress output); refusing nested containers here keeps a hostile
 		// archive from driving recursive header-sized allocations.
-		f, err := decompressSingle(recs[c].archive, inner)
+		f, err := decompressSingle(cctx, recs[c].archive, inner)
 		if err != nil {
+			csp.SetError(err)
 			errs[c] = err
 			return
 		}
@@ -248,6 +272,7 @@ func chunkedDecode(archive []byte, workers int, degraded bool) (*Partial, error)
 		if f.Dims[0] != hi-lo || f.Len() != (hi-lo)*slab {
 			errs[c] = fmt.Errorf("chunk shape %v does not fit slab [%d,%d): %w",
 				f.Dims, lo, hi, compress.ErrCorrupt)
+			csp.SetError(errs[c])
 			return
 		}
 		copy(out.Data[lo*slab:hi*slab], f.Data)
@@ -273,7 +298,9 @@ func chunkedDecode(archive []byte, workers int, degraded bool) (*Partial, error)
 			continue
 		}
 		if !degraded {
-			return nil, fmt.Errorf("core: chunk %d: %w", c, err)
+			werr := fmt.Errorf("core: chunk %d: %w", c, err)
+			sp.SetError(werr)
+			return nil, werr
 		}
 		lo, hi := mpi.Slab1D(dims[0], chunks, c)
 		p.Errors = append(p.Errors, ChunkError{Chunk: c, Lo: lo, Hi: hi, Err: compress.Classify(err)})

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lrm/internal/compress"
 	"lrm/internal/compress/fpc"
 	"lrm/internal/compress/sz"
 	"lrm/internal/compress/zfp"
+	"lrm/internal/grid"
 )
 
 // codecBase strips the parameterisation from a codec name:
@@ -14,13 +16,13 @@ import (
 // needs to know the codec family.
 func codecBase(name string) string { return compress.CodecFamily(name) }
 
-// decoderFor returns a decompression function for a codec family from the
-// shared registry, bound to the given worker budget (families without a
-// worker-aware decoder fall back to their serial one). Codec packages
-// register themselves at init; the imports below (for PaperCodecs) pull
-// every built-in family in.
-func decoderFor(family string, workers int) (compress.Decoder, error) {
-	return compress.DecoderForWorkers(family, workers)
+// decoderFor returns a context-aware decompression function for a codec
+// family from the shared registry, bound to the given worker budget
+// (families without a ctx or worker-aware decoder fall back with ctx
+// ignored / serial decode). Codec packages register themselves at init; the
+// imports below (for PaperCodecs) pull every built-in family in.
+func decoderFor(family string, workers int) (func(ctx context.Context, b []byte) (*grid.Field, error), error) {
+	return compress.DecoderCtxForWorkers(family, workers)
 }
 
 // PaperCodecs returns the paper's standard codec configurations

@@ -16,6 +16,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	"lrm/internal/grid"
 	"lrm/internal/invariant"
 	"lrm/internal/obs"
+	"lrm/internal/obs/trace"
 	"lrm/internal/parallel"
 	"lrm/internal/reduce"
 )
@@ -100,8 +102,26 @@ const (
 
 // Compress runs the pipeline on f.
 func Compress(f *grid.Field, opts Options) (*Result, error) {
-	sp := obs.Start("core.compress")
+	return CompressCtx(context.Background(), f, opts)
+}
+
+// CompressCtx is Compress with trace propagation: the pipeline's spans
+// (core.compress and its reduce/rep_store/delta children, plus whatever the
+// codecs open) parent onto the span carried by ctx. Archives are
+// byte-identical to Compress — ctx carries observability only.
+func CompressCtx(ctx context.Context, f *grid.Field, opts Options) (*Result, error) {
+	ctx, sp := trace.Start(ctx, "core.compress")
 	defer sp.End()
+	res, err := compressCtx(ctx, f, opts)
+	if err != nil {
+		sp.SetError(err)
+		return nil, err
+	}
+	sp.SetBytes(int64(res.OriginalBytes), int64(len(res.Archive)))
+	return res, nil
+}
+
+func compressCtx(ctx context.Context, f *grid.Field, opts Options) (*Result, error) {
 	if opts.DataCodec == nil {
 		return nil, errors.New("core: DataCodec is required")
 	}
@@ -114,7 +134,7 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	if opts.Model == nil {
 		buf.WriteByte(modeDirect)
 		writeString(&buf, codecBase(opts.DataCodec.Name()))
-		stream, err := opts.DataCodec.Compress(f)
+		stream, err := compress.CompressCtx(ctx, opts.DataCodec, f)
 		if err != nil {
 			return nil, fmt.Errorf("core: direct compression: %w", err)
 		}
@@ -123,7 +143,6 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		if invariant.Enabled {
 			assertEndToEndBound(f, opts.DataCodec, res.Archive)
 		}
-		sp.SetBytes(int64(res.OriginalBytes), int64(len(res.Archive)))
 		return res, nil
 	}
 
@@ -133,8 +152,9 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	}
 
 	// Reduction phase.
-	rs := sp.StartChild("core.reduce")
+	_, rs := trace.Start(ctx, "core.reduce")
 	rep, err := opts.Model.Reduce(f)
+	rs.SetError(err)
 	rs.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: reduce: %w", err)
@@ -146,8 +166,9 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	// taken against the same perturbed reconstruction or the error would
 	// double-count. Compress the rep first, then reconstruct from the
 	// decompressed rep to compute the delta.
-	ss := sp.StartChild("core.rep_store")
-	repValStream, storedRep, err := storeRepValues(rep, opts.DataCodec)
+	ssCtx, ss := trace.Start(ctx, "core.rep_store")
+	repValStream, storedRep, err := storeRepValues(ssCtx, rep, opts.DataCodec)
+	ss.SetError(err)
 	ss.End()
 	if err != nil {
 		return nil, err
@@ -156,19 +177,21 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: reconstruct stored rep: %w", err)
 	}
-	dsp := sp.StartChild("core.delta")
+	dspCtx, dsp := trace.Start(ctx, "core.delta")
 	delta, err := f.Sub(recon)
 	if err != nil {
+		dsp.SetError(err)
 		dsp.End()
 		return nil, err
 	}
-	deltaStream, err := deltaCodec.Compress(delta)
+	deltaStream, err := compress.CompressCtx(dspCtx, deltaCodec, delta)
 	dsp.SetBytes(int64(8*f.Len()), int64(len(deltaStream)))
+	dsp.SetError(err)
 	dsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: delta compression: %w", err)
 	}
-	if sp != nil {
+	if obs.Enabled() {
 		var dd, ff float64
 		for _, v := range delta.Data {
 			dd += v * v
@@ -209,7 +232,6 @@ func Compress(f *grid.Field, opts Options) (*Result, error) {
 		// assert against f is the delta codec's bound on the delta field.
 		assertEndToEndBoundEps(f, deltaCodec, delta, res.Archive)
 	}
-	sp.SetBytes(int64(res.OriginalBytes), int64(len(res.Archive)))
 	return res, nil
 }
 
@@ -263,7 +285,7 @@ func boundWithSlack(eps float64, f *grid.Field) float64 {
 // storeRepValues compresses the representation's numeric payload with the
 // codec and returns both the stream and the representation as it will look
 // after decompression (meta intact, values re-read from the codec).
-func storeRepValues(rep *reduce.Rep, codec compress.Codec) (stream []byte, stored *reduce.Rep, err error) {
+func storeRepValues(ctx context.Context, rep *reduce.Rep, codec compress.Codec) (stream []byte, stored *reduce.Rep, err error) {
 	cp := *rep
 	if len(rep.Values) == 0 {
 		return nil, &cp, nil
@@ -272,11 +294,11 @@ func storeRepValues(rep *reduce.Rep, codec compress.Codec) (stream []byte, store
 	if err != nil {
 		return nil, nil, err
 	}
-	stream, err = codec.Compress(vf)
+	stream, err = compress.CompressCtx(ctx, codec, vf)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: rep compression: %w", err)
 	}
-	back, err := codec.Decompress(stream)
+	back, err := compress.DecompressCtx(ctx, codec, stream)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: rep verify: %w", err)
 	}
@@ -301,13 +323,25 @@ func Decompress(archive []byte) (*grid.Field, error) {
 	return DecompressWithOpts(archive, DecompressOpts{})
 }
 
+// DecompressCtx is Decompress with trace propagation.
+func DecompressCtx(ctx context.Context, archive []byte) (*grid.Field, error) {
+	return DecompressWithOptsCtx(ctx, archive, DecompressOpts{})
+}
+
 // DecompressWithOpts is Decompress with an explicit worker budget.
 func DecompressWithOpts(archive []byte, opts DecompressOpts) (*grid.Field, error) {
-	sp := obs.Start("core.decompress")
+	return DecompressWithOptsCtx(context.Background(), archive, opts)
+}
+
+// DecompressWithOptsCtx is DecompressWithOpts with trace propagation.
+func DecompressWithOptsCtx(ctx context.Context, archive []byte, opts DecompressOpts) (*grid.Field, error) {
+	ctx, sp := trace.Start(ctx, "core.decompress")
 	defer sp.End()
-	f, err := decompress(archive, opts.Parallel.Resolve())
+	f, err := decompress(ctx, archive, opts.Parallel.Resolve())
 	if err != nil {
-		return nil, compress.Classify(err)
+		err = compress.Classify(err)
+		sp.SetError(err)
+		return nil, err
 	}
 	sp.SetBytes(int64(len(archive)), int64(8*f.Len()))
 	return f, nil
@@ -315,19 +349,19 @@ func DecompressWithOpts(archive []byte, opts DecompressOpts) (*grid.Field, error
 
 // decompress dispatches on the container magic with a resolved worker
 // budget.
-func decompress(archive []byte, workers int) (*grid.Field, error) {
+func decompress(ctx context.Context, archive []byte, workers int) (*grid.Field, error) {
 	if len(archive) >= 4 && string(archive[:4]) == chunkedMagic {
-		p, err := chunkedDecode(archive, workers, false)
+		p, err := chunkedDecode(ctx, archive, workers, false)
 		if err != nil {
 			return nil, err
 		}
 		return p.Field, nil
 	}
-	return decompressSingle(archive, workers)
+	return decompressSingle(ctx, archive, workers)
 }
 
 // decompressSingle decodes one LRM1 archive.
-func decompressSingle(archive []byte, workers int) (*grid.Field, error) {
+func decompressSingle(ctx context.Context, archive []byte, workers int) (*grid.Field, error) {
 	r := &reader{buf: archive}
 	if string(r.take(4)) != magic {
 		if len(archive) < 4 {
@@ -351,7 +385,7 @@ func decompressSingle(archive []byte, workers int) (*grid.Field, error) {
 		if r.err != nil {
 			return nil, fmt.Errorf("core: corrupt archive: %w", r.err)
 		}
-		return dataDecode(stream)
+		return dataDecode(ctx, stream)
 
 	case modePreconditoned:
 		modelName := r.string()
@@ -403,7 +437,7 @@ func decompressSingle(archive []byte, workers int) (*grid.Field, error) {
 		}
 		rep := &reduce.Rep{Model: modelName, Dims: dims, Meta: meta}
 		if len(repValStream) > 0 {
-			vf, err := dataDecode(repValStream)
+			vf, err := dataDecode(ctx, repValStream)
 			if err != nil {
 				return nil, fmt.Errorf("core: rep values: %w", err)
 			}
@@ -417,7 +451,7 @@ func decompressSingle(archive []byte, workers int) (*grid.Field, error) {
 		if err != nil {
 			return nil, err
 		}
-		delta, err := deltaDecode(deltaStream)
+		delta, err := deltaDecode(ctx, deltaStream)
 		if err != nil {
 			return nil, fmt.Errorf("core: delta: %w", err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lrm/internal/compress"
@@ -57,10 +58,24 @@ func DecompressChunkedPartial(archive []byte) (*Partial, error) {
 	return DecompressChunkedPartialWithOpts(archive, DecompressOpts{})
 }
 
+// DecompressChunkedPartialCtx is DecompressChunkedPartial with trace
+// propagation.
+func DecompressChunkedPartialCtx(ctx context.Context, archive []byte) (*Partial, error) {
+	return DecompressChunkedPartialWithOptsCtx(ctx, archive, DecompressOpts{})
+}
+
 // DecompressChunkedPartialWithOpts is DecompressChunkedPartial with an
 // explicit worker budget.
 func DecompressChunkedPartialWithOpts(archive []byte, opts DecompressOpts) (*Partial, error) {
-	p, err := chunkedDecode(archive, opts.Parallel.Resolve(), true)
+	return DecompressChunkedPartialWithOptsCtx(context.Background(), archive, opts)
+}
+
+// DecompressChunkedPartialWithOptsCtx is the fully-explicit variant: worker
+// budget plus trace propagation. Failed chunks' spans carry their decode
+// error, so a degraded recovery always lands in the trace ring's errored
+// pool.
+func DecompressChunkedPartialWithOptsCtx(ctx context.Context, archive []byte, opts DecompressOpts) (*Partial, error) {
+	p, err := chunkedDecode(ctx, archive, opts.Parallel.Resolve(), true)
 	if err != nil {
 		return nil, compress.Classify(err)
 	}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
 	"lrm/internal/compress"
 	"lrm/internal/grid"
+	"lrm/internal/obs/trace"
 	"lrm/internal/parallel"
 )
 
@@ -48,6 +50,15 @@ func (r *SeriesResult) Ratio() float64 {
 // near-exact, not bit-exact: (f - prev) + prev re-rounds in floating
 // point. Use per-frame Compress when bit-exactness matters.
 func CompressSeries(snaps []*grid.Field, opts Options) (*SeriesResult, error) {
+	return CompressSeriesCtx(context.Background(), snaps, opts)
+}
+
+// CompressSeriesCtx is CompressSeries with trace propagation: every frame's
+// pipeline spans nest under one core.compress_series root.
+func CompressSeriesCtx(ctx context.Context, snaps []*grid.Field, opts Options) (res *SeriesResult, err error) {
+	ctx, sp := trace.Start(ctx, "core.compress_series")
+	defer sp.End()
+	defer func() { sp.SetError(err) }()
 	if len(snaps) == 0 {
 		return nil, errors.New("core: empty series")
 	}
@@ -64,10 +75,10 @@ func CompressSeries(snaps []*grid.Field, opts Options) (*SeriesResult, error) {
 	writeUvarint(&buf, uint64(len(snaps)))
 	writeString(&buf, codecBase(deltaCodec.Name()))
 
-	res := &SeriesResult{}
+	res = &SeriesResult{}
 
 	// Frame 0: the full pipeline.
-	first, err := Compress(snaps[0], opts)
+	first, err := CompressCtx(ctx, snaps[0], opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: series frame 0: %w", err)
 	}
@@ -76,7 +87,7 @@ func CompressSeries(snaps []*grid.Field, opts Options) (*SeriesResult, error) {
 	res.OriginalBytes += 8 * snaps[0].Len()
 
 	// The rolling reconstruction the decoder will hold.
-	prev, err := Decompress(first.Archive)
+	prev, err := DecompressCtx(ctx, first.Archive)
 	if err != nil {
 		return nil, fmt.Errorf("core: series frame 0 verify: %w", err)
 	}
@@ -88,7 +99,7 @@ func CompressSeries(snaps []*grid.Field, opts Options) (*SeriesResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: series frame %d: %w", i, err)
 		}
-		stream, err := deltaCodec.Compress(delta)
+		stream, err := compress.CompressCtx(ctx, deltaCodec, delta)
 		if err != nil {
 			return nil, fmt.Errorf("core: series frame %d: %w", i, err)
 		}
@@ -96,7 +107,7 @@ func CompressSeries(snaps []*grid.Field, opts Options) (*SeriesResult, error) {
 		res.FrameBytes = append(res.FrameBytes, len(stream))
 
 		// Advance the rolling reconstruction exactly as the decoder will.
-		dhat, err := deltaCodec.Decompress(stream)
+		dhat, err := compress.DecompressCtx(ctx, deltaCodec, stream)
 		if err != nil {
 			return nil, fmt.Errorf("core: series frame %d verify: %w", i, err)
 		}
@@ -105,20 +116,32 @@ func CompressSeries(snaps []*grid.Field, opts Options) (*SeriesResult, error) {
 		}
 	}
 	res.Archive = buf.Bytes()
+	sp.SetBytes(int64(res.OriginalBytes), int64(len(res.Archive)))
+	sp.AddItems(int64(len(snaps)))
 	return res, nil
 }
 
 // DecompressSeries reverses CompressSeries, returning every frame.
 // Failures wrap compress.ErrTruncated / compress.ErrCorrupt.
 func DecompressSeries(archive []byte) ([]*grid.Field, error) {
-	frames, err := decompressSeries(archive)
+	return DecompressSeriesCtx(context.Background(), archive)
+}
+
+// DecompressSeriesCtx is DecompressSeries with trace propagation.
+func DecompressSeriesCtx(ctx context.Context, archive []byte) ([]*grid.Field, error) {
+	ctx, sp := trace.Start(ctx, "core.decompress_series")
+	defer sp.End()
+	frames, err := decompressSeries(ctx, archive)
 	if err != nil {
-		return nil, compress.Classify(err)
+		err = compress.Classify(err)
+		sp.SetError(err)
+		return nil, err
 	}
+	sp.AddItems(int64(len(frames)))
 	return frames, nil
 }
 
-func decompressSeries(archive []byte) ([]*grid.Field, error) {
+func decompressSeries(ctx context.Context, archive []byte) ([]*grid.Field, error) {
 	r := &reader{buf: archive}
 	if string(r.take(4)) != seriesMagic {
 		if len(archive) < 4 {
@@ -150,7 +173,7 @@ func decompressSeries(archive []byte) ([]*grid.Field, error) {
 	if r.err != nil {
 		return nil, fmt.Errorf("core: truncated series frame 0: %w", r.err)
 	}
-	cur, err := decompress(firstArchive, workers)
+	cur, err := decompress(ctx, firstArchive, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: series frame 0: %w", err)
 	}
@@ -161,7 +184,7 @@ func decompressSeries(archive []byte) ([]*grid.Field, error) {
 		if r.err != nil {
 			return nil, fmt.Errorf("core: truncated series frame %d: %w", i, r.err)
 		}
-		delta, err := deltaDecode(stream)
+		delta, err := deltaDecode(ctx, stream)
 		if err != nil {
 			return nil, fmt.Errorf("core: series frame %d: %w", i, err)
 		}

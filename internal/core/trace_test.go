@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"lrm/internal/compress/zfp"
+	"lrm/internal/obs"
+	"lrm/internal/obs/trace"
+	"lrm/internal/parallel"
+)
+
+// withFullObs enables both observability switches for one test and restores
+// registry, ring, and switch state afterwards.
+func withFullObs(t *testing.T) {
+	t.Helper()
+	pm := obs.SetEnabled(true)
+	pt := trace.SetEnabled(true)
+	obs.Reset()
+	trace.Reset()
+	t.Cleanup(func() {
+		obs.Reset()
+		trace.Reset()
+		obs.SetEnabled(pm)
+		trace.SetEnabled(pt)
+	})
+}
+
+// TestChunkedTraceNesting pins the acceptance-level span topology: chunk
+// spans nest under the chunked-container root, the per-chunk pipeline nests
+// under its chunk, and codec worker-shard spans nest under the chunk's
+// codec span — even though the work crosses the bounded pool twice.
+func TestChunkedTraceNesting(t *testing.T) {
+	withFullObs(t)
+	f := heatField(t)
+	opts := Options{DataCodec: zfp.MustNew(16), Parallel: parallel.Config{Workers: 4}}
+	res, err := CompressChunkedCtx(context.Background(), f, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressWithOptsCtx(context.Background(), res.Archive,
+		DecompressOpts{Parallel: parallel.Config{Workers: 4}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr *trace.Trace
+	for _, cand := range trace.Snapshot() {
+		if cand.Root == "core.compress_chunked" {
+			tr = cand
+		}
+	}
+	if tr == nil {
+		t.Fatal("no core.compress_chunked trace retained")
+	}
+
+	byID := map[uint64]trace.SpanRecord{}
+	var rootID uint64
+	for _, s := range tr.Spans {
+		byID[s.SpanID] = s
+		if s.ParentID == 0 {
+			rootID = s.SpanID
+		}
+	}
+	// ancestor walks up the parent chain looking for a span name.
+	ancestor := func(s trace.SpanRecord, name string) bool {
+		for s.ParentID != 0 {
+			p, ok := byID[s.ParentID]
+			if !ok {
+				return false
+			}
+			if p.Name == name {
+				return true
+			}
+			s = p
+		}
+		return false
+	}
+
+	chunks, shards := 0, 0
+	for _, s := range tr.Spans {
+		switch s.Name {
+		case "core.chunk_compress":
+			chunks++
+			if s.ParentID != rootID {
+				t.Errorf("chunk span %d parents onto %d, want the container root %d",
+					s.SpanID, s.ParentID, rootID)
+			}
+		case "zfp.shard_encode":
+			shards++
+			if !ancestor(s, "core.chunk_compress") {
+				t.Errorf("shard span %d has no core.chunk_compress ancestor", s.SpanID)
+			}
+		case "core.compress":
+			if !ancestor(s, "core.chunk_compress") {
+				t.Errorf("per-chunk pipeline span %d not nested under its chunk", s.SpanID)
+			}
+		}
+	}
+	if chunks != 2 {
+		t.Errorf("got %d chunk spans, want 2", chunks)
+	}
+	if shards == 0 {
+		t.Error("no worker-shard spans recorded under the chunks")
+	}
+
+	// The decode side must mirror the topology: the public wrapper's
+	// core.decompress root contains the container span, which contains the
+	// per-chunk decode spans.
+	var dtr *trace.Trace
+	for _, cand := range trace.Snapshot() {
+		if cand.Root == "core.decompress" {
+			dtr = cand
+		}
+	}
+	if dtr == nil {
+		t.Fatal("no core.decompress trace retained")
+	}
+	container, decodes := 0, 0
+	for _, s := range dtr.Spans {
+		switch s.Name {
+		case "core.decompress_chunked":
+			container++
+		case "core.chunk_decode":
+			decodes++
+		}
+	}
+	if container != 1 {
+		t.Errorf("got %d container decode spans, want 1", container)
+	}
+	if decodes != 2 {
+		t.Errorf("got %d chunk decode spans, want 2", decodes)
+	}
+}
+
+// TestExemplarResolvesToRetainedTrace pins the metrics↔trace join: the
+// latency histogram's exemplar comment in the Prometheus exposition names a
+// trace ID that a Snapshot still holds and the Chrome export contains.
+func TestExemplarResolvesToRetainedTrace(t *testing.T) {
+	withFullObs(t)
+	f := heatField(t)
+	opts := Options{DataCodec: zfp.MustNew(16), Parallel: parallel.Config{Workers: 2}}
+	if _, err := CompressCtx(context.Background(), f, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	var prom bytes.Buffer
+	if err := obs.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	var exemplarID string
+	for _, line := range strings.Split(prom.String(), "\n") {
+		if !strings.HasPrefix(line, "# exemplar") || !strings.Contains(line, "core_compress") {
+			continue
+		}
+		_, rest, ok := strings.Cut(line, `trace_id="`)
+		if !ok {
+			continue
+		}
+		exemplarID, _, _ = strings.Cut(rest, `"`)
+		break
+	}
+	if exemplarID == "" {
+		t.Fatalf("no core.compress exemplar in the exposition:\n%s", prom.String())
+	}
+
+	traces := trace.Snapshot()
+	found := false
+	for _, tr := range traces {
+		if tr.IDString() == exemplarID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exemplar trace %s not retained by the ring", exemplarID)
+	}
+	var chrome bytes.Buffer
+	if err := trace.WriteChromeTrace(&chrome, traces); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), exemplarID) {
+		t.Errorf("exemplar trace %s missing from the Chrome export", exemplarID)
+	}
+}
+
+// TestTracingPreservesStreams pins the byte-identical guarantee: enabling
+// metrics and tracing must not change a single output byte, for both the
+// single-field pipeline and the chunked container.
+func TestTracingPreservesStreams(t *testing.T) {
+	f := heatField(t)
+	opts := Options{DataCodec: zfp.MustNew(16), Parallel: parallel.Config{Workers: 4}}
+
+	pm := obs.SetEnabled(false)
+	pt := trace.SetEnabled(false)
+	plain, err := Compress(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainChunked, err := CompressChunked(f, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.SetEnabled(true)
+	trace.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.Reset()
+		trace.Reset()
+		obs.SetEnabled(pm)
+		trace.SetEnabled(pt)
+	})
+
+	traced, err := CompressCtx(context.Background(), f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracedChunked, err := CompressChunkedCtx(context.Background(), f, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Archive, traced.Archive) {
+		t.Error("tracing changed the single-field archive bytes")
+	}
+	if !bytes.Equal(plainChunked.Archive, tracedChunked.Archive) {
+		t.Error("tracing changed the chunked archive bytes")
+	}
+}

@@ -1,8 +1,12 @@
-// Package obsspan exercises the obsspan rule: spans opened by obs.Start or
-// StartChild must be ended on every return path.
+// Package obsspan exercises the obsspan rule: spans opened by obs.Start,
+// StartChild, or the two-value trace.Start must be ended on every return
+// path, and trace.Start must not detach from a context already in reach.
 package obsspan
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 var errFail = errors.New("fail")
 
@@ -106,3 +110,71 @@ func closureScopes() {
 }
 
 func run(f func()) { f() }
+
+// Minimal stand-in for lrm/internal/obs/trace: Start takes a context and
+// returns (ctx, span), the two-value shape the trace half of the rule
+// matches on.
+type tracer struct{}
+
+func (tracer) Start(ctx context.Context, name string) (context.Context, *span) {
+	return ctx, &span{}
+}
+
+var trace tracer
+
+// goodTraceDefer ends the two-value span via defer.
+func goodTraceDefer(ctx context.Context, fail bool) error {
+	ctx, sp := trace.Start(ctx, "good.trace")
+	defer sp.End()
+	_ = ctx
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// badTraceEarly leaks the two-value span on the error path.
+func badTraceEarly(ctx context.Context, fail bool) error {
+	_, sp := trace.Start(ctx, "bad.trace.early") // want "span sp may leak"
+	if fail {
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// badTraceBlank discards the span half of the pair; it can never be ended.
+func badTraceBlank(ctx context.Context) {
+	_, _ = trace.Start(ctx, "bad.trace.blank") // want "assigned to _"
+}
+
+// badTraceDropped discards both results outright.
+func badTraceDropped(ctx context.Context) {
+	trace.Start(ctx, "bad.trace.dropped") // want "result of trace.Start dropped"
+}
+
+// badOrphanParam has a context parameter in hand but starts the span from
+// context.Background(), detaching it from the caller's trace.
+func badOrphanParam(ctx context.Context) {
+	_, sp := trace.Start(context.Background(), "bad.orphan.param") // want "orphans the span"
+	defer sp.End()
+	_ = ctx
+}
+
+// badOrphanChained has no context parameter, but an earlier trace.Start in
+// the same scope already produced one; the second Background start begins
+// a parentless tree instead of nesting under the first.
+func badOrphanChained() {
+	rctx, root := trace.Start(context.Background(), "orphan.root")
+	defer root.End()
+	_ = rctx
+	_, child := trace.Start(context.Background(), "bad.orphan.child") // want "orphans the span"
+	defer child.End()
+}
+
+// goodTraceRoot legitimately begins a trace: no context is in reach, so
+// Background is the only possible parent.
+func goodTraceRoot() {
+	_, sp := trace.Start(context.Background(), "good.trace.root")
+	defer sp.End()
+}

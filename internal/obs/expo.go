@@ -72,6 +72,19 @@ func WriteProm(w io.Writer) error {
 		p("%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
 		p("%s_sum %d\n", pn, h.Sum)
 		p("%s_count %d\n", pn, h.Count)
+		// Exemplars ride as comment lines: the classic 0.0.4 text format has
+		// no exemplar syntax, and comments are ignored by every parser, so
+		// the trace linkage is visible to humans without breaking scrapes.
+		for i, e := range h.Exemplars {
+			if e == nil {
+				continue
+			}
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			p("# exemplar %s_bucket{le=\"%s\"} trace_id=\"%s\" value=%d\n", pn, le, e.TraceID, e.Value)
+		}
 	}
 	return err
 }

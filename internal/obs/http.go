@@ -6,14 +6,33 @@ import (
 	"net/http/pprof"
 	"os"
 	runtimepprof "runtime/pprof"
+	"sync"
 )
+
+// extraHandlers are debug endpoints registered by other packages (the
+// obs/trace subpackage mounts /debug/traces here from its init). Handler
+// cannot import those packages — they import obs — so registration is the
+// seam that keeps the dependency edge pointing one way.
+var (
+	extraMu       sync.Mutex
+	extraHandlers = map[string]http.Handler{}
+)
+
+// RegisterDebugHandler mounts h at pattern on every mux Handler returns
+// from now on. Registering the same pattern twice keeps the latest handler.
+func RegisterDebugHandler(pattern string, h http.Handler) {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	extraHandlers[pattern] = h
+}
 
 // Handler returns the debug endpoint mux the commands mount behind their
 // -debug-addr flag:
 //
-//	/metrics      Prometheus text exposition (WriteProm)
-//	/debug/vars   expvar JSON (includes the "lrm" registry snapshot)
-//	/debug/pprof  net/http/pprof profile index (cpu, heap, goroutine, ...)
+//	/metrics       Prometheus text exposition (WriteProm)
+//	/debug/vars    expvar JSON (includes the "lrm" registry snapshot)
+//	/debug/pprof   net/http/pprof profile index (cpu, heap, goroutine, ...)
+//	/debug/traces  retained trace ring (when the obs/trace package is linked)
 //
 // The pprof handlers are mounted explicitly rather than via the package's
 // DefaultServeMux side effect, so embedders control exactly what is served.
@@ -30,6 +49,11 @@ func Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extraMu.Lock()
+	for pattern, h := range extraHandlers {
+		mux.Handle(pattern, h)
+	}
+	extraMu.Unlock()
 	return mux
 }
 

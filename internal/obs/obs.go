@@ -39,16 +39,51 @@ import (
 	"sync/atomic"
 )
 
-// enabled is the process-wide observability switch. Disabled instrumented
-// code performs exactly one atomic load per guard.
-var enabled atomic.Bool
+// State bits of the process-wide observability switch. Metrics recording
+// (StateMetrics) and trace recording (StateTracing, driven by the obs/trace
+// subpackage) share one atomic word so a fully instrumented call site —
+// stage metrics plus hierarchical tracing — still pays exactly one atomic
+// load when both are off.
+const (
+	StateMetrics uint32 = 1 << iota
+	StateTracing
+)
 
-// Enabled reports whether observability recording is on.
-func Enabled() bool { return enabled.Load() }
+// state is the packed observability switch. Disabled instrumented code
+// performs exactly one atomic load per guard.
+var state atomic.Uint32
 
-// SetEnabled turns recording on or off and returns the previous state.
-// Metrics recorded while enabled persist until Reset.
-func SetEnabled(on bool) (prev bool) { return enabled.Swap(on) }
+// State returns the packed enable bits (StateMetrics | StateTracing) in one
+// atomic load — the fast-path guard shared with the trace subpackage.
+func State() uint32 { return state.Load() }
+
+// Enabled reports whether metric recording is on.
+func Enabled() bool { return state.Load()&StateMetrics != 0 }
+
+// SetEnabled turns metric recording on or off and returns the previous
+// state. Metrics recorded while enabled persist until Reset.
+func SetEnabled(on bool) (prev bool) { return setStateBit(StateMetrics, on) }
+
+// TracingEnabled reports whether trace recording is on.
+func TracingEnabled() bool { return state.Load()&StateTracing != 0 }
+
+// SetTracingEnabled turns trace recording on or off and returns the
+// previous state. The obs/trace subpackage wraps this; it lives here so the
+// two switches share one atomic word.
+func SetTracingEnabled(on bool) (prev bool) { return setStateBit(StateTracing, on) }
+
+func setStateBit(bit uint32, on bool) (prev bool) {
+	for {
+		cur := state.Load()
+		next := cur &^ bit
+		if on {
+			next = cur | bit
+		}
+		if state.CompareAndSwap(cur, next) {
+			return cur&bit != 0
+		}
+	}
+}
 
 // Counter is a monotonically increasing (or at least additive) int64 metric.
 type Counter struct {
@@ -116,13 +151,23 @@ func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()
 // Histogram is a fixed-bucket histogram: Bounds holds ascending inclusive
 // upper bounds; observations above the last bound land in an implicit +Inf
 // bucket. Counts, sum, and count are all atomic, so Observe is safe from
-// any goroutine.
+// any goroutine. Each bucket additionally keeps the most recent exemplar
+// (a trace ID plus the observed value) when one is supplied, so a fat
+// latency bucket links to a concrete trace in the ring buffer.
 type Histogram struct {
-	name   string
-	bounds []int64
-	counts []atomic.Int64 // len(bounds)+1; last is +Inf
-	sum    atomic.Int64
-	count  atomic.Int64
+	name      string
+	bounds    []int64
+	counts    []atomic.Int64             // len(bounds)+1; last is +Inf
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1; last-write-wins
+	sum       atomic.Int64
+	count     atomic.Int64
+}
+
+// Exemplar links one histogram bucket to a concrete trace: the trace ID of
+// a span whose observation landed in the bucket, and the observed value.
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	Value   int64  `json:"value"`
 }
 
 // Name returns the registered metric name.
@@ -136,12 +181,27 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 }
 
+// ObserveExemplar records one value and attaches traceID as the bucket's
+// exemplar (last write wins). An empty traceID degrades to Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
 // HistSnapshot is a point-in-time copy of a histogram.
 type HistSnapshot struct {
 	Bounds []int64 `json:"bounds"`
 	Counts []int64 `json:"counts"` // per-bucket (NOT cumulative); last is +Inf
 	Sum    int64   `json:"sum"`
 	Count  int64   `json:"count"`
+	// Exemplars holds one entry per bucket (aligned with Counts); buckets
+	// that never saw an exemplar are nil.
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot copies the histogram's current state.
@@ -149,6 +209,14 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	s := HistSnapshot{Bounds: h.bounds, Counts: make([]int64, len(h.counts))}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]*Exemplar, len(h.exemplars))
+			}
+			s.Exemplars[i] = e
+		}
 	}
 	s.Sum = h.sum.Load()
 	s.Count = h.count.Load()
@@ -158,6 +226,9 @@ func (h *Histogram) Snapshot() HistSnapshot {
 func (h *Histogram) reset() {
 	for i := range h.counts {
 		h.counts[i].Store(0)
+	}
+	for i := range h.exemplars {
+		h.exemplars[i].Store(nil)
 	}
 	h.sum.Store(0)
 	h.count.Store(0)
@@ -269,7 +340,12 @@ func GetHistogram(name string, bounds []int64) *Histogram {
 		if bounds == nil {
 			bounds = DefTimeBounds
 		}
-		h = &Histogram{name: name, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		h = &Histogram{
+			name:      name,
+			bounds:    bounds,
+			counts:    make([]atomic.Int64, len(bounds)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+		}
 		reg.hists[name] = h
 		reg.order = append(reg.order, name)
 	}

@@ -32,7 +32,7 @@ type Span struct {
 // disabled it returns nil (all Span methods tolerate a nil receiver), so
 // the disabled cost is a single atomic load.
 func Start(name string) *Span {
-	if !enabled.Load() {
+	if state.Load()&StateMetrics == 0 {
 		return nil
 	}
 	return &Span{name: name, start: time.Now()}
@@ -120,6 +120,25 @@ func stageFor(name string) *stageMetrics {
 	}
 	v, _ := stageCache.LoadOrStore(name, st)
 	return v.(*stageMetrics)
+}
+
+// StageObserve records one externally managed stage execution with full
+// attribution — the hook the trace subpackage's spans use so traced runs
+// feed the same stage.<name>.* bundles as plain obs spans. A non-empty
+// exemplar attaches a trace ID to the latency-histogram bucket the
+// observation lands in.
+func StageObserve(name string, ns, bytesIn, bytesOut, items int64, exemplar string) {
+	st := stageFor(name)
+	st.ns.ObserveExemplar(ns, exemplar)
+	st.nsTotal.Add(ns)
+	st.calls.Inc()
+	if bytesIn != 0 || bytesOut != 0 {
+		st.bytesIn.Add(bytesIn)
+		st.bytesOut.Add(bytesOut)
+	}
+	if items != 0 {
+		st.items.Add(items)
+	}
 }
 
 // StageAdd records an externally timed slice of work against a stage — the

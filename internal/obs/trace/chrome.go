@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace_event record. Complete events ("X")
+// carry ts/dur in microseconds; metadata events ("M") name the per-trace
+// process lanes. Span identity and attribution ride in args so the span
+// tree (trace_id/span_id/parent_id) survives the export losslessly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the object form of the Chrome trace file format, loadable
+// by Perfetto (ui.perfetto.dev) and chrome://tracing.
+type chromeDoc struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace writes traces as Chrome trace_event JSON. Each trace
+// becomes its own process (pid) named after its trace ID and root span;
+// spans are laid out on thread lanes (tid) such that spans sharing a lane
+// strictly nest or are disjoint — the invariant the Chrome/Perfetto
+// renderers require of complete events — with starts non-decreasing and
+// durations clamped non-negative per lane. A span is preferentially placed
+// on its parent's lane so the common sequential case renders as one stack.
+func WriteChromeTrace(w io.Writer, traces []*Trace) error {
+	doc := chromeDoc{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+
+	// One shared time base keeps ts values small and lanes comparable.
+	var base int64
+	haveBase := false
+	for _, t := range traces {
+		for _, s := range t.Spans {
+			if !haveBase || s.Start < base {
+				base, haveBase = s.Start, true
+			}
+		}
+	}
+
+	for ti, t := range traces {
+		pid := ti + 1
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid,
+			Args: map[string]any{"name": "trace " + t.IDString() + " " + t.Root},
+		})
+		spans := append([]SpanRecord(nil), t.Spans...)
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].Start != spans[j].Start {
+				return spans[i].Start < spans[j].Start
+			}
+			return spans[i].SpanID < spans[j].SpanID
+		})
+
+		// Greedy lane assignment in start order. A lane is eligible when its
+		// most recent span either fully contains the candidate (ancestor-style
+		// nesting) or ended before it starts; the parent's lane is tried
+		// first. Anything else opens a new lane.
+		type laneSpan struct{ start, end int64 }
+		var lanes [][]laneSpan // per-lane stack of open/closed intervals
+		laneOf := make(map[uint64]int, len(spans))
+		fits := func(lane int, start, end int64) bool {
+			stack := lanes[lane]
+			for len(stack) > 0 && stack[len(stack)-1].end <= start {
+				stack = stack[:len(stack)-1]
+			}
+			lanes[lane] = stack
+			if len(stack) == 0 {
+				return true
+			}
+			top := stack[len(stack)-1]
+			return top.start <= start && end <= top.end
+		}
+		for _, s := range spans {
+			dur := s.Dur
+			if dur < 0 {
+				dur = 0
+			}
+			start, end := s.Start, s.Start+dur
+			lane := -1
+			if pl, ok := laneOf[s.ParentID]; ok && fits(pl, start, end) {
+				lane = pl
+			} else {
+				for li := range lanes {
+					if fits(li, start, end) {
+						lane = li
+						break
+					}
+				}
+			}
+			if lane < 0 {
+				lanes = append(lanes, nil)
+				lane = len(lanes) - 1
+			}
+			lanes[lane] = append(lanes[lane], laneSpan{start, end})
+			laneOf[s.SpanID] = lane
+
+			args := map[string]any{
+				"trace_id": t.IDString(),
+				"span_id":  IDString(s.SpanID),
+			}
+			if s.ParentID != 0 {
+				args["parent_id"] = IDString(s.ParentID)
+			}
+			if s.BytesIn != 0 || s.BytesOut != 0 {
+				args["bytes_in"] = s.BytesIn
+				args["bytes_out"] = s.BytesOut
+			}
+			if s.Items != 0 {
+				args["items"] = s.Items
+			}
+			if s.Err != "" {
+				args["error"] = s.Err
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: s.Name,
+				Cat:  "lrm",
+				Ph:   "X",
+				Ts:   float64(start-base) / 1e3,
+				Dur:  float64(dur) / 1e3,
+				Pid:  pid,
+				Tid:  lane + 1,
+				Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

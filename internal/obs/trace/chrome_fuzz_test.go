@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// tracesFromFuzz decodes an arbitrary byte string into span trees: four
+// bytes per span — (new-trace selector, start, signed dur, parent
+// selector). The decoder deliberately produces the degenerate shapes the
+// exporter must survive: zero-duration spans, synthetic negative durations
+// (a clock step mid-span), spans whose parent is missing (an unfinished
+// parent never recorded), empty traces, and deep or wide trees.
+func tracesFromFuzz(data []byte) []*Trace {
+	var traces []*Trace
+	var cur *Trace
+	nextSpan := uint64(1)
+	for len(data) >= 4 {
+		rec := data[:4]
+		data = data[4:]
+		if cur == nil || rec[0]%5 == 0 {
+			cur = &Trace{ID: uint64(len(traces) + 1), Root: "fuzz.root"}
+			traces = append(traces, cur)
+		}
+		start := int64(int8(rec[1])) * 1000
+		dur := int64(int8(rec[2])) * 100 // negative and zero durations included
+		var parent uint64
+		switch {
+		case rec[3]&0x80 != 0:
+			parent = 1 << 60 // dangling parent: that span was never finished
+		case len(cur.Spans) > 0:
+			parent = cur.Spans[int(rec[3])%len(cur.Spans)].SpanID
+		}
+		cur.Spans = append(cur.Spans, SpanRecord{
+			Name:     "fuzz.span",
+			SpanID:   nextSpan,
+			ParentID: parent,
+			Start:    start,
+			Dur:      dur,
+			BytesIn:  int64(rec[0]),
+			Items:    int64(rec[3]),
+		})
+		nextSpan++
+	}
+	for _, tr := range traces {
+		if len(tr.Spans) > 0 {
+			tr.Start = tr.Spans[0].Start
+			tr.Dur = tr.Spans[0].Dur
+		}
+	}
+	return traces
+}
+
+// FuzzWriteChromeTrace pins the exporter's output invariants over arbitrary
+// span trees: the document is always valid JSON, and within every (pid,
+// tid) lane complete events have non-negative durations and non-decreasing
+// timestamps — the properties Perfetto and chrome://tracing require to
+// render without dropping events.
+func FuzzWriteChromeTrace(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 10, 0, 0, 2, 10, 5, 0, 3, 12, 1, 1})           // nested tree
+	f.Add([]byte{1, 5, 0xFF, 0, 6, 7, 0x80, 0x80})                 // negative dur + dangling parent
+	f.Add([]byte{0, 1, 2, 3, 5, 4, 3, 2, 10, 9, 8, 7, 0, 1, 1, 1}) // multiple traces
+	f.Fuzz(func(t *testing.T, data []byte) {
+		traces := tracesFromFuzz(data)
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, traces); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("invalid JSON: %s", buf.Bytes())
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Ph  string  `json:"ph"`
+				Ts  float64 `json:"ts"`
+				Dur float64 `json:"dur"`
+				Pid int     `json:"pid"`
+				Tid int     `json:"tid"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		nSpans := 0
+		for _, tr := range traces {
+			nSpans += len(tr.Spans)
+		}
+		nX := 0
+		lastTs := map[[2]int]float64{}
+		for _, e := range doc.TraceEvents {
+			if e.Ph != "X" {
+				continue
+			}
+			nX++
+			if e.Dur < 0 {
+				t.Fatalf("negative dur %v escaped the exporter", e.Dur)
+			}
+			key := [2]int{e.Pid, e.Tid}
+			if last, ok := lastTs[key]; ok && e.Ts < last {
+				t.Fatalf("ts went backwards on pid=%d tid=%d: %v after %v", e.Pid, e.Tid, e.Ts, last)
+			}
+			lastTs[key] = e.Ts
+		}
+		if nX != nSpans {
+			t.Fatalf("exporter emitted %d complete events for %d spans", nX, nSpans)
+		}
+	})
+}

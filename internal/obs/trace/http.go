@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"lrm/internal/obs"
+)
+
+func init() {
+	obs.RegisterDebugHandler("/debug/traces", http.HandlerFunc(handleTraces))
+}
+
+// handleTraces serves the retained trace ring. The default view is a
+// human-readable span tree per trace; ?format=chrome downloads the same
+// snapshot as Chrome trace_event JSON for Perfetto.
+func handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := Snapshot()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="lrm-trace.json"`)
+		if err := WriteChromeTrace(w, traces); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "retained traces: %d (tail-based: slowest + errored; ?format=chrome for Perfetto JSON)\n\n", len(traces))
+	for _, t := range traces {
+		writeTraceText(w, t)
+	}
+}
+
+// writeTraceText renders one trace as an indented tree: children sorted by
+// start time under their parent, spans with a missing parent (dropped or
+// straggling) listed flat at the end.
+func writeTraceText(w http.ResponseWriter, t *Trace) {
+	fmt.Fprintf(w, "trace %s root=%s start=%s dur=%s spans=%d errs=%d",
+		t.IDString(), t.Root, time.Unix(0, t.Start).UTC().Format(time.RFC3339Nano),
+		time.Duration(t.Dur), len(t.Spans), t.Errs)
+	if t.Dropped > 0 {
+		fmt.Fprintf(w, " dropped=%d", t.Dropped)
+	}
+	fmt.Fprintln(w)
+
+	children := make(map[uint64][]SpanRecord, len(t.Spans))
+	byID := make(map[uint64]bool, len(t.Spans))
+	for _, s := range t.Spans {
+		children[s.ParentID] = append(children[s.ParentID], s)
+		byID[s.SpanID] = true
+	}
+	for _, cs := range children {
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].Start != cs[j].Start {
+				return cs[i].Start < cs[j].Start
+			}
+			return cs[i].SpanID < cs[j].SpanID
+		})
+	}
+	var walk func(parent uint64, depth int)
+	walk = func(parent uint64, depth int) {
+		for _, s := range children[parent] {
+			writeSpanLine(w, s, depth)
+			walk(s.SpanID, depth+1)
+		}
+	}
+	walk(0, 1)
+	for _, s := range t.Spans {
+		if s.ParentID != 0 && !byID[s.ParentID] {
+			writeSpanLine(w, s, 1)
+			walk(s.SpanID, 2)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func writeSpanLine(w http.ResponseWriter, s SpanRecord, depth int) {
+	for i := 0; i < depth; i++ {
+		fmt.Fprint(w, "  ")
+	}
+	fmt.Fprintf(w, "%s span=%s dur=%s", s.Name, IDString(s.SpanID), time.Duration(s.Dur))
+	if s.BytesIn != 0 || s.BytesOut != 0 {
+		fmt.Fprintf(w, " bytes=%d->%d", s.BytesIn, s.BytesOut)
+	}
+	if s.Items != 0 {
+		fmt.Fprintf(w, " items=%d", s.Items)
+	}
+	if s.Err != "" {
+		fmt.Fprintf(w, " err=%q", s.Err)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentTraceStress hammers every public entry point from many
+// goroutines at once — span trees finishing out of order, snapshots and
+// exports racing the recorder, retention resizes and resets mid-flight.
+// Its value is under `go test -race ./internal/obs/trace` (the verify
+// script's trace race-stress step); without -race it still exercises the
+// locking for deadlocks.
+func TestConcurrentTraceStress(t *testing.T) {
+	withTracing(t)
+	errStress := errors.New("stress")
+
+	const (
+		writers        = 8
+		tracesPerW     = 100
+		childrenPerRun = 4
+	)
+	var writerWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writerWG.Add(1)
+		go func(g int) {
+			defer writerWG.Done()
+			for i := 0; i < tracesPerW; i++ {
+				ctx, root := Start(context.Background(), "stress.root")
+				var childWG sync.WaitGroup
+				for c := 0; c < childrenPerRun; c++ {
+					childWG.Add(1)
+					go func(i, c int) {
+						defer childWG.Done()
+						cctx, restore := WithLabels(ctx, "stage", "stress")
+						defer restore()
+						_, sp := Start(cctx, "stress.child")
+						sp.AddItems(1)
+						sp.SetBytes(int64(c), int64(i))
+						if i%7 == 0 {
+							sp.SetError(errStress)
+						}
+						sp.End()
+					}(i, c)
+				}
+				childWG.Wait()
+				root.End()
+			}
+		}(g)
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := Snapshot()
+				if err := WriteChromeTrace(io.Discard, snap); err != nil {
+					t.Errorf("WriteChromeTrace: %v", err)
+					return
+				}
+				switch i % 8 {
+				case 3:
+					SetRetention(8, 8)
+				case 5:
+					SetRetention(32, 32)
+				case 7:
+					if r == 0 {
+						Reset()
+					}
+				}
+			}
+		}(r)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	SetRetention(32, 32)
+
+	// Sanity after the storm: the recorder still works.
+	Reset()
+	_, sp := Start(context.Background(), "stress.final")
+	sp.End()
+	if len(Snapshot()) != 1 {
+		t.Error("recorder broken after stress run")
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"lrm/internal/obs"
+)
+
+// Hoisted ring metrics: finished counts every completed trace offered to
+// the ring, retained the ones a Snapshot could still see (error slots use
+// ring semantics, so retained only ever over-counts by evicted entries).
+var (
+	obsTracesFinished = obs.GetCounter("trace.finished")
+	obsTraceSpans     = obs.GetCounter("trace.spans")
+)
+
+// ring implements tail-based retention for completed traces. Two bounded
+// pools: the slowest slowCap traces by root duration (min-evict), and a
+// circular buffer of the last errCap traces containing an error — a trace
+// with a ChunkError or any SetError is always worth keeping, however fast
+// it was. Memory is bounded by (slowCap+errCap) * maxSpansPerTrace records.
+type ringState struct {
+	mu      sync.Mutex
+	slowCap int
+	errCap  int
+	slow    []*Trace // unordered; evict the minimum-duration entry when full
+	errs    []*Trace // circular, errNext is the next overwrite slot
+	errNext int
+}
+
+var ring = &ringState{slowCap: 32, errCap: 32}
+
+// SetRetention resizes the retention pools: keep the slowest `slow` traces
+// and the last `errs` errored traces. Values below 1 are clamped to 1.
+// Existing retained traces are kept up to the new caps (slowest first).
+func SetRetention(slow, errs int) {
+	if slow < 1 {
+		slow = 1
+	}
+	if errs < 1 {
+		errs = 1
+	}
+	ring.mu.Lock()
+	defer ring.mu.Unlock()
+	ring.slowCap, ring.errCap = slow, errs
+	if len(ring.slow) > slow {
+		sort.Slice(ring.slow, func(i, j int) bool { return ring.slow[i].Dur > ring.slow[j].Dur })
+		ring.slow = ring.slow[:slow]
+	}
+	if len(ring.errs) > errs {
+		// Keep the newest errs entries in arrival order.
+		start := (ring.errNext - errs + len(ring.errs)) % len(ring.errs)
+		kept := make([]*Trace, 0, errs)
+		for i := 0; i < errs; i++ {
+			kept = append(kept, ring.errs[(start+i)%len(ring.errs)])
+		}
+		ring.errs, ring.errNext = kept, 0
+	}
+}
+
+// offer hands a completed trace to the retention ring.
+func offer(t *Trace) {
+	obsTracesFinished.Inc()
+	obsTraceSpans.Add(int64(len(t.Spans)))
+	ring.mu.Lock()
+	defer ring.mu.Unlock()
+	if t.Errs > 0 {
+		if len(ring.errs) < ring.errCap {
+			ring.errs = append(ring.errs, t)
+		} else {
+			ring.errs[ring.errNext] = t
+			ring.errNext = (ring.errNext + 1) % ring.errCap
+		}
+	}
+	if len(ring.slow) < ring.slowCap {
+		ring.slow = append(ring.slow, t)
+		return
+	}
+	fastest := 0
+	for i, s := range ring.slow {
+		if s.Dur < ring.slow[fastest].Dur {
+			fastest = i
+		}
+	}
+	if t.Dur > ring.slow[fastest].Dur {
+		ring.slow[fastest] = t
+	}
+}
+
+// Snapshot returns every retained trace, deduplicated (an errored slow
+// trace sits in both pools) and sorted by start time.
+func Snapshot() []*Trace {
+	ring.mu.Lock()
+	seen := make(map[uint64]bool, len(ring.slow)+len(ring.errs))
+	out := make([]*Trace, 0, len(ring.slow)+len(ring.errs))
+	for _, pool := range [][]*Trace{ring.slow, ring.errs} {
+		for _, t := range pool {
+			if t != nil && !seen[t.ID] {
+				seen[t.ID] = true
+				out = append(out, t)
+			}
+		}
+	}
+	ring.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Reset discards every retained trace. Retention caps are kept.
+func Reset() {
+	ring.mu.Lock()
+	defer ring.mu.Unlock()
+	ring.slow = nil
+	ring.errs = nil
+	ring.errNext = 0
+}

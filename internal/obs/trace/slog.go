@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogHandler decorates an inner slog.Handler so every record logged with a
+// traced context carries trace_id and span_id attributes — grep a trace ID
+// from a Chrome export or a /metrics exemplar and find the matching log
+// lines, and vice versa. Records logged with an untraced context pass
+// through unchanged.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner with trace/span ID stamping.
+func NewLogHandler(inner slog.Handler) *LogHandler {
+	return &LogHandler{inner: inner}
+}
+
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *LogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := FromContext(ctx); sp != nil && sp.td != nil {
+		rec = rec.Clone()
+		rec.AddAttrs(
+			slog.String("trace_id", sp.TraceID()),
+			slog.String("span_id", IDString(sp.SpanID())),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lrm/internal/obs"
+)
+
+// ForCtx is For with context propagation into the pool workers: every
+// worker goroutine runs with ctx's runtime/pprof labels installed (so CPU
+// profiles attribute pool work to the submitting stage) and fn receives
+// ctx, whose trace span — when the caller started one — parents any spans
+// fn opens. ctx is carried, not consulted: like For, the batch always runs
+// to completion; cancellation semantics belong to the caller's fn.
+//
+// With workers <= 1 or n <= 1 the loop runs inline on the calling
+// goroutine, which already holds ctx and its labels — the serial path stays
+// a plain loop.
+func ForCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	rec := obs.Enabled()
+	if rec {
+		obsTasks.Add(int64(n))
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(ctx, i)
+		}
+		return
+	}
+	if rec {
+		obsQueueDepth.SetMax(int64(n))
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			// pprof.Do installs the submitter's label set on this worker for
+			// the duration of the batch and restores the previous labels on
+			// return. Empty label addition keeps ctx's labels as-is.
+			pprof.Do(ctx, pprof.Labels(), func(ctx context.Context) {
+				var busyNs, done int64
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						break
+					}
+					if rec {
+						t0 := time.Now()
+						fn(ctx, i)
+						ns := time.Since(t0).Nanoseconds()
+						busyNs += ns
+						done++
+						obsTaskNs.Observe(ns)
+					} else {
+						fn(ctx, i)
+					}
+				}
+				if rec && done > 0 {
+					obs.StageAdd("parallel.worker_busy", busyNs, done)
+				}
+			})
+		}()
+	}
+	wg.Wait()
+}
+
+// ForShardCtx is ForShard with the same context propagation as ForCtx: the
+// deterministic (workers, n) partition is unchanged, and fn additionally
+// receives the submitting goroutine's ctx in every worker.
+func ForShardCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, shard, lo, hi int)) {
+	s := Shards(workers, n)
+	if s == 0 {
+		return
+	}
+	if s == 1 {
+		fn(ctx, 0, 0, n)
+		return
+	}
+	ForCtx(ctx, workers, s, func(ctx context.Context, i int) {
+		lo, hi := ShardBounds(n, s, i)
+		fn(ctx, i, lo, hi)
+	})
+}

@@ -40,15 +40,32 @@ step go test -run 'TestSweepCorpus|TestPartialDecodeMetricsUnderSweep' -count=1 
 if [ "${1:-}" != "quick" ]; then
 	# Concurrent packages under the race detector.
 	step go test -race ./internal/obs/... ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/...
+	# Trace race-stress: concurrent Start/End/Snapshot/export/Reset on the
+	# trace recorder specifically, repeated so interleavings vary.
+	step go test -race -run TestConcurrentTraceStress -count=2 ./internal/obs/trace
 	# Benchmark smoke: one iteration of the JSON benchmark harness proves
-	# the artifact pipeline end to end without paying full measurement cost.
-	step go run ./cmd/lrmbench -iters 1 -stats -out /tmp/lrmbench-smoke.json
+	# the artifact pipeline end to end without paying full measurement cost,
+	# and the traced pass exercises span propagation through the pool.
+	step go run ./cmd/lrmbench -iters 1 -stats -out /tmp/lrmbench-smoke.json -trace /tmp/lrmbench-trace.json
+	# The trace artifact must contain the pipeline root span (lrmbench
+	# already refuses to write a file that is not valid JSON).
+	echo "==> trace smoke: core.compress root present"
+	grep -q '"core.compress"' /tmp/lrmbench-trace.json || {
+		echo "trace smoke: core.compress span missing from /tmp/lrmbench-trace.json" >&2
+		exit 1
+	}
+	# Perf gate: compare the smoke run against the checked-in artifact. The
+	# wide 0.75 tolerance absorbs machine-to-machine variance; real
+	# regressions (parallel kernels silently serialized, tracing left
+	# enabled on the hot path) overshoot it.
+	step go run ./cmd/lrmbench -compare -tolerance 0.75 BENCH_5.json /tmp/lrmbench-smoke.json
 	# Short fuzz pass over the decoder targets (seed corpus + a few seconds
 	# of mutation each). -fuzz accepts a single package per invocation.
 	for pkg in ./internal/compress/sz ./internal/compress/zfp ./internal/compress/fpc; do
 		step go test -fuzz=FuzzDecompress -fuzztime=10s -run='^$' "$pkg"
 	done
 	step go test -fuzz=FuzzDecompressChunked -fuzztime=10s -run='^$' ./internal/core
+	step go test -fuzz=FuzzWriteChromeTrace -fuzztime=10s -run='^$' ./internal/obs/trace
 fi
 
 echo "==> verify OK"
