@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint test invariants faultsweep race race-trace fuzz bench bench-smoke bench-compare trace-smoke verify
+.PHONY: build vet fmt lint lint-json test invariants faultsweep race race-trace fuzz bench bench-smoke bench-compare trace-smoke verify
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,10 @@ fmt:
 # The repo's own analyzers (cmd/lrmlint); non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/lrmlint ./...
+
+# Machine-readable lint report: JSON diagnostics on stdout ([] when clean).
+lint-json:
+	$(GO) run ./cmd/lrmlint -json ./...
 
 test:
 	$(GO) test ./...

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // fixtures: every analyzer must produce findings (exit 1) on its fixture
 // package, proving the tool gates CI rather than reporting and passing.
 func TestExitNonZeroOnFindings(t *testing.T) {
-	for _, rule := range []string{"floatcmp", "ignorederr", "mutexcopy", "goroutine", "deadassign"} {
+	for _, rule := range []string{"floatcmp", "ignorederr", "mutexcopy", "goroutine", "deadassign", "decodetaint", "errtaxonomy", "ctxflow"} {
 		var out, errb bytes.Buffer
 		code := run([]string{"-rules", rule, "./internal/lint/testdata/src/" + rule}, &out, &errb)
 		if code != 1 {
@@ -44,9 +45,49 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, rule := range []string{"floatcmp", "ignorederr", "mutexcopy", "goroutine", "deadassign"} {
+	for _, rule := range []string{"floatcmp", "ignorederr", "mutexcopy", "goroutine", "deadassign", "decodetaint", "errtaxonomy", "ctxflow"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing %s", rule)
 		}
+	}
+}
+
+// TestJSONOutput pins the machine-readable shape consumed by CI: an array
+// of {file,line,column,rule,message} objects, exit 1 when findings exist.
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-rules", "decodetaint", "./internal/lint/testdata/src/decodetaint"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code %d on fixture, want 1 (stderr: %s)", code, errb.String())
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Column  int    `json:"column"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output empty on a fixture with seeded violations")
+	}
+	for _, d := range diags {
+		if d.Rule != "decodetaint" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("malformed diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestJSONCleanIsEmptyArray keeps clean output parseable: [] rather than
+// nothing, so downstream jq pipelines never special-case the happy path.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./internal/invariant"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d on clean package, want 0 (stderr: %s)", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("clean -json output = %q, want []", out.String())
 	}
 }

@@ -48,6 +48,11 @@ func SetDecodeAllocCap(n int64) (prev int64) {
 // the stream — so a tiny archive cannot claim a huge buffer. Claims beyond
 // maxElems, or beyond the process-wide DecodeAllocCap, return a wrapped
 // ErrCorrupt before a single byte is allocated.
+//
+// The decodetaint analyzer (cmd/lrmlint) enforces the discipline: a make
+// size or index bound derived from decoded input that flows through
+// neither CheckedAlloc/NewCheckedField nor a relational bounds guard is a
+// lint failure.
 func CheckedAlloc(what string, elems, maxElems uint64, elemBytes int) error {
 	if elems > maxElems {
 		return fmt.Errorf("%s: claimed %d elements exceed the %d the input can back: %w",

@@ -14,6 +14,10 @@ import (
 // pprof labels. The streams produced are byte-identical to the plain
 // Compress/Decompress methods — ctx carries observability, never
 // configuration.
+//
+// The ctxflow analyzer (cmd/lrmlint) keeps the chain intact: a function
+// holding a ctx may neither re-root it with context.Background/TODO nor
+// call the plain variant of a function whose Ctx variant exists.
 type CtxCodec interface {
 	Codec
 	CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error)

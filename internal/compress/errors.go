@@ -22,6 +22,10 @@ import (
 // The split matters operationally: a truncated archive is usually a short
 // write (retry the transfer), while a corrupt one is bit rot or a hostile
 // stream (quarantine it).
+//
+// The contract is machine-enforced: the errtaxonomy analyzer
+// (cmd/lrmlint) flags any decode-path return whose error provably cannot
+// wrap one of these sentinels. Wrap with %w or launder through Classify.
 var (
 	ErrTruncated = errors.New("compress: truncated input")
 	ErrCorrupt   = errors.New("compress: corrupt input")

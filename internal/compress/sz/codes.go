@@ -3,6 +3,7 @@ package sz
 import (
 	"fmt"
 
+	"lrm/internal/compress"
 	"lrm/internal/huffman"
 )
 
@@ -21,7 +22,7 @@ func decodeCodes(b []byte, n int) ([]int, error) {
 		return nil, fmt.Errorf("sz: %w", err)
 	}
 	if len(codes) != n {
-		return nil, fmt.Errorf("sz: decoded %d codes, want %d", len(codes), n)
+		return nil, fmt.Errorf("sz: decoded %d codes, want %d: %w", len(codes), n, compress.ErrCorrupt)
 	}
 	return codes, nil
 }

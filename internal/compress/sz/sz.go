@@ -374,18 +374,18 @@ func dequantizeCore(codes []int, dims []int, eb float64, exact []float64, pred4 
 		for idx, code := range codes {
 			if code == unpredictable {
 				if e >= len(exact) {
-					return nil, errors.New("sz: exact-value pool exhausted")
+					return nil, fmt.Errorf("sz: exact-value pool exhausted: %w", compress.ErrCorrupt)
 				}
 				out[idx] = exact[e]
 				e++
 				continue
 			}
 			if code < 0 || code > unpredictable {
-				return nil, fmt.Errorf("sz: invalid quantization code %d", code)
+				return nil, fmt.Errorf("sz: invalid quantization code %d: %w", code, compress.ErrCorrupt)
 			}
 		}
 		if e != len(exact) {
-			return nil, errors.New("sz: unconsumed exact values")
+			return nil, fmt.Errorf("sz: unconsumed exact values: %w", compress.ErrCorrupt)
 		}
 		if wavefrontRun(dims, workers, func(idx int) {
 			if codes[idx] == unpredictable {
@@ -407,20 +407,20 @@ func dequantizeCore(codes []int, dims []int, eb float64, exact []float64, pred4 
 	for idx, code := range codes {
 		if code == unpredictable {
 			if e >= len(exact) {
-				return nil, errors.New("sz: exact-value pool exhausted")
+				return nil, fmt.Errorf("sz: exact-value pool exhausted: %w", compress.ErrCorrupt)
 			}
 			out[idx] = exact[e]
 			e++
 			continue
 		}
 		if code < 0 || code > unpredictable {
-			return nil, fmt.Errorf("sz: invalid quantization code %d", code)
+			return nil, fmt.Errorf("sz: invalid quantization code %d: %w", code, compress.ErrCorrupt)
 		}
 		pred := pred4(out, dims, idx)
 		out[idx] = pred + 2*eb*float64(code-radius)
 	}
 	if e != len(exact) {
-		return nil, errors.New("sz: unconsumed exact values")
+		return nil, fmt.Errorf("sz: unconsumed exact values: %w", compress.ErrCorrupt)
 	}
 	return out, nil
 }
@@ -611,11 +611,11 @@ func (c *Codec) decompress(ctx context.Context, data []byte) (*grid.Field, error
 	}
 	mode := Mode(rest[0])
 	if mode > PointwiseRel {
-		return nil, fmt.Errorf("sz: unknown mode %d in stream", rest[0])
+		return nil, fmt.Errorf("sz: unknown mode %d in stream: %w", rest[0], compress.ErrHeader)
 	}
 	flags := rest[1]
 	if flags&^flagCurveFit != 0 {
-		return nil, fmt.Errorf("sz: unknown flags %#x in stream", flags)
+		return nil, fmt.Errorf("sz: unknown flags %#x in stream: %w", flags, compress.ErrHeader)
 	}
 	pred4 := predictor(lorenzoPredict)
 	if flags&flagCurveFit != 0 {
@@ -624,7 +624,7 @@ func (c *Codec) decompress(ctx context.Context, data []byte) (*grid.Field, error
 	// rest[2:10] is the nominal bound (informational on decode).
 	eb := math.Float64frombits(binary.LittleEndian.Uint64(rest[10:18]))
 	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
-		return nil, fmt.Errorf("sz: invalid effective bound %v", eb)
+		return nil, fmt.Errorf("sz: invalid effective bound %v: %w", eb, compress.ErrHeader)
 	}
 	n := 1
 	for _, d := range dims {
@@ -721,7 +721,7 @@ func (c *Codec) decompress(ctx context.Context, data []byte) (*grid.Field, error
 		}
 		return grid.FromData(vals, dims...)
 	}
-	return nil, fmt.Errorf("sz: unreachable mode %d", mode)
+	return nil, fmt.Errorf("sz: unreachable mode %d: %w", mode, compress.ErrCorrupt)
 }
 
 // The codec is fully context-aware: plain Compress/Decompress delegate to

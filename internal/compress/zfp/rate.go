@@ -310,17 +310,19 @@ func (c *Codec) DecodeAt(data []byte, coord ...int) (float64, error) {
 		return 0, fmt.Errorf("zfp: truncated stream: %w", compress.ErrTruncated)
 	}
 	if rest[0] != modeRate {
-		return 0, errors.New("zfp: DecodeAt requires a fixed-rate stream")
+		return 0, fmt.Errorf("zfp: DecodeAt requires a fixed-rate stream: %w", compress.ErrHeader)
 	}
 	rate := uint(rest[1])
 	if rate < 1 || rate > 62 {
 		return 0, fmt.Errorf("zfp: invalid rate %d in stream: %w", rate, compress.ErrHeader)
 	}
 	if len(coord) != len(dims) {
+		//lrmlint:ignore errtaxonomy caller API misuse, not a stream failure
 		return 0, fmt.Errorf("zfp: coordinate rank %d != field rank %d", len(coord), len(dims))
 	}
 	for i, x := range coord {
 		if x < 0 || x >= dims[i] {
+			//lrmlint:ignore errtaxonomy caller API misuse, not a stream failure
 			return 0, fmt.Errorf("zfp: coordinate %d out of range [0,%d)", x, dims[i])
 		}
 	}

@@ -1,0 +1,28 @@
+package lint
+
+// AnalyzerDecodeTaint flags allocation sizes and index bounds derived from
+// untrusted decoded input that do not pass through compress.CheckedAlloc /
+// compress.NewCheckedField or an explicit relational bounds guard. It is
+// the machine check for the PR-3 hardening contract: a hostile archive must
+// never choose an allocation size or an index on a decode path.
+//
+// The analysis is interprocedural over function summaries (see taint.go):
+// decode entry points — Decompress*/Decode*-named functions — seed their
+// []byte parameters and stream reads as untrusted; helper summaries carry
+// taint through results and flag size-sensitive parameters, propagated to a
+// fixed point over the module call graph. Reports land where the unguarded
+// value meets the sink (a make, an index, or a call passing it into a
+// size-sensitive parameter).
+var AnalyzerDecodeTaint = &Analyzer{
+	Name: "decodetaint",
+	Doc:  "decode-path allocation or index bound from untrusted input without CheckedAlloc or a bounds guard",
+	Run:  runDecodeTaint,
+}
+
+func runDecodeTaint(p *Pass) {
+	prog := p.Program()
+	prog.taintSummaries()
+	for _, fn := range prog.scopeFuncs(p) {
+		prog.analyzeTaint(fn, true)
+	}
+}

@@ -1,0 +1,428 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerErrTaxonomy flags error returns on decode paths that provably
+// cannot wrap a taxonomy sentinel (ErrTruncated / ErrCorrupt / ErrHeader).
+// The PR-3 contract is that every decoder failure classifies under the
+// taxonomy so callers can dispatch with errors.Is; a bare errors.New or a
+// fmt.Errorf without %w silently breaks that for exactly one path.
+//
+// The analysis is summary-based (fixed point over the call graph): each
+// decode-scope function is classified by whether its error results always,
+// never, or sometimes wrap a sentinel. A return site is reported only when
+// its error is *definitely* unclassified — a freshly built sentinel-free
+// error, or a pass-through of a callee summarized as never-classifying.
+// Unknown sources (stdlib calls, unresolved flow) stay silent: the gate
+// reports contract violations, not missing knowledge.
+var AnalyzerErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "decode-path error return that cannot wrap ErrTruncated/ErrCorrupt/ErrHeader",
+	Run:  runErrTaxonomy,
+}
+
+// errClass is the summary lattice for one function's error results.
+type errClass int
+
+const (
+	errUnknown errClass = iota // no information / mixed with unknown
+	errAlways                  // every non-nil error path classifies
+	errNever                   // at least one path, and none classify
+	errMixed                   // some classify, some provably do not
+)
+
+// sentinelNames are the taxonomy sentinels recognized by name, so the rule
+// works identically against the real compress package and self-contained
+// fixtures.
+var sentinelNames = map[string]bool{
+	"ErrTruncated": true,
+	"ErrCorrupt":   true,
+	"ErrHeader":    true,
+}
+
+func runErrTaxonomy(p *Pass) {
+	prog := p.Program()
+	prog.errSummaries()
+	for _, fn := range prog.scopeFuncs(p) {
+		if errorResultIndex(fn.Obj) < 0 {
+			continue
+		}
+		newErrState(fn).analyze(true)
+	}
+}
+
+// errSummaries computes the error classification of every decode-scope
+// function returning an error, iterated to a fixed point so pass-through
+// chains (Decompress -> parseHeader -> readLen) classify end to end.
+func (prog *Program) errSummaries() map[*types.Func]errClass {
+	if prog.errClass != nil {
+		return prog.errClass
+	}
+	prog.errClass = map[*types.Func]errClass{}
+	var fns []*FuncInfo
+	for obj := range prog.decodeScope {
+		info := prog.Funcs[obj]
+		if info != nil && errorResultIndex(obj) >= 0 {
+			fns = append(fns, info)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Obj.FullName() < fns[j].Obj.FullName() })
+	for pass := 0; pass < 10; pass++ {
+		changed := false
+		for _, fn := range fns {
+			cls := newErrState(fn).analyze(false)
+			if prog.errClass[fn.Obj] != cls {
+				prog.errClass[fn.Obj] = cls
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return prog.errClass
+}
+
+// errorResultIndex returns the index of the trailing error result, or -1.
+func errorResultIndex(fn *types.Func) int {
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return -1
+	}
+	last := res.Len() - 1
+	if !isErrorType(res.At(last).Type()) {
+		return -1
+	}
+	return last
+}
+
+// errState analyzes one function body: a lexical record of error-variable
+// assignments, closure summaries, and per-return classification.
+type errState struct {
+	prog *Program
+	pass *Pass
+	fn   *FuncInfo
+
+	// assigns records every assignment to an error-typed object in source
+	// order; classification of `return err` looks up the latest assignment
+	// lexically before the return, matching Go's check-and-return idiom.
+	assigns  []errAssign
+	closures map[types.Object]errClass
+	seenLits map[*ast.FuncLit]bool
+}
+
+type errAssign struct {
+	pos token.Pos
+	obj types.Object
+	cls errClass
+}
+
+func newErrState(fn *FuncInfo) *errState {
+	return &errState{
+		prog:     fn.Pass.Program(),
+		pass:     fn.Pass,
+		fn:       fn,
+		closures: map[types.Object]errClass{},
+		seenLits: map[*ast.FuncLit]bool{},
+	}
+}
+
+// analyze classifies every return path, reporting definite violations when
+// report is set, and returns the function's overall class.
+func (st *errState) analyze(report bool) errClass {
+	st.collectAssigns(st.fn.Decl.Body)
+
+	nres := st.fn.Obj.Type().(*types.Signature).Results().Len()
+	cls := st.classifyReturns(st.fn.Decl.Body, nres, report)
+	return cls
+}
+
+// collectAssigns walks the whole body (closures included — captured error
+// variables are shared) recording assignment classes, and computes closure
+// summaries for literals bound to local variables.
+func (st *errState) collectAssigns(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Closure definition: classify its returns under the variable.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if lit, ok := ast.Unparen(n.Rhs[0]).(*ast.FuncLit); ok {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						st.seenLits[lit] = true
+						st.collectAssigns(lit.Body)
+						nres := 0
+						if lit.Type.Results != nil {
+							for _, f := range lit.Type.Results.List {
+								if len(f.Names) == 0 {
+									nres++
+								} else {
+									nres += len(f.Names)
+								}
+							}
+						}
+						if obj := st.pass.localObj(id); obj != nil && nres > 0 {
+							st.closures[obj] = st.classifyReturns(lit.Body, nres, false)
+						}
+						return false
+					}
+				}
+			}
+			st.recordAssign(n)
+		case *ast.GenDecl:
+			if n.Tok == token.VAR {
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						st.recordValueSpec(vs)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recordAssign notes the class of each error-typed LHS.
+func (st *errState) recordAssign(as *ast.AssignStmt) {
+	// Multi-value call: the error is the last result.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		last := as.Lhs[len(as.Lhs)-1]
+		id, ok := last.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := st.pass.localObj(id)
+		if obj == nil || !isErrorType(obj.Type()) {
+			return
+		}
+		st.assigns = append(st.assigns, errAssign{pos: as.Pos(), obj: obj, cls: st.classifyCall(call)})
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := st.pass.localObj(id)
+		if obj == nil || !isErrorType(obj.Type()) {
+			continue
+		}
+		st.assigns = append(st.assigns, errAssign{pos: as.Pos(), obj: obj, cls: st.classifyExpr(as.Rhs[i], as.Pos())})
+	}
+}
+
+func (st *errState) recordValueSpec(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			return
+		}
+		obj := st.pass.localObj(name)
+		if obj == nil || !isErrorType(obj.Type()) {
+			continue
+		}
+		st.assigns = append(st.assigns, errAssign{pos: vs.Pos(), obj: obj, cls: st.classifyExpr(vs.Values[i], vs.Pos())})
+	}
+}
+
+// classifyReturns classifies the error expression of every return in body
+// (skipping nested literals — they have their own summaries) and folds the
+// per-path classes into a function class.
+func (st *errState) classifyReturns(body *ast.BlockStmt, nres int, report bool) errClass {
+	sawClassified, sawNever, sawUnknown := false, false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals classify under their own summary
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		var cls errClass
+		isNil := false
+		switch {
+		case len(ret.Results) == 0:
+			// Naked return with named results: no flow info.
+			cls = errUnknown
+		case len(ret.Results) == nres:
+			e := ret.Results[len(ret.Results)-1]
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "nil" {
+				isNil = true
+			} else {
+				cls = st.classifyExpr(e, ret.Pos())
+			}
+		case len(ret.Results) == 1:
+			// `return g(...)` forwarding all results: class of the call.
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				cls = st.classifyCall(call)
+			} else {
+				cls = errUnknown
+			}
+		default:
+			cls = errUnknown
+		}
+		if isNil {
+			return true
+		}
+		switch cls {
+		case errAlways:
+			sawClassified = true
+		case errNever:
+			sawNever = true
+			if report {
+				st.pass.Reportf(ret.Pos(),
+					"returned error cannot wrap a taxonomy sentinel (ErrTruncated/ErrCorrupt/ErrHeader); wrap with %%w or compress.Classify")
+			}
+		default:
+			sawUnknown = true
+		}
+		return true
+	})
+	switch {
+	case sawNever && sawClassified:
+		return errMixed
+	case sawNever:
+		return errNever
+	case sawClassified && !sawUnknown:
+		return errAlways
+	default:
+		return errUnknown
+	}
+}
+
+// classifyExpr classifies one error-valued expression at a program point.
+func (st *errState) classifyExpr(e ast.Expr, at token.Pos) errClass {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return errAlways // a nil error constrains nothing
+		}
+		if isSentinelRef(e) {
+			return errAlways
+		}
+		obj := st.pass.localObj(e)
+		if obj == nil || !isErrorType(obj.Type()) {
+			return errUnknown
+		}
+		// Latest assignment lexically before the use — the
+		// check-and-return idiom assigns immediately above each return.
+		best := errUnknown
+		bestPos := token.NoPos
+		for _, a := range st.assigns {
+			if a.obj == obj && a.pos < at && (bestPos == token.NoPos || a.pos > bestPos) {
+				best, bestPos = a.cls, a.pos
+			}
+		}
+		return best
+	case *ast.SelectorExpr:
+		if isSentinelRef(e) {
+			return errAlways
+		}
+		return errUnknown
+	case *ast.CallExpr:
+		return st.classifyCall(e)
+	}
+	return errUnknown
+}
+
+// classifyCall classifies the error produced by one call.
+func (st *errState) classifyCall(call *ast.CallExpr) errClass {
+	name := calleeName(call)
+	switch name {
+	case "Classify":
+		return errAlways
+	case "New":
+		// errors.New: a fresh error that wraps nothing.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == "errors" {
+				return errNever
+			}
+		}
+		return errUnknown
+	case "Errorf":
+		return st.classifyErrorf(call)
+	}
+	// Local closure summary.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := st.pass.localObj(id); obj != nil {
+			if cls, ok := st.closures[obj]; ok {
+				return cls
+			}
+		}
+	}
+	callee := st.pass.calleeFunc(call)
+	if callee == nil {
+		return errUnknown
+	}
+	if cls, ok := st.prog.errClass[callee]; ok {
+		return cls
+	}
+	return errUnknown
+}
+
+// classifyErrorf classifies fmt.Errorf: without %w the error wraps nothing
+// (Never); with %w it is as good as what it wraps — Always if any wrapped
+// argument is a sentinel or an always-classified value, Never if every
+// error-typed argument provably never classifies, Unknown otherwise.
+func (st *errState) classifyErrorf(call *ast.CallExpr) errClass {
+	if len(call.Args) == 0 {
+		return errUnknown
+	}
+	format, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || format.Kind != token.STRING {
+		return errUnknown
+	}
+	if !strings.Contains(format.Value, "%w") {
+		return errNever
+	}
+	cls := errNever
+	sawError := false
+	for _, arg := range call.Args[1:] {
+		argCls := errUnknown
+		if isSentinelRef(arg) {
+			argCls = errAlways
+		} else if tv, ok := st.pass.Info.Types[arg]; ok && isErrorType(tv.Type) {
+			argCls = st.classifyExpr(arg, call.Pos())
+		} else {
+			continue // %d/%s-style argument, irrelevant to wrapping
+		}
+		sawError = true
+		switch argCls {
+		case errAlways:
+			return errAlways
+		case errNever:
+			// stays Never unless something better shows up
+		default:
+			cls = errUnknown
+		}
+	}
+	if !sawError {
+		// %w present but nothing error-typed resolved — e.g. wrapping an
+		// interface-typed value we cannot see through.
+		return errUnknown
+	}
+	return cls
+}
+
+// isSentinelRef reports whether the expression names a taxonomy sentinel,
+// bare or package-qualified.
+func isSentinelRef(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return sentinelNames[e.Name]
+	case *ast.SelectorExpr:
+		return sentinelNames[e.Sel.Name]
+	}
+	return false
+}

@@ -10,6 +10,17 @@
 //   - deadassign: `_ = expr` blank assignments masking dead computation
 //   - obsspan:    obs.Start/StartChild spans without End() on every return path
 //
+// plus three interprocedural analyzers built on module-wide function
+// summaries (call-graph construction from go/types, per-function
+// taint/error summaries, fixed-point propagation — see program.go):
+//
+//   - decodetaint: decode-path allocation sizes or index bounds derived
+//     from untrusted input without CheckedAlloc/NewCheckedField or a guard
+//   - errtaxonomy: decode-path error returns that cannot wrap an
+//     ErrTruncated/ErrCorrupt/ErrHeader sentinel
+//   - ctxflow:     *Ctx functions dropping their context (Background/TODO
+//     below the entry layer, or calling F where FCtx exists)
+//
 // A diagnostic can be suppressed with a trailing or preceding comment
 //
 //	//lrmlint:ignore <rule> <reason>
@@ -57,6 +68,22 @@ type Pass struct {
 	diags      []Diagnostic
 	suppressed map[string]map[int]bool // filename -> line -> suppressed rules encoded "line:rule"
 	ignores    []ignoreDirective
+	prog       *Program
+}
+
+// SetProgram attaches a module-wide Program so the interprocedural
+// analyzers see summaries for every package of the module. The driver calls
+// this once after loading.
+func (p *Pass) SetProgram(prog *Program) { p.prog = prog }
+
+// Program returns the attached module-wide Program, lazily building a
+// single-package Program over this pass when none was attached (the
+// standalone CheckFile path used by golden tests).
+func (p *Pass) Program() *Program {
+	if p.prog == nil {
+		p.prog = NewProgram([]*Pass{p})
+	}
+	return p.prog
 }
 
 type ignoreDirective struct {
@@ -135,6 +162,9 @@ func All() []*Analyzer {
 		AnalyzerGoroutine,
 		AnalyzerDeadAssign,
 		AnalyzerObsSpan,
+		AnalyzerDecodeTaint,
+		AnalyzerErrTaxonomy,
+		AnalyzerCtxFlow,
 	}
 }
 

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkSrc type-checks a source string as a standalone file and returns its
+// pass plus a single-package Program over it.
+func checkSrc(t *testing.T, name, src string) (*Pass, *Program) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pass, err := CheckFile(path)
+	if err != nil {
+		t.Fatalf("source does not type-check: %v", err)
+	}
+	prog := NewProgram([]*Pass{pass})
+	pass.SetProgram(prog)
+	return pass, prog
+}
+
+// lookupFunc finds a declared function by name in the program index.
+func lookupFunc(t *testing.T, prog *Program, name string) *types.Func {
+	t.Helper()
+	for obj := range prog.Funcs {
+		if obj.Name() == name {
+			return obj
+		}
+	}
+	t.Fatalf("function %s not indexed", name)
+	return nil
+}
+
+// TestDecodeScope pins the reporting-set contract: decode-named entries are
+// in scope, helpers become in scope only when a decode path reaches them,
+// and encode-side functions stay out even in the same package.
+func TestDecodeScope(t *testing.T) {
+	_, prog := checkSrc(t, "scope.go", `package scope
+
+func Decompress(b []byte) []byte {
+	return readBody(b)
+}
+
+func readBody(b []byte) []byte { return b }
+
+func Compress(v []byte) []byte {
+	return writeBody(v)
+}
+
+func writeBody(v []byte) []byte { return v }
+`)
+	for name, want := range map[string]bool{
+		"Decompress": true,
+		"readBody":   true,
+		"Compress":   false,
+		"writeBody":  false,
+	} {
+		fn := lookupFunc(t, prog, name)
+		if prog.decodeScope[fn] != want {
+			t.Errorf("decodeScope[%s] = %v, want %v", name, prog.decodeScope[fn], want)
+		}
+	}
+}
+
+// TestDecodeScopeStopsAtPackageBoundary checks the containment rule in the
+// single-package approximation: only packages that declare a decode entry
+// participate, so a file with no decode-named function contributes nothing.
+func TestDecodeScopeStopsAtPackageBoundary(t *testing.T) {
+	_, prog := checkSrc(t, "util.go", `package util
+
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+`)
+	if len(prog.decodeScope) != 0 {
+		t.Fatalf("package without a decode entry has %d scope functions, want 0", len(prog.decodeScope))
+	}
+}
+
+// TestTaintSummaryPropagation verifies the fixed point exposes a helper's
+// decoded result to its callers: readLen's first result must carry the
+// untrusted label, and alloc's parameter must be marked size-sensitive.
+func TestTaintSummaryPropagation(t *testing.T) {
+	_, prog := checkSrc(t, "taintprop.go", `package taintprop
+
+import "encoding/binary"
+
+func readLen(b []byte) (uint64, []byte) {
+	v, n := binary.Uvarint(b)
+	return v, b[n:]
+}
+
+func alloc(n uint64) []float64 {
+	return make([]float64, n)
+}
+
+func Decompress(b []byte) []float64 {
+	v, _ := readLen(b)
+	return alloc(v)
+}
+`)
+	sums := prog.taintSummaries()
+
+	readLen := lookupFunc(t, prog, "readLen")
+	sum := sums[readLen]
+	if sum == nil || len(sum.results) < 1 || !sum.results[0].untrusted {
+		t.Errorf("readLen result 0 not marked untrusted: %+v", sum)
+	}
+
+	alloc := lookupFunc(t, prog, "alloc")
+	sum = sums[alloc]
+	if sum == nil || !sum.sizeParams[0] {
+		t.Errorf("alloc param 0 not marked size-sensitive: %+v", sum)
+	}
+}
+
+// TestErrSummaryClasses verifies the error-class lattice: a helper wrapping
+// a sentinel summarizes as always, a bare errors.New as never, and a
+// function mixing both as mixed.
+func TestErrSummaryClasses(t *testing.T) {
+	_, prog := checkSrc(t, "errclasses.go", `package errclasses
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrCorrupt = errors.New("corrupt")
+
+func decodeGood(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("empty: %w", ErrCorrupt)
+	}
+	return nil
+}
+
+func decodeBare(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+func decodeMixed(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty")
+	}
+	if b[0] != 1 {
+		return fmt.Errorf("version: %w", ErrCorrupt)
+	}
+	return nil
+}
+`)
+	sums := prog.errSummaries()
+	for name, want := range map[string]errClass{
+		"decodeGood":  errAlways,
+		"decodeBare":  errNever,
+		"decodeMixed": errMixed,
+	} {
+		fn := lookupFunc(t, prog, name)
+		if sums[fn] != want {
+			t.Errorf("errSummaries[%s] = %v, want %v", name, sums[fn], want)
+		}
+	}
+}
+
+// inspectCalls walks a function body and reports the resolved callee of
+// every call expression (nil for calls the resolver cannot see through).
+func inspectCalls(info *FuncInfo, fn func(*types.Func)) {
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn(info.Pass.calleeFunc(call))
+		}
+		return true
+	})
+}
+
+// TestCalleeFuncResolution pins call-graph edge resolution for plain and
+// method calls, and nil for calls through function values.
+func TestCalleeFuncResolution(t *testing.T) {
+	pass, prog := checkSrc(t, "callees.go", `package callees
+
+type S struct{}
+
+func (s *S) Decode(b []byte) []byte { return b }
+
+func helper(b []byte) []byte { return b }
+
+func Decompress(s *S, b []byte) []byte {
+	f := helper
+	_ = f(b)
+	return s.Decode(helper(b))
+}
+`)
+	decomp := lookupFunc(t, prog, "Decompress")
+	info := prog.Funcs[decomp]
+	want := map[string]bool{"Decode": false, "helper": false}
+	var viaValue int
+	inspectCalls(info, func(callee *types.Func) {
+		if callee == nil {
+			viaValue++
+			return
+		}
+		if _, ok := want[callee.Name()]; ok {
+			want[callee.Name()] = true
+		}
+	})
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("call edge to %s not resolved", name)
+		}
+	}
+	if viaValue == 0 {
+		t.Error("call through a function value should resolve to nil")
+	}
+	_ = pass
+}

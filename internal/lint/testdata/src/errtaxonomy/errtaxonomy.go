@@ -1,0 +1,116 @@
+// Fixture for the errtaxonomy analyzer: decode-path error returns must be
+// able to wrap a taxonomy sentinel. Self-contained: sentinels and the
+// boundary classifier are recognized by name, so local stand-ins exercise
+// the same paths as the real compress package.
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+var (
+	ErrTruncated = errors.New("fixture: truncated input")
+	ErrCorrupt   = errors.New("fixture: corrupt input")
+)
+
+// Classify mimics compress.Classify; recognized by callee name.
+func Classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}
+
+// Decompress returns bare errors on two paths: the seeded violations.
+func Decompress(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, errors.New("empty input") // want "cannot wrap a taxonomy sentinel"
+	}
+	if b[0] != 1 {
+		return nil, fmt.Errorf("bad version %d", b[0]) // want "cannot wrap a taxonomy sentinel"
+	}
+	return b[1:], nil
+}
+
+// DecompressGood wraps sentinels directly and via a classified helper:
+// clean.
+func DecompressGood(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("empty input: %w", ErrTruncated)
+	}
+	payload, err := decodeBody(b)
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// decodeBody always classifies its failures, so callers may pass its error
+// straight through.
+func decodeBody(b []byte) ([]byte, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("short body: %w", ErrTruncated)
+	}
+	return b[2:], nil
+}
+
+// readMagic never classifies: flagged here, and its class propagates to the
+// pass-through return in DecompressBad below.
+func readMagic(b []byte) error {
+	if len(b) < 4 {
+		return errors.New("no magic") // want "cannot wrap a taxonomy sentinel"
+	}
+	return nil
+}
+
+// DecompressBad forwards a helper error that provably cannot classify.
+func DecompressBad(b []byte) ([]byte, error) {
+	if err := readMagic(b); err != nil {
+		return nil, err // want "cannot wrap a taxonomy sentinel"
+	}
+	return b[4:], nil
+}
+
+// DecompressClassified launders an unknown error through the boundary
+// classifier: clean.
+func DecompressClassified(b []byte) (int, error) {
+	v, err := strconv.Atoi(string(b))
+	if err != nil {
+		return 0, Classify(err)
+	}
+	return v, nil
+}
+
+// DecompressClosure uses the local-closure decoder idiom; the closure's
+// summary classifies, so the pass-through return is clean.
+func DecompressClosure(b []byte) (int, error) {
+	pos := 0
+	next := func() (int, error) {
+		if pos >= len(b) {
+			return 0, fmt.Errorf("out of data: %w", ErrTruncated)
+		}
+		v := int(b[pos])
+		pos++
+		return v, nil
+	}
+	v, err := next()
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// DecodeAt's range check is caller API misuse, not a stream failure: the
+// waiver suppresses the finding, so no diagnostic may surface here.
+func DecodeAt(b []byte, coord int) (byte, error) {
+	if coord < 0 || coord >= len(b) {
+		//lrmlint:ignore errtaxonomy caller API misuse, not a decode failure
+		return 0, fmt.Errorf("coordinate %d out of range", coord)
+	}
+	return b[coord], nil
+}

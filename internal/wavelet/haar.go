@@ -6,9 +6,10 @@ package wavelet
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math"
+
+	"lrm/internal/compress"
 )
 
 // invSqrt2 scales the Haar sum/difference pairs so the transform is
@@ -196,7 +197,7 @@ func DecodeSparse(b []byte) (*Sparse, error) {
 	next := func() (uint64, error) {
 		v, n := binary.Uvarint(b[pos:])
 		if n <= 0 {
-			return 0, errors.New("wavelet: truncated sparse header")
+			return 0, fmt.Errorf("wavelet: truncated sparse header: %w", compress.ErrTruncated)
 		}
 		pos += n
 		return v, nil
@@ -214,10 +215,10 @@ func DecodeSparse(b []byte) (*Sparse, error) {
 		return nil, err
 	}
 	if rows == 0 || cols == 0 {
-		return nil, errors.New("wavelet: zero dimension")
+		return nil, fmt.Errorf("wavelet: zero dimension: %w", compress.ErrHeader)
 	}
 	if count > rows*cols {
-		return nil, fmt.Errorf("wavelet: nnz %d exceeds matrix size", count)
+		return nil, fmt.Errorf("wavelet: nnz %d exceeds matrix size: %w", count, compress.ErrCorrupt)
 	}
 	s := &Sparse{Rows: int(rows), Cols: int(cols)}
 	s.Index = make([]int, count)
@@ -230,12 +231,12 @@ func DecodeSparse(b []byte) (*Sparse, error) {
 		}
 		prev += d
 		if prev >= rows*cols {
-			return nil, errors.New("wavelet: sparse index out of range")
+			return nil, fmt.Errorf("wavelet: sparse index out of range: %w", compress.ErrCorrupt)
 		}
 		s.Index[i] = int(prev)
 	}
 	if len(b)-pos < 8*int(count) {
-		return nil, errors.New("wavelet: truncated sparse values")
+		return nil, fmt.Errorf("wavelet: truncated sparse values: %w", compress.ErrTruncated)
 	}
 	for i := range s.Value {
 		s.Value[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[pos:]))
