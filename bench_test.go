@@ -23,6 +23,7 @@ import (
 	"lrm/internal/dataset"
 	"lrm/internal/experiments"
 	"lrm/internal/grid"
+	"lrm/internal/huffman"
 	"lrm/internal/reduce"
 	"lrm/internal/sim/heat3d"
 )
@@ -398,5 +399,77 @@ func BenchmarkAblationZFPRate(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- allocation budgets (zero-alloc steady state) ---
+//
+// The codec hot paths draw scratch from the internal/parallel arenas, so
+// steady-state compression performs a small constant number of heap
+// allocations regardless of field size. These tests pin that property: a
+// regression back to per-symbol or per-point allocation fails fast here,
+// without waiting for the BENCH gate.
+
+func TestSZCompressAllocBudget(t *testing.T) {
+	f := benchField()
+	c := sz.MustNew(sz.Abs, 1e-5).WithWorkers(1)
+	// Warm the arenas and the pooled flate writer.
+	if _, err := c.Compress(f); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := c.Compress(f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 100 {
+		t.Errorf("sz small compress: %.0f allocs/op, budget < 100", allocs)
+	}
+}
+
+func TestHuffmanEncodeAllocBudget(t *testing.T) {
+	// Skewed symbols like sz quantization codes.
+	syms := make([]int, 32768)
+	for i := range syms {
+		v := 32768
+		switch {
+		case i%97 == 0:
+			v = 65536
+		case i%13 == 0:
+			v = 32768 + (i%7 - 3)
+		case i%5 == 0:
+			v = 32768 + i%3
+		}
+		syms[i] = v
+	}
+	if out := huffman.Encode(syms); len(out) == 0 {
+		t.Fatal("empty encode")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if out := huffman.Encode(syms); len(out) == 0 {
+			t.Fatal("empty encode")
+		}
+	})
+	if allocs >= 40 {
+		t.Errorf("huffman encode: %.0f allocs/op, budget < 40", allocs)
+	}
+}
+
+func TestHuffmanDecodeAllocBudget(t *testing.T) {
+	syms := make([]int, 32768)
+	for i := range syms {
+		syms[i] = 32768 + i%5
+	}
+	enc := huffman.Encode(syms)
+	if _, err := huffman.Decode(enc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := huffman.Decode(enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 40 {
+		t.Errorf("huffman decode: %.0f allocs/op, budget < 40", allocs)
 	}
 }

@@ -6,7 +6,7 @@
 //
 //	lrmbench [-out BENCH.json] [-iters N] [-baseline old.json] [-stats]
 //	         [-trace trace.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	         [-debug-addr :8080]
+//	         [-debug-addr :8080] [-profile-top]
 //	lrmbench -compare [-tolerance 0.25] old.json new.json
 //
 // Each benchmark compresses (and decompresses) a Heat3d field at two
@@ -20,6 +20,10 @@
 // bytes in/out) of the pipeline stages it exercised. -cpuprofile and
 // -memprofile write pprof profiles of the whole run; -debug-addr serves
 // /metrics, /debug/vars and /debug/pprof live while the run is in flight.
+// -profile-top instead CPU-profiles each cell separately and embeds the
+// top-10 cumulative frames (function, cum ns, cum %) in that cell's JSON,
+// so a regression flagged by -compare comes with its own hot-path
+// attribution; it is mutually exclusive with -cpuprofile.
 //
 // -trace runs one deterministic traced pass over the full core pipeline
 // (single-field and chunked, medium size) after the benchmarks and writes
@@ -40,6 +44,7 @@ import (
 	"log/slog"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -98,6 +103,7 @@ type Benchmark struct {
 	BaselineNsOp      int64                `json:"baseline_ns_op,omitempty"`
 	SpeedupVsBaseline float64              `json:"speedup_vs_baseline,omitempty"`
 	Stages            map[string]StageStat `json:"stages,omitempty"`
+	ProfileTop        []Frame              `json:"profile_top,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -119,6 +125,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit here")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	tracePath := flag.String("trace", "", "write a Chrome trace of one traced pipeline pass here")
+	profileTop := flag.Bool("profile-top", false, "CPU-profile each cell and attach its top-10 cumulative frames to the JSON")
 	compare := flag.Bool("compare", false, "compare two lrmbench JSON reports (old.json new.json) and fail on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput regression in -compare mode")
 	flag.Parse()
@@ -147,6 +154,12 @@ func main() {
 	if *debugAddr != "" {
 		go obs.ServeDebug(*debugAddr)
 	}
+	if *profileTop && *cpuProfile != "" {
+		// Both need the runtime's single CPU profiler; per-cell profiles
+		// cannot nest inside a whole-run profile.
+		fmt.Fprintln(os.Stderr, "lrmbench: -profile-top and -cpuprofile are mutually exclusive")
+		os.Exit(2)
+	}
 	if *cpuProfile != "" {
 		stop, err := obs.StartCPUProfile(*cpuProfile)
 		if err != nil {
@@ -164,7 +177,7 @@ func main() {
 		}()
 	}
 
-	rep := run(*iters, baseline, *stats)
+	rep := run(*iters, baseline, *stats, *profileTop)
 
 	if *tracePath != "" {
 		if err := runTraced(*tracePath); err != nil {
@@ -219,7 +232,7 @@ func benchField(size string) *grid.Field {
 	panic("unknown size " + size)
 }
 
-func run(iters int, baseline *Report, stats bool) *Report {
+func run(iters int, baseline *Report, stats, profTop bool) *Report {
 	if iters < 1 {
 		iters = 1
 	}
@@ -252,11 +265,11 @@ func run(iters int, baseline *Report, stats bool) *Report {
 				prefix := fmt.Sprintf("%s/%s", c.family, size)
 				suffix := fmt.Sprintf("workers=%d", w)
 				rep.Benchmarks = append(rep.Benchmarks,
-					measure(fmt.Sprintf("%s/compress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, func() error {
+					measure(fmt.Sprintf("%s/compress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, profTop, func() error {
 						_, err := codec.Compress(f)
 						return err
 					}),
-					measure(fmt.Sprintf("%s/decompress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, func() error {
+					measure(fmt.Sprintf("%s/decompress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, profTop, func() error {
 						_, err := codec.Decompress(enc)
 						return err
 					}),
@@ -281,11 +294,11 @@ func run(iters int, baseline *Report, stats bool) *Report {
 			prefix := fmt.Sprintf("chunked/%s", size)
 			suffix := fmt.Sprintf("workers=%d", w)
 			rep.Benchmarks = append(rep.Benchmarks,
-				measure(fmt.Sprintf("%s/compress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, func() error {
+				measure(fmt.Sprintf("%s/compress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, profTop, func() error {
 					_, err := core.CompressChunked(f, opts, chunks)
 					return err
 				}),
-				measure(fmt.Sprintf("%s/decompress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, func() error {
+				measure(fmt.Sprintf("%s/decompress/%s", prefix, suffix), iters, 8*f.Len(), w, stats, profTop, func() error {
 					_, err := core.DecompressWithOpts(res.Archive, dopts)
 					return err
 				}),
@@ -301,10 +314,19 @@ func run(iters int, baseline *Report, stats bool) *Report {
 // measure runs fn iters times and reports best-of wall time plus mean heap
 // growth, the same statistics `go test -bench -benchmem` prints. With stats
 // the obs registry is reset before the first iteration and the cell carries
-// the stage totals accumulated across all iters.
-func measure(name string, iters, rawBytes, workers int, stats bool, fn func() error) Benchmark {
+// the stage totals accumulated across all iters. With profTop the whole
+// cell (all iters) runs under the CPU profiler and the cell carries its
+// top-10 cumulative frames; short cells may sample nothing and carry none.
+func measure(name string, iters, rawBytes, workers int, stats, profTop bool, fn func() error) Benchmark {
 	if stats {
 		obs.Reset()
+	}
+	var profBuf bytes.Buffer
+	if profTop {
+		if err := pprof.StartCPUProfile(&profBuf); err != nil {
+			fmt.Fprintf(os.Stderr, "lrmbench: %s: profile-top: %v\n", name, err)
+			os.Exit(1)
+		}
 	}
 	var best time.Duration = 1<<63 - 1
 	var mallocs, bytes uint64
@@ -341,6 +363,15 @@ func measure(name string, iters, rawBytes, workers int, stats bool, fn func() er
 	}
 	if stats {
 		b.Stages = stageBreakdown(obs.Snapshot())
+	}
+	if profTop {
+		pprof.StopCPUProfile()
+		frames, err := topCumFrames(profBuf.Bytes(), 10)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrmbench: %s: profile-top: %v\n", name, err)
+			os.Exit(1)
+		}
+		b.ProfileTop = frames
 	}
 	return b
 }

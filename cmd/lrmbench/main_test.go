@@ -20,7 +20,7 @@ func TestRunProducesFullMatrix(t *testing.T) {
 		obs.SetEnabled(prev)
 		obs.Reset()
 	}()
-	rep := run(1, nil, true)
+	rep := run(1, nil, true, false)
 	if rep.Schema != schemaID {
 		t.Fatalf("schema %q", rep.Schema)
 	}

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file implements -profile-top: a per-cell CPU profile distilled to
+// the top cumulative frames, attached to the benchmark JSON. The pprof
+// wire format is gzipped profile.proto; only the handful of fields needed
+// for a cumulative-by-function rollup are decoded here, with a minimal
+// protobuf walker, so the command stays stdlib-only.
+
+// Frame is one row of a cell's profile_top list: a function's cumulative
+// CPU time across every sample whose stack contains it.
+type Frame struct {
+	Func   string  `json:"func"`
+	CumNs  int64   `json:"cum_ns"`
+	CumPct float64 `json:"cum_pct"` // share of the cell's sampled CPU time
+}
+
+// pprofSample is one stack sample: location IDs leaf-first plus the
+// per-sample-type values.
+type pprofSample struct {
+	locs   []uint64
+	values []int64
+}
+
+// pprofProfile is the subset of profile.proto needed for the rollup.
+type pprofProfile struct {
+	strings     []string
+	sampleUnits []int64 // unit string index per sample type
+	samples     []pprofSample
+	locFuncs    map[uint64][]uint64 // location id -> function ids, leaf first
+	funcNames   map[uint64]int64    // function id -> name string index
+}
+
+// --- minimal protobuf reader -------------------------------------------
+
+// pbField is one decoded key/value pair. For wire type 2 the payload is
+// the raw bytes; for wire type 0 the varint value.
+type pbField struct {
+	num  int
+	wire int
+	vi   uint64
+	data []byte
+}
+
+// pbWalk iterates the fields of one message, calling fn per field. It
+// tolerates (skips) 64-bit and 32-bit scalar fields.
+func pbWalk(data []byte, fn func(pbField) error) error {
+	for len(data) > 0 {
+		key, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("pprof: bad field key")
+		}
+		data = data[n:]
+		f := pbField{num: int(key >> 3), wire: int(key & 7)}
+		switch f.wire {
+		case 0: // varint
+			v, n := binary.Uvarint(data)
+			if n <= 0 {
+				return fmt.Errorf("pprof: bad varint in field %d", f.num)
+			}
+			f.vi = v
+			data = data[n:]
+		case 1: // fixed64
+			if len(data) < 8 {
+				return fmt.Errorf("pprof: short fixed64 in field %d", f.num)
+			}
+			f.vi = binary.LittleEndian.Uint64(data)
+			data = data[8:]
+		case 2: // length-delimited
+			l, n := binary.Uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < l {
+				return fmt.Errorf("pprof: bad length in field %d", f.num)
+			}
+			f.data = data[n : n+int(l)]
+			data = data[n+int(l):]
+		case 5: // fixed32
+			if len(data) < 4 {
+				return fmt.Errorf("pprof: short fixed32 in field %d", f.num)
+			}
+			f.vi = uint64(binary.LittleEndian.Uint32(data))
+			data = data[4:]
+		default:
+			return fmt.Errorf("pprof: unsupported wire type %d", f.wire)
+		}
+		if err := fn(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pbPackedUvarints decodes a packed repeated varint payload. A wire-type-0
+// single element (protobuf allows unpacked repeats) is handled by the
+// callers passing vi directly.
+func pbPackedUvarints(data []byte, out []uint64) ([]uint64, error) {
+	for len(data) > 0 {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("pprof: bad packed varint")
+		}
+		out = append(out, v)
+		data = data[n:]
+	}
+	return out, nil
+}
+
+// --- profile.proto decoding --------------------------------------------
+
+// parsePprof decodes a gzipped (or raw) profile.proto blob.
+func parsePprof(raw []byte) (*pprofProfile, error) {
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		raw, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p := &pprofProfile{
+		locFuncs:  make(map[uint64][]uint64),
+		funcNames: make(map[uint64]int64),
+	}
+	err := pbWalk(raw, func(f pbField) error {
+		switch f.num {
+		case 1: // sample_type: ValueType{type=1, unit=2}
+			var unit uint64
+			if err := pbWalk(f.data, func(g pbField) error {
+				if g.num == 2 {
+					unit = g.vi
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.sampleUnits = append(p.sampleUnits, int64(unit))
+		case 2: // sample: Sample{location_id=1, value=2}
+			var s pprofSample
+			if err := pbWalk(f.data, func(g pbField) error {
+				switch g.num {
+				case 1:
+					if g.wire == 2 {
+						var err error
+						s.locs, err = pbPackedUvarints(g.data, s.locs)
+						return err
+					}
+					s.locs = append(s.locs, g.vi)
+				case 2:
+					if g.wire == 2 {
+						vs, err := pbPackedUvarints(g.data, nil)
+						if err != nil {
+							return err
+						}
+						for _, v := range vs {
+							s.values = append(s.values, int64(v))
+						}
+						return nil
+					}
+					s.values = append(s.values, int64(g.vi))
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location: Location{id=1, line=4:Line{function_id=1}}
+			var id uint64
+			var fns []uint64
+			if err := pbWalk(f.data, func(g pbField) error {
+				switch g.num {
+				case 1:
+					id = g.vi
+				case 4:
+					return pbWalk(g.data, func(h pbField) error {
+						if h.num == 1 {
+							fns = append(fns, h.vi)
+						}
+						return nil
+					})
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.locFuncs[id] = fns
+		case 5: // function: Function{id=1, name=2}
+			var id uint64
+			var name int64
+			if err := pbWalk(f.data, func(g pbField) error {
+				switch g.num {
+				case 1:
+					id = g.vi
+				case 2:
+					name = int64(g.vi)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			p.funcNames[id] = name
+		case 6: // string_table
+			p.strings = append(p.strings, string(f.data))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// str resolves a string-table index, tolerating corrupt indices.
+func (p *pprofProfile) str(i int64) string {
+	if i < 0 || int(i) >= len(p.strings) {
+		return "?"
+	}
+	return p.strings[i]
+}
+
+// topCumFrames rolls the profile up to its top-n functions by cumulative
+// value. A function is credited once per sample no matter how many times
+// it appears in the stack (recursion must not double-count). The value
+// index prefers the sample type whose unit is "nanoseconds" (the CPU time
+// track of a Go CPU profile) and falls back to the last column.
+func topCumFrames(raw []byte, n int) ([]Frame, error) {
+	p, err := parsePprof(raw)
+	if err != nil {
+		return nil, err
+	}
+	vi := len(p.sampleUnits) - 1
+	for i, u := range p.sampleUnits {
+		if p.str(u) == "nanoseconds" {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		return nil, nil // no sample types: empty profile
+	}
+	cum := make(map[string]int64)
+	var total int64
+	seen := make(map[string]bool)
+	for _, s := range p.samples {
+		if vi >= len(s.values) {
+			continue
+		}
+		v := s.values[vi]
+		total += v
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, loc := range s.locs {
+			for _, fid := range p.locFuncs[loc] {
+				name := p.str(p.funcNames[fid])
+				if !seen[name] {
+					seen[name] = true
+					cum[name] += v
+				}
+			}
+		}
+	}
+	frames := make([]Frame, 0, len(cum))
+	for name, v := range cum {
+		frames = append(frames, Frame{Func: name, CumNs: v})
+	}
+	sort.Slice(frames, func(i, j int) bool {
+		if frames[i].CumNs != frames[j].CumNs {
+			return frames[i].CumNs > frames[j].CumNs
+		}
+		return frames[i].Func < frames[j].Func
+	})
+	if len(frames) > n {
+		frames = frames[:n]
+	}
+	if total > 0 {
+		for i := range frames {
+			frames[i].CumPct = 100 * float64(frames[i].CumNs) / float64(total)
+		}
+	}
+	return frames, nil
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"testing"
+)
+
+// pbEnc builds protobuf wire bytes for the synthetic-profile tests.
+type pbEnc struct{ buf []byte }
+
+func (e *pbEnc) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *pbEnc) varintField(num int, v uint64) {
+	e.uvarint(uint64(num)<<3 | 0)
+	e.uvarint(v)
+}
+
+func (e *pbEnc) bytesField(num int, b []byte) {
+	e.uvarint(uint64(num)<<3 | 2)
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *pbEnc) msgField(num int, fn func(*pbEnc)) {
+	var inner pbEnc
+	fn(&inner)
+	e.bytesField(num, inner.buf)
+}
+
+func (e *pbEnc) packedField(num int, vs ...uint64) {
+	var inner pbEnc
+	for _, v := range vs {
+		inner.uvarint(v)
+	}
+	e.bytesField(num, inner.buf)
+}
+
+// syntheticProfile builds a two-column CPU profile:
+//
+//	strings: ["", "samples", "count", "cpu", "nanoseconds", "fnA", "fnB", "fnC"]
+//	functions: 1=fnA 2=fnB 3=fnC; locations: 1->fnA, 2->fnB, 3->{fnC,fnA} (inlined)
+//	sample [1,2]   values [3, 300]  → stack fnA<-fnB
+//	sample [1,1]   values [1, 100]  → recursive fnA (credited once)
+//	sample [3]     values [1, 100]  → fnC with inlined caller fnA
+//
+// Cumulative ns: fnA=500 (all samples), fnB=300, fnC=100; total=500.
+func syntheticProfile() []byte {
+	var e pbEnc
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", "fnA", "fnB", "fnC"}
+	e.msgField(1, func(m *pbEnc) { m.varintField(1, 1); m.varintField(2, 2) }) // samples/count
+	e.msgField(1, func(m *pbEnc) { m.varintField(1, 3); m.varintField(2, 4) }) // cpu/nanoseconds
+	e.msgField(2, func(m *pbEnc) { m.packedField(1, 1, 2); m.packedField(2, 3, 300) })
+	e.msgField(2, func(m *pbEnc) { m.packedField(1, 1, 1); m.packedField(2, 1, 100) })
+	e.msgField(2, func(m *pbEnc) { m.packedField(1, 3); m.packedField(2, 1, 100) })
+	e.msgField(4, func(m *pbEnc) {
+		m.varintField(1, 1)
+		m.msgField(4, func(l *pbEnc) { l.varintField(1, 1) })
+	})
+	e.msgField(4, func(m *pbEnc) {
+		m.varintField(1, 2)
+		m.msgField(4, func(l *pbEnc) { l.varintField(1, 2) })
+	})
+	e.msgField(4, func(m *pbEnc) {
+		m.varintField(1, 3)
+		m.msgField(4, func(l *pbEnc) { l.varintField(1, 3) })
+		m.msgField(4, func(l *pbEnc) { l.varintField(1, 1) })
+	})
+	e.msgField(5, func(m *pbEnc) { m.varintField(1, 1); m.varintField(2, 5) })
+	e.msgField(5, func(m *pbEnc) { m.varintField(1, 2); m.varintField(2, 6) })
+	e.msgField(5, func(m *pbEnc) { m.varintField(1, 3); m.varintField(2, 7) })
+	for _, s := range strs {
+		e.bytesField(6, []byte(s))
+	}
+	return e.buf
+}
+
+// TestTopCumFramesSynthetic pins the rollup semantics: nanosecond column
+// selection, once-per-sample crediting through recursion and inlining, and
+// descending cum order.
+func TestTopCumFramesSynthetic(t *testing.T) {
+	frames, err := topCumFrames(syntheticProfile(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Frame{
+		{Func: "fnA", CumNs: 500, CumPct: 100},
+		{Func: "fnB", CumNs: 300, CumPct: 60},
+		{Func: "fnC", CumNs: 100, CumPct: 20},
+	}
+	if len(frames) != len(want) {
+		t.Fatalf("got %d frames %+v, want %d", len(frames), frames, len(want))
+	}
+	for i, w := range want {
+		if frames[i] != w {
+			t.Errorf("frame %d: got %+v want %+v", i, frames[i], w)
+		}
+	}
+
+	// top-n truncation
+	top1, err := topCumFrames(syntheticProfile(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top1) != 1 || top1[0].Func != "fnA" {
+		t.Fatalf("top-1: %+v", top1)
+	}
+}
+
+// TestTopCumFramesGzip checks the gzip header path (the format the runtime
+// actually emits) decodes to the same rollup.
+func TestTopCumFramesGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(syntheticProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := topCumFrames(buf.Bytes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 || frames[0].Func != "fnA" {
+		t.Fatalf("gzip path: %+v", frames)
+	}
+}
+
+// TestTopCumFramesCorrupt feeds garbage and truncations; the parser must
+// error (or return empty) rather than panic.
+func TestTopCumFramesCorrupt(t *testing.T) {
+	full := syntheticProfile()
+	inputs := [][]byte{
+		nil,
+		{0xff},
+		[]byte("not a profile"),
+		full[:len(full)/2],
+		full[:3],
+	}
+	for i, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("input %d: panic %v", i, r)
+				}
+			}()
+			topCumFrames(in, 10)
+		}()
+	}
+}
+
+// TestMeasureProfileTop runs a real cell under -profile-top and checks the
+// profile attributes CPU to the busy function.
+func TestMeasureProfileTop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiled spin is not short")
+	}
+	sink := 0.0
+	b := measure("spin", 2, 8, 1, false, true, func() error {
+		for i := 0; i < 8_000_000; i++ {
+			sink += float64(i % 7)
+		}
+		return nil
+	})
+	_ = sink
+	if b.NsOp <= 0 {
+		t.Fatalf("ns_op %d", b.NsOp)
+	}
+	if len(b.ProfileTop) == 0 {
+		t.Fatal("profiled cell carried no frames")
+	}
+	if len(b.ProfileTop) > 10 {
+		t.Fatalf("more than 10 frames: %d", len(b.ProfileTop))
+	}
+	for i := 1; i < len(b.ProfileTop); i++ {
+		if b.ProfileTop[i].CumNs > b.ProfileTop[i-1].CumNs {
+			t.Fatalf("frames not sorted by cum_ns: %+v", b.ProfileTop)
+		}
+	}
+}

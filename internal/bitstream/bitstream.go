@@ -111,6 +111,23 @@ func (w *Writer) Reset() {
 	w.cur, w.n, w.bits = 0, 0, 0
 }
 
+// Grow reserves capacity for at least n more bits, so encoders that can
+// bound their output up front (the Huffman packer knows the exact payload
+// size from the histogram) pay one allocation instead of a doubling
+// sequence. Grow never changes the written content.
+func (w *Writer) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	need := len(w.buf) + (n+7)/8 + 8 // slack for the pending word spill
+	if cap(w.buf) >= need {
+		return
+	}
+	buf := make([]byte, len(w.buf), need)
+	copy(buf, w.buf)
+	w.buf = buf
+}
+
 // ErrOutOfBits is returned when a Reader is asked for more bits than exist.
 var ErrOutOfBits = errors.New("bitstream: out of bits")
 
@@ -167,6 +184,44 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 	}
 	r.pos = end
 	return v, nil
+}
+
+// Peek64 returns the next 64 bits, most significant first, WITHOUT
+// consuming them. Positions past the end of the stream read as zero, so the
+// caller must consult Remaining before trusting low bits near the end. This
+// is the window primitive behind the batch decoders: one peek replaces up
+// to 64 ReadBit calls, and leading-zero/table arithmetic on the window
+// replaces the per-bit branches.
+func (r *Reader) Peek64() uint64 {
+	i := r.pos >> 3
+	k := uint(r.pos & 7)
+	if i+9 <= len(r.buf) {
+		// Fast path: 9 bytes cover any bit offset's 64-bit window.
+		v := binary.BigEndian.Uint64(r.buf[i:]) << k
+		if k != 0 {
+			v |= uint64(r.buf[i+8]) >> (8 - k)
+		}
+		return v
+	}
+	// Tail path: fewer than 9 bytes left; missing bytes read as zero.
+	var v uint64
+	shift := 56 + k // <= 63
+	for ; i < len(r.buf); i++ {
+		v |= uint64(r.buf[i]) << shift
+		if shift < 8 {
+			break
+		}
+		shift -= 8
+	}
+	return v
+}
+
+// Advance consumes n bits previously examined via Peek64. n must not exceed
+// Remaining(); the batch decoders check availability against Remaining
+// before advancing, which preserves the exact out-of-bits semantics of the
+// per-bit readers.
+func (r *Reader) Advance(n int) {
+	r.pos += n
 }
 
 // Remaining returns the number of unread bits.

@@ -180,3 +180,91 @@ func TestSeek(t *testing.T) {
 		t.Fatal("negative seek should fail")
 	}
 }
+
+func TestPeek64MatchesReadBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var w Writer
+		total := 1 + rng.Intn(300)
+		for i := 0; i < total; i++ {
+			w.WriteBit(uint(rng.Intn(2)))
+		}
+		buf := w.Bytes()
+		r := NewReader(buf)
+		for pos := 0; pos <= 8*len(buf); pos++ {
+			if err := r.Seek(pos); err != nil {
+				t.Fatal(err)
+			}
+			peek := r.Peek64()
+			// Reference: read min(64, remaining) bits and left-align; the
+			// rest of the window must be zero padding.
+			n := r.Remaining()
+			if n > 64 {
+				n = 64
+			}
+			var want uint64
+			if n > 0 {
+				ref := NewReader(buf)
+				if err := ref.Seek(pos); err != nil {
+					t.Fatal(err)
+				}
+				v, err := ref.ReadBits(uint(n))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = v << (64 - uint(n))
+			}
+			if peek != want {
+				t.Fatalf("Peek64 at pos %d/%d = %#x, want %#x", pos, 8*len(buf), peek, want)
+			}
+			if r.Pos() != pos {
+				t.Fatalf("Peek64 moved the reader: pos %d -> %d", pos, r.Pos())
+			}
+		}
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xdeadbeefcafef00d, 64)
+	w.WriteBits(0x123, 12)
+	buf := w.Bytes()
+	r := NewReader(buf)
+	r.Advance(4)
+	got, err := r.ReadBits(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xead {
+		t.Fatalf("ReadBits after Advance(4) = %#x, want 0xead", got)
+	}
+	// Peek64 then Advance the full window must land exactly at the end.
+	r2 := NewReader(buf)
+	r2.Advance(r2.Remaining())
+	if r2.Remaining() != 0 {
+		t.Fatalf("Remaining after full Advance = %d", r2.Remaining())
+	}
+	if _, err := r2.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("ReadBit at end = %v, want ErrOutOfBits", err)
+	}
+}
+
+func TestWriterGrow(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xff, 64)
+	w.Grow(1 << 12)
+	want := w.Bytes()
+	if len(want) != 8 || want[7] != 0xff {
+		t.Fatalf("Grow changed content: %x", want)
+	}
+	// Writes after Grow must not reallocate.
+	base := &w.buf[0]
+	for i := 0; i < (1<<12)/64; i++ {
+		w.WriteBits(uint64(i), 64)
+	}
+	if &w.buf[0] != base {
+		t.Fatal("Writer reallocated despite Grow")
+	}
+	w.Grow(-5) // no-op
+	w.Grow(0)  // no-op
+}

@@ -8,8 +8,10 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+	"sync"
 
 	"lrm/internal/grid"
+	"lrm/internal/parallel"
 )
 
 // Codec compresses and decompresses whole fields. A codec's stream is
@@ -48,6 +50,16 @@ type Parallelizable interface {
 	WithWorkers(workers int) Codec
 }
 
+// ParallelTunable is the optional interface of codecs that accept a full
+// parallel.Config — the worker budget plus the size-aware cutover
+// threshold (Config.MinShardBytes) — instead of only a pool size. The same
+// byte-identity contract as Parallelizable applies: the config trades
+// latency, never format.
+type ParallelTunable interface {
+	Codec
+	WithParallel(cfg parallel.Config) Codec
+}
+
 // Ratio returns the compression ratio of a field against its encoding
 // (original bytes / compressed bytes).
 func Ratio(f *grid.Field, compressed []byte) float64 {
@@ -68,11 +80,28 @@ func RatioBytes(orig, compressed int) float64 {
 // FlateBytes deflates a raw byte slice at the given level (flate levels
 // -2..9; use flate.BestCompression for max effort).
 func FlateBytes(b []byte, level int) ([]byte, error) {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, level)
-	if err != nil {
+	if level < -2 || level > 9 {
+		_, err := flate.NewWriter(io.Discard, level)
 		return nil, err
 	}
+	// One pooled writer per level: flate.NewWriter builds a fresh ~700 KiB
+	// window/hash state per call, which used to dominate the sz allocation
+	// profile. Reset makes a pooled writer "equivalent to the result of
+	// NewWriter" (its documented contract), so reuse never changes a byte
+	// of output.
+	pool := &flateWriterPools[level+2]
+	var buf bytes.Buffer
+	w, _ := pool.Get().(*flate.Writer)
+	if w == nil {
+		var err error
+		w, err = flate.NewWriter(&buf, level)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		w.Reset(&buf)
+	}
+	defer pool.Put(w)
 	if _, err := w.Write(b); err != nil {
 		return nil, err
 	}
@@ -81,6 +110,10 @@ func FlateBytes(b []byte, level int) ([]byte, error) {
 	}
 	return buf.Bytes(), nil
 }
+
+// flateWriterPools caches flate writers by compression level (-2..9 maps
+// to indices 0..11).
+var flateWriterPools [12]sync.Pool
 
 // maxInflate caps decompression-bomb expansion: no legitimate stream in
 // this repository inflates beyond 8 bytes per element of MaxElements.

@@ -1,0 +1,243 @@
+package sz
+
+import "math"
+
+// This file holds the batched Lorenzo row kernels. The generic path
+// (lorenzoPredict + quantizePoint) recovers (i, j, k) from a flat index
+// with a div/mod per point and re-tests the boundary conditions per point;
+// the kernels below are specialized per rank and per boundary case, so the
+// interior loop — virtually every point — carries its counters and runs
+// with no division and no predictor indirection.
+//
+// Bit-identity contract: every expression below reproduces the generic
+// path's floating-point operations in the exact original order, with
+// literal zeros standing in for out-of-range neighbours exactly where
+// lorenzoPredict substituted zero values. Go does not fold x+0 for floats
+// (the identity is false for -0), so the specialized and generic
+// expressions compile to the same IEEE operation sequence.
+
+// quantizeAt quantizes data[idx] against a prediction, writing the
+// reconstruction and code. It is the body of quantizePoint after the
+// predictor call, kept small enough to inline into the row loops.
+func quantizeAt(data, decoded []float64, codes []int, eb, pred float64, idx int) {
+	v := data[idx]
+	diff := v - pred
+	q := math.Round(diff / (2 * eb))
+	if math.Abs(q) < radius && !math.IsNaN(q) {
+		dec := pred + 2*eb*q
+		if math.Abs(dec-v) <= eb {
+			decoded[idx] = dec
+			codes[idx] = int(q) + radius
+			return
+		}
+	}
+	decoded[idx] = v
+	codes[idx] = unpredictable
+}
+
+// quantizeRow1 quantizes a whole rank-1 domain: pred is the previous
+// reconstruction, zero at the origin.
+func quantizeRow1(data, decoded []float64, codes []int, eb float64) {
+	if len(data) == 0 {
+		return
+	}
+	quantizeAt(data, decoded, codes, eb, 0, 0)
+	for idx := 1; idx < len(data); idx++ {
+		quantizeAt(data, decoded, codes, eb, decoded[idx-1], idx)
+	}
+}
+
+// quantizeRow2 quantizes points [x0,x1) of row j of an nx-wide rank-2
+// domain.
+func quantizeRow2(data, decoded []float64, codes []int, eb float64, nx, j, x0, x1 int) {
+	idx := j*nx + x0
+	i := x0
+	if j == 0 {
+		if i == 0 {
+			quantizeAt(data, decoded, codes, eb, 0+0-0, idx)
+			i, idx = i+1, idx+1
+		}
+		for ; i < x1; i, idx = i+1, idx+1 {
+			quantizeAt(data, decoded, codes, eb, decoded[idx-1]+0-0, idx)
+		}
+		return
+	}
+	if i == 0 {
+		quantizeAt(data, decoded, codes, eb, 0+decoded[idx-nx]-0, idx)
+		i, idx = i+1, idx+1
+	}
+	for ; i < x1; i, idx = i+1, idx+1 {
+		quantizeAt(data, decoded, codes, eb, decoded[idx-1]+decoded[idx-nx]-decoded[idx-nx-1], idx)
+	}
+}
+
+// quantizeRow3 quantizes points [x0,x1) of row (k, j) of a rank-3 domain
+// with x-extent nx and plane stride nxny.
+func quantizeRow3(data, decoded []float64, codes []int, eb float64, nx, nxny, j, k, x0, x1 int) {
+	idx := k*nxny + j*nx + x0
+	i := x0
+	d := decoded
+	switch {
+	case k == 0 && j == 0:
+		if i == 0 {
+			quantizeAt(data, d, codes, eb, 0+0+0-0-0-0+0, idx)
+			i, idx = i+1, idx+1
+		}
+		for ; i < x1; i, idx = i+1, idx+1 {
+			quantizeAt(data, d, codes, eb, d[idx-1]+0+0-0-0-0+0, idx)
+		}
+	case k == 0:
+		if i == 0 {
+			quantizeAt(data, d, codes, eb, 0+d[idx-nx]+0-0-0-0+0, idx)
+			i, idx = i+1, idx+1
+		}
+		for ; i < x1; i, idx = i+1, idx+1 {
+			quantizeAt(data, d, codes, eb, d[idx-1]+d[idx-nx]+0-d[idx-nx-1]-0-0+0, idx)
+		}
+	case j == 0:
+		if i == 0 {
+			quantizeAt(data, d, codes, eb, 0+0+d[idx-nxny]-0-0-0+0, idx)
+			i, idx = i+1, idx+1
+		}
+		for ; i < x1; i, idx = i+1, idx+1 {
+			quantizeAt(data, d, codes, eb, d[idx-1]+0+d[idx-nxny]-0-d[idx-nxny-1]-0+0, idx)
+		}
+	default:
+		if i == 0 {
+			quantizeAt(data, d, codes, eb, 0+d[idx-nx]+d[idx-nxny]-0-0-d[idx-nxny-nx]+0, idx)
+			i, idx = i+1, idx+1
+		}
+		for ; i < x1; i, idx = i+1, idx+1 {
+			quantizeAt(data, d, codes, eb,
+				d[idx-1]+d[idx-nx]+d[idx-nxny]-d[idx-nx-1]-d[idx-nxny-1]-d[idx-nxny-nx]+d[idx-nxny-nx-1], idx)
+		}
+	}
+}
+
+// quantizeRows dispatches a row range to the rank-specialized kernel.
+// dims must be rank 2 or 3 (rank 1 uses quantizeRow1 directly).
+func quantizeRows(data, decoded []float64, codes []int, dims []int, eb float64, k, j, x0, x1 int) {
+	if len(dims) == 2 {
+		quantizeRow2(data, decoded, codes, eb, dims[1], j, x0, x1)
+		return
+	}
+	nx := dims[2]
+	quantizeRow3(data, decoded, codes, eb, nx, dims[1]*nx, j, k, x0, x1)
+}
+
+// dequantRow1 reverses quantizeRow1: codes were validated and misses
+// placed by the raster pre-pass, so the row only applies the recurrence.
+func dequantRow1(out []float64, codes []int, eb float64) {
+	if len(out) == 0 {
+		return
+	}
+	if codes[0] != unpredictable {
+		out[0] = 0 + 2*eb*float64(codes[0]-radius)
+	}
+	for idx := 1; idx < len(out); idx++ {
+		if codes[idx] != unpredictable {
+			out[idx] = out[idx-1] + 2*eb*float64(codes[idx]-radius)
+		}
+	}
+}
+
+// dequantWaveRow2 reverses quantizeRow2 for the wavefront path: codes were
+// validated and misses placed by the raster pre-pass, so the row only
+// applies the prediction recurrence, skipping miss positions.
+func dequantWaveRow2(out []float64, codes []int, eb float64, nx, j, x0, x1 int) {
+	idx := j*nx + x0
+	i := x0
+	if j == 0 {
+		if i == 0 {
+			if codes[idx] != unpredictable {
+				out[idx] = (0 + 0 - 0) + 2*eb*float64(codes[idx]-radius)
+			}
+			i, idx = i+1, idx+1
+		}
+		for ; i < x1; i, idx = i+1, idx+1 {
+			if codes[idx] != unpredictable {
+				out[idx] = (out[idx-1] + 0 - 0) + 2*eb*float64(codes[idx]-radius)
+			}
+		}
+		return
+	}
+	if i == 0 {
+		if codes[idx] != unpredictable {
+			out[idx] = (0 + out[idx-nx] - 0) + 2*eb*float64(codes[idx]-radius)
+		}
+		i, idx = i+1, idx+1
+	}
+	for ; i < x1; i, idx = i+1, idx+1 {
+		if codes[idx] != unpredictable {
+			out[idx] = (out[idx-1] + out[idx-nx] - out[idx-nx-1]) + 2*eb*float64(codes[idx]-radius)
+		}
+	}
+}
+
+// dequantWaveRow3 is dequantWaveRow2 for rank 3.
+func dequantWaveRow3(out []float64, codes []int, eb float64, nx, nxny, j, k, x0, x1 int) {
+	idx := k*nxny + j*nx + x0
+	i := x0
+	switch {
+	case k == 0 && j == 0:
+		if i == 0 {
+			if codes[idx] != unpredictable {
+				out[idx] = (0 + 0 + 0 - 0 - 0 - 0 + 0) + 2*eb*float64(codes[idx]-radius)
+			}
+			i, idx = i+1, idx+1
+		}
+		for ; i < x1; i, idx = i+1, idx+1 {
+			if codes[idx] != unpredictable {
+				out[idx] = (out[idx-1] + 0 + 0 - 0 - 0 - 0 + 0) + 2*eb*float64(codes[idx]-radius)
+			}
+		}
+	case k == 0:
+		if i == 0 {
+			if codes[idx] != unpredictable {
+				out[idx] = (0 + out[idx-nx] + 0 - 0 - 0 - 0 + 0) + 2*eb*float64(codes[idx]-radius)
+			}
+			i, idx = i+1, idx+1
+		}
+		for ; i < x1; i, idx = i+1, idx+1 {
+			if codes[idx] != unpredictable {
+				out[idx] = (out[idx-1] + out[idx-nx] + 0 - out[idx-nx-1] - 0 - 0 + 0) + 2*eb*float64(codes[idx]-radius)
+			}
+		}
+	case j == 0:
+		if i == 0 {
+			if codes[idx] != unpredictable {
+				out[idx] = (0 + 0 + out[idx-nxny] - 0 - 0 - 0 + 0) + 2*eb*float64(codes[idx]-radius)
+			}
+			i, idx = i+1, idx+1
+		}
+		for ; i < x1; i, idx = i+1, idx+1 {
+			if codes[idx] != unpredictable {
+				out[idx] = (out[idx-1] + 0 + out[idx-nxny] - 0 - out[idx-nxny-1] - 0 + 0) + 2*eb*float64(codes[idx]-radius)
+			}
+		}
+	default:
+		if i == 0 {
+			if codes[idx] != unpredictable {
+				out[idx] = (0 + out[idx-nx] + out[idx-nxny] - 0 - 0 - out[idx-nxny-nx] + 0) + 2*eb*float64(codes[idx]-radius)
+			}
+			i, idx = i+1, idx+1
+		}
+		for ; i < x1; i, idx = i+1, idx+1 {
+			if codes[idx] != unpredictable {
+				out[idx] = (out[idx-1] + out[idx-nx] + out[idx-nxny] -
+					out[idx-nx-1] - out[idx-nxny-1] - out[idx-nxny-nx] + out[idx-nxny-nx-1]) + 2*eb*float64(codes[idx]-radius)
+			}
+		}
+	}
+}
+
+// dequantRows dispatches a wavefront row range to the rank-specialized
+// kernel. dims must be rank 2 or 3.
+func dequantRows(out []float64, codes []int, dims []int, eb float64, k, j, x0, x1 int) {
+	if len(dims) == 2 {
+		dequantWaveRow2(out, codes, eb, dims[1], j, x0, x1)
+		return
+	}
+	nx := dims[2]
+	dequantWaveRow3(out, codes, eb, nx, dims[1]*nx, j, k, x0, x1)
+}

@@ -1,0 +1,196 @@
+package sz
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantizeCoreScalar is the pre-kernel reference: the per-point generic
+// predictor with div/mod index recovery, swept in raster order.
+func quantizeCoreScalar(data []float64, dims []int, eb float64, decoded []float64, pred4 predictor) (codes []int, exact []float64) {
+	codes = make([]int, len(data))
+	for idx := range data {
+		codes[idx] = quantizePoint(data, decoded, dims, eb, pred4, idx)
+		if codes[idx] == unpredictable {
+			exact = append(exact, data[idx])
+		}
+	}
+	return codes, exact
+}
+
+// dequantizeCoreScalar is the pre-kernel serial decode reference.
+func dequantizeCoreScalar(codes []int, dims []int, eb float64, exact []float64, pred4 predictor) ([]float64, error) {
+	out := make([]float64, len(codes))
+	e := 0
+	for idx, code := range codes {
+		if code == unpredictable {
+			if e >= len(exact) {
+				return nil, fmt.Errorf("reference: pool exhausted")
+			}
+			out[idx] = exact[e]
+			e++
+			continue
+		}
+		if code < 0 || code > unpredictable {
+			return nil, fmt.Errorf("reference: invalid code %d", code)
+		}
+		pred := pred4(out, dims, idx)
+		out[idx] = pred + 2*eb*float64(code-radius)
+	}
+	if e != len(exact) {
+		return nil, fmt.Errorf("reference: unconsumed exact values")
+	}
+	return out, nil
+}
+
+// kernelField synthesizes data with smooth regions, jumps (prediction
+// misses), exact zeros, and negatives, over the given dims.
+func kernelField(rng *rand.Rand, dims []int) []float64 {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	data := make([]float64, n)
+	for i := range data {
+		x := float64(i)
+		data[i] = math.Sin(x*0.02)*4 + math.Cos(x*0.003)*9
+		switch rng.Intn(40) {
+		case 0:
+			data[i] *= math.Exp(float64(rng.Intn(40)) - 20) // wild jump: miss
+		case 1:
+			data[i] = 0
+		case 2:
+			data[i] = -data[i]
+		}
+	}
+	return data
+}
+
+var kernelDims = [][]int{
+	{1}, {2}, {37}, {4096}, {20000},
+	{1, 1}, {1, 40}, {40, 1}, {33, 47}, {128, 160},
+	{1, 1, 1}, {1, 4, 4}, {16, 16, 16}, {31, 17, 9}, {24, 40, 44},
+}
+
+// TestQuantizeKernelsMatchScalar proves the batched row kernels reproduce
+// the per-point reference bit for bit — codes, reconstruction, and the
+// exact pool — across ranks, boundary shapes, and worker counts.
+func TestQuantizeKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, dims := range kernelDims {
+		for _, eb := range []float64{1e-3, 1e-7} {
+			data := kernelField(rng, dims)
+			refDecoded := make([]float64, len(data))
+			refCodes, refExact := quantizeCoreScalar(data, dims, eb, refDecoded, lorenzoPredict)
+
+			for _, workers := range []int{1, 3, 8} {
+				decoded := make([]float64, len(data))
+				codes, exact := quantizeCore(data, dims, eb, decoded, false, workers)
+				if len(codes) != len(refCodes) {
+					t.Fatalf("dims=%v eb=%g w=%d: code count %d != %d", dims, eb, workers, len(codes), len(refCodes))
+				}
+				for i := range codes {
+					if codes[i] != refCodes[i] {
+						t.Fatalf("dims=%v eb=%g w=%d: code[%d] = %d, scalar %d", dims, eb, workers, i, codes[i], refCodes[i])
+					}
+					if math.Float64bits(decoded[i]) != math.Float64bits(refDecoded[i]) {
+						t.Fatalf("dims=%v eb=%g w=%d: decoded[%d] = %x, scalar %x",
+							dims, eb, workers, i, math.Float64bits(decoded[i]), math.Float64bits(refDecoded[i]))
+					}
+				}
+				if len(exact) != len(refExact) {
+					t.Fatalf("dims=%v eb=%g w=%d: pool size %d != %d", dims, eb, workers, len(exact), len(refExact))
+				}
+				for i := range exact {
+					if math.Float64bits(exact[i]) != math.Float64bits(refExact[i]) {
+						t.Fatalf("dims=%v eb=%g w=%d: pool[%d] differs", dims, eb, workers, i)
+					}
+				}
+
+				// Decode side: kernels vs scalar reference, same worker sweep.
+				back, err := dequantizeCore(codes, dims, eb, exact, false, workers)
+				if err != nil {
+					t.Fatalf("dims=%v eb=%g w=%d: dequantize: %v", dims, eb, workers, err)
+				}
+				refBack, err := dequantizeCoreScalar(refCodes, dims, eb, refExact, lorenzoPredict)
+				if err != nil {
+					t.Fatalf("dims=%v: reference dequantize: %v", dims, err)
+				}
+				for i := range back {
+					if math.Float64bits(back[i]) != math.Float64bits(refBack[i]) {
+						t.Fatalf("dims=%v eb=%g w=%d: out[%d] = %x, scalar %x",
+							dims, eb, workers, i, math.Float64bits(back[i]), math.Float64bits(refBack[i]))
+					}
+					if math.Abs(back[i]-data[i]) > eb {
+						t.Fatalf("dims=%v eb=%g: error bound violated at %d", dims, eb, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCurveFitKernelsMatchScalar covers the curve-fit configuration: 1-D
+// keeps the adaptive scalar path, multi-D must take the Lorenzo kernels and
+// still match the generic curveFitPredict (which falls back to Lorenzo).
+func TestCurveFitKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, dims := range [][]int{{4096}, {33, 47}, {16, 16, 16}} {
+		data := kernelField(rng, dims)
+		eb := 1e-5
+		refDecoded := make([]float64, len(data))
+		refCodes, refExact := quantizeCoreScalar(data, dims, eb, refDecoded, curveFitPredict)
+		for _, workers := range []int{1, 8} {
+			decoded := make([]float64, len(data))
+			codes, exact := quantizeCore(data, dims, eb, decoded, true, workers)
+			for i := range codes {
+				if codes[i] != refCodes[i] {
+					t.Fatalf("dims=%v w=%d: code[%d] = %d, scalar %d", dims, workers, i, codes[i], refCodes[i])
+				}
+			}
+			back, err := dequantizeCore(codes, dims, eb, exact, true, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refBack, err := dequantizeCoreScalar(refCodes, dims, eb, refExact, curveFitPredict)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range back {
+				if math.Float64bits(back[i]) != math.Float64bits(refBack[i]) {
+					t.Fatalf("dims=%v w=%d: out[%d] differs from scalar", dims, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDequantizeKernelErrors pins the corrupt-input error semantics of the
+// kernelized decoder against the reference: same failure, same raster
+// detection order.
+func TestDequantizeKernelErrors(t *testing.T) {
+	dims := []int{16, 16, 16}
+	n := 16 * 16 * 16
+	codes := make([]int, n)
+	for i := range codes {
+		codes[i] = radius
+	}
+
+	bad := append([]int(nil), codes...)
+	bad[100] = -1
+	if _, err := dequantizeCore(bad, dims, 1e-5, nil, false, 1); err == nil {
+		t.Fatal("invalid code not rejected")
+	}
+
+	starved := append([]int(nil), codes...)
+	starved[50] = unpredictable
+	if _, err := dequantizeCore(starved, dims, 1e-5, nil, false, 1); err == nil {
+		t.Fatal("pool exhaustion not rejected")
+	}
+
+	if _, err := dequantizeCore(codes, dims, 1e-5, []float64{1.5}, false, 1); err == nil {
+		t.Fatal("unconsumed pool not rejected")
+	}
+}

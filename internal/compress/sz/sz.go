@@ -81,7 +81,8 @@ type Codec struct {
 	mode     Mode
 	bound    float64
 	curveFit bool
-	workers  int // worker pool size; 0 = parallel.DefaultWorkers()
+	workers  int   // worker pool size; 0 = parallel.DefaultWorkers()
+	minShard int64 // size-aware cutover; see parallel.Config.MinShardBytes
 }
 
 // WithWorkers returns a copy of c that runs the predict–quantize wavefront
@@ -94,9 +95,21 @@ func (c *Codec) WithWorkers(workers int) compress.Codec {
 	return &cp
 }
 
-// workerCount resolves the effective pool size.
-func (c *Codec) workerCount() int {
-	return parallel.Config{Workers: c.workers}.Resolve()
+// WithParallel returns a copy of c bound to a full parallel config: the
+// worker budget plus the size-aware cutover threshold. The zero config
+// restores all defaults. Implements compress.ParallelTunable.
+func (c *Codec) WithParallel(cfg parallel.Config) compress.Codec {
+	cp := *c
+	cp.workers = cfg.Workers
+	cp.minShard = cfg.MinShardBytes
+	return &cp
+}
+
+// workerCount resolves the effective pool size for an input of totalBytes
+// (8 bytes per sample), applying the size-aware cutover so small fields
+// never pay wavefront and shard-merge overhead they cannot amortize.
+func (c *Codec) workerCount(totalBytes int64) int {
+	return parallel.Config{Workers: c.workers, MinShardBytes: c.minShard}.WorkersFor(totalBytes)
 }
 
 // New returns a codec with the given mode and error bound.
@@ -336,73 +349,52 @@ func quantizePoint(data, decoded []float64, dims []int, eb float64, pred4 predic
 // quantizeCore runs the predict–quantize loop with an absolute bound eb.
 // It returns the quantization codes and the exactly stored values for
 // misses. decoded is scratch of len(data) holding the on-the-fly
-// reconstruction, which is also the decompressor's view. With workers > 1
-// and a multi-dimensional domain the loop runs as a tiled wavefront
-// (wavefront.go); every point still sees identical operands, so codes,
-// decoded, and the exact pool match the serial scan bit for bit.
-func quantizeCore(data []float64, dims []int, eb float64, decoded []float64, pred4 predictor, workers int) (codes []int, exact []float64) {
-	codes = make([]int, len(data))
-	if wavefrontRun(dims, workers, func(idx int) {
-		codes[idx] = quantizePoint(data, decoded, dims, eb, pred4, idx)
-	}) {
-		// Collect misses in raster order — the serial pool order.
-		for idx, code := range codes {
-			if code == unpredictable {
-				exact = append(exact, data[idx])
-			}
+// reconstruction, which is also the decompressor's view (every entry is
+// written before it is read, so arena-dirty scratch is fine). The codes
+// slice is arena-backed: the caller owns it and must return it with
+// parallel.PutInts once consumed.
+//
+// Multi-dimensional domains run the rank-specialized row kernels
+// (kernels.go) — serially in raster order, or as a tiled wavefront
+// (wavefront.go) sweeping the same rows. Every point sees identical
+// operands either way, so codes, decoded, and the exact pool match the
+// scalar per-point scan bit for bit. The adaptive curve-fit predictor is
+// 1-D only and keeps the scalar loop; multi-D curve-fit streams use the
+// Lorenzo kernels, exactly as curveFitPredict falls back to lorenzoPredict.
+func quantizeCore(data []float64, dims []int, eb float64, decoded []float64, curveFit bool, workers int) (codes []int, exact []float64) {
+	codes = parallel.Ints(len(data))
+	switch {
+	case len(dims) == 1 && curveFit:
+		for idx := range data {
+			codes[idx] = quantizePoint(data, decoded, dims, eb, curveFitPredict, idx)
 		}
-		return codes, exact
+	case len(dims) == 1:
+		quantizeRow1(data, decoded, codes, eb)
+	default:
+		if !wavefrontRows(dims, workers, func(k, j, x0, x1 int) {
+			quantizeRows(data, decoded, codes, dims, eb, k, j, x0, x1)
+		}) {
+			serialRows(dims, func(k, j, x0, x1 int) {
+				quantizeRows(data, decoded, codes, dims, eb, k, j, x0, x1)
+			})
+		}
 	}
-	for idx := range data {
-		codes[idx] = quantizePoint(data, decoded, dims, eb, pred4, idx)
-		if codes[idx] == unpredictable {
+	// Collect misses in raster order — the serial pool order.
+	for idx, code := range codes {
+		if code == unpredictable {
 			exact = append(exact, data[idx])
 		}
 	}
 	return codes, exact
 }
 
-// dequantizeCore reverses quantizeCore. The parallel path first validates
-// codes and places the exact values in one raster pre-pass (reproducing
-// the serial error and pool-consumption order), then runs the prediction
-// recurrence as a wavefront over the remaining points.
-func dequantizeCore(codes []int, dims []int, eb float64, exact []float64, pred4 predictor, workers int) ([]float64, error) {
+// dequantizeCore reverses quantizeCore. A raster pre-pass validates every
+// code and places the exact values in serial pool order (reproducing the
+// scalar error and pool-consumption order); misses are then fixed points
+// of the recurrence, so the row kernels — serial or wavefront — only apply
+// the prediction to the remaining points.
+func dequantizeCore(codes []int, dims []int, eb float64, exact []float64, curveFit bool, workers int) ([]float64, error) {
 	out := make([]float64, len(codes))
-	wantWave := len(dims) > 1 && workers > 1 && len(codes) >= minWavefrontPoints
-	if wantWave {
-		e := 0
-		for idx, code := range codes {
-			if code == unpredictable {
-				if e >= len(exact) {
-					return nil, fmt.Errorf("sz: exact-value pool exhausted: %w", compress.ErrCorrupt)
-				}
-				out[idx] = exact[e]
-				e++
-				continue
-			}
-			if code < 0 || code > unpredictable {
-				return nil, fmt.Errorf("sz: invalid quantization code %d: %w", code, compress.ErrCorrupt)
-			}
-		}
-		if e != len(exact) {
-			return nil, fmt.Errorf("sz: unconsumed exact values: %w", compress.ErrCorrupt)
-		}
-		if wavefrontRun(dims, workers, func(idx int) {
-			if codes[idx] == unpredictable {
-				return // exact value already placed by the pre-pass
-			}
-			pred := pred4(out, dims, idx)
-			out[idx] = pred + 2*eb*float64(codes[idx]-radius)
-		}) {
-			return out, nil
-		}
-		// Domain declined the wavefront: fall through to the serial scan
-		// (out already holds the misses, which the scan overwrites
-		// consistently).
-		for i := range out {
-			out[i] = 0
-		}
-	}
 	e := 0
 	for idx, code := range codes {
 		if code == unpredictable {
@@ -416,11 +408,29 @@ func dequantizeCore(codes []int, dims []int, eb float64, exact []float64, pred4 
 		if code < 0 || code > unpredictable {
 			return nil, fmt.Errorf("sz: invalid quantization code %d: %w", code, compress.ErrCorrupt)
 		}
-		pred := pred4(out, dims, idx)
-		out[idx] = pred + 2*eb*float64(code-radius)
 	}
 	if e != len(exact) {
 		return nil, fmt.Errorf("sz: unconsumed exact values: %w", compress.ErrCorrupt)
+	}
+	switch {
+	case len(dims) == 1 && curveFit:
+		for idx, code := range codes {
+			if code == unpredictable {
+				continue
+			}
+			pred := curveFitPredict(out, dims, idx)
+			out[idx] = pred + 2*eb*float64(code-radius)
+		}
+	case len(dims) == 1:
+		dequantRow1(out, codes, eb)
+	default:
+		if !wavefrontRows(dims, workers, func(k, j, x0, x1 int) {
+			dequantRows(out, codes, dims, eb, k, j, x0, x1)
+		}) {
+			serialRows(dims, func(k, j, x0, x1 int) {
+				dequantRows(out, codes, dims, eb, k, j, x0, x1)
+			})
+		}
 	}
 	return out, nil
 }
@@ -429,12 +439,13 @@ func dequantizeCore(codes []int, dims []int, eb float64, exact []float64, pred4 
 //
 //	uvarint exactCount | exact float64s | huffman(codes)
 func buildPayload(codes []int, exact []float64, workers int) []byte {
-	var b []byte
+	enc := encodeCodes(codes, workers)
+	b := make([]byte, 0, 10+8*len(exact)+len(enc))
 	b = binary.AppendUvarint(b, uint64(len(exact)))
 	for _, v := range exact {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 	}
-	return append(b, encodeCodes(codes, workers)...)
+	return append(b, enc...)
 }
 
 func parsePayload(b []byte, n int) (codes []int, exact []float64, err error) {
@@ -474,7 +485,7 @@ func (c *Codec) Compress(f *grid.Field) ([]byte, error) {
 func (c *Codec) CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error) {
 	ctx, sp := trace.Start(ctx, "sz.compress")
 	defer sp.End()
-	workers := c.workerCount()
+	workers := c.workerCount(8 * int64(f.Len()))
 	if hasNaNOrInf(f.Data, workers) {
 		err := errors.New("sz: NaN/Inf not supported")
 		sp.SetError(err)
@@ -494,9 +505,11 @@ func (c *Codec) CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error) 
 	case Abs, ValueRangeRel:
 		eb := c.effectiveBound(f)
 		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(eb))
-		decoded := make([]float64, f.Len())
+		// Arena scratch: every entry of decoded and codes is written before
+		// it is read, so dirty slices are safe.
+		decoded := parallel.Floats(f.Len())
 		_, qs := trace.Start(ctx, "sz.quantize")
-		codes, exact := quantizeCore(f.Data, f.Dims, eb, decoded, c.predictor(), workers)
+		codes, exact := quantizeCore(f.Data, f.Dims, eb, decoded, c.curveFit, workers)
 		qs.AddItems(int64(len(codes)))
 		qs.End()
 		if sp != nil {
@@ -516,14 +529,21 @@ func (c *Codec) CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error) 
 		raw = buildPayload(codes, exact, workers)
 		hs.SetBytes(int64(8*len(codes)), int64(len(raw)))
 		hs.End()
+		parallel.PutInts(codes)
+		parallel.PutFloats(decoded)
 
 	case PointwiseRel:
 		// Log-domain transform: bounding |log2 x - log2 x'| <= eb' bounds
 		// the pointwise relative error by 2^eb' - 1 >= Bound.
 		ebLog := math.Log2(1+c.bound) / 2 // halved for symmetric headroom
 		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(ebLog))
-		signs := make([]byte, (f.Len()+7)/8)
-		logs := make([]float64, f.Len())
+		// Arena scratch: signs is or-ed into so it must start zeroed; logs
+		// and decoded are fully written before being read.
+		signs := parallel.Bytes((f.Len() + 7) / 8)
+		for i := range signs {
+			signs[i] = 0
+		}
+		logs := parallel.Floats(f.Len())
 		var exactZero []int
 		for i, v := range f.Data {
 			switch {
@@ -537,9 +557,9 @@ func (c *Codec) CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error) 
 				logs[i] = math.Log2(v)
 			}
 		}
-		decoded := make([]float64, f.Len())
+		decoded := parallel.Floats(f.Len())
 		_, qs := trace.Start(ctx, "sz.quantize")
-		codes, exact := quantizeCore(logs, f.Dims, ebLog, decoded, c.predictor(), workers)
+		codes, exact := quantizeCore(logs, f.Dims, ebLog, decoded, c.curveFit, workers)
 		qs.AddItems(int64(len(codes)))
 		qs.End()
 		if sp != nil {
@@ -565,6 +585,10 @@ func (c *Codec) CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error) 
 		raw = append(raw, buildPayload(codes, exact, workers)...)
 		hs.SetBytes(int64(8*len(codes)), int64(len(raw)))
 		hs.End()
+		parallel.PutInts(codes)
+		parallel.PutFloats(decoded)
+		parallel.PutFloats(logs)
+		parallel.PutBytes(signs)
 	}
 
 	_, fs := trace.Start(ctx, "sz.flate")
@@ -617,10 +641,7 @@ func (c *Codec) decompress(ctx context.Context, data []byte) (*grid.Field, error
 	if flags&^flagCurveFit != 0 {
 		return nil, fmt.Errorf("sz: unknown flags %#x in stream: %w", flags, compress.ErrHeader)
 	}
-	pred4 := predictor(lorenzoPredict)
-	if flags&flagCurveFit != 0 {
-		pred4 = curveFitPredict
-	}
+	curveFit := flags&flagCurveFit != 0
 	// rest[2:10] is the nominal bound (informational on decode).
 	eb := math.Float64frombits(binary.LittleEndian.Uint64(rest[10:18]))
 	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
@@ -655,7 +676,7 @@ func (c *Codec) decompress(ctx context.Context, data []byte) (*grid.Field, error
 			return nil, err
 		}
 		_, ds := trace.Start(ctx, "sz.dequantize")
-		vals, err := dequantizeCore(codes, dims, eb, exact, pred4, c.workerCount())
+		vals, err := dequantizeCore(codes, dims, eb, exact, curveFit, c.workerCount(8*int64(n)))
 		ds.AddItems(int64(len(codes)))
 		ds.SetError(err)
 		ds.End()
@@ -701,7 +722,7 @@ func (c *Codec) decompress(ctx context.Context, data []byte) (*grid.Field, error
 			return nil, err
 		}
 		_, ds := trace.Start(ctx, "sz.dequantize")
-		logs, err := dequantizeCore(codes, dims, eb, exact, pred4, c.workerCount())
+		logs, err := dequantizeCore(codes, dims, eb, exact, curveFit, c.workerCount(8*int64(n)))
 		ds.AddItems(int64(len(codes)))
 		ds.SetError(err)
 		ds.End()

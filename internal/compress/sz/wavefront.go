@@ -40,12 +40,16 @@ func wavefrontTiles(n, workers int) int {
 	return g
 }
 
-// pointFn processes one already-schedulable point.
-type pointFn func(idx int)
+// rowFn processes the contiguous point run [x0,x1) of row (k, j); k is 0
+// for rank-2 domains. All strictly-lower-index neighbours of every point
+// in the run are complete when the callback fires, so serial raster sweeps
+// and wavefront tile sweeps drive the identical kernels.
+type rowFn func(k, j, x0, x1 int)
 
 // wavefront2 sweeps an (n0, n1) domain in anti-diagonal tile order,
-// calling fn for every point with its dependencies complete.
-func wavefront2(n0, n1, workers int, fn func(i0, i1 int)) {
+// calling fn once per contiguous i1-run of each tile row, dependencies
+// complete.
+func wavefront2(n0, n1, workers int, fn func(i0, i1lo, i1hi int)) {
 	g0 := wavefrontTiles(n0, workers)
 	g1 := wavefrontTiles(n1, workers)
 	for d := 0; d <= g0+g1-2; d++ {
@@ -63,20 +67,19 @@ func wavefront2(n0, n1, workers int, fn func(i0, i1 int)) {
 			i0lo, i0hi := parallel.ShardBounds(n0, g0, a)
 			i1lo, i1hi := parallel.ShardBounds(n1, g1, b)
 			for i0 := i0lo; i0 < i0hi; i0++ {
-				for i1 := i1lo; i1 < i1hi; i1++ {
-					fn(i0, i1)
-				}
+				fn(i0, i1lo, i1hi)
 			}
 		})
 	}
 }
 
-// wavefrontRun sweeps the whole domain, scheduling fn(idx) so every
-// point's strictly-lower-index neighbours are already processed. Rank 2
-// tiles (y, x); rank 3 tiles (z, y) with full x rows inside a tile, which
-// keeps the inner loop contiguous. Returns false when the domain does not
-// warrant (or support) the wavefront; the caller must then run serially.
-func wavefrontRun(dims []int, workers int, fn pointFn) bool {
+// wavefrontRows sweeps the whole domain as row runs, scheduling row(k, j,
+// x0, x1) so every point's strictly-lower-index neighbours are already
+// processed. Rank 2 tiles (y, x), so rows arrive as x-segments; rank 3
+// tiles (z, y) with full x rows inside a tile, which keeps the inner loop
+// contiguous. Returns false when the domain does not warrant (or support)
+// the wavefront; the caller must then sweep rows serially.
+func wavefrontRows(dims []int, workers int, row rowFn) bool {
 	n := 1
 	for _, d := range dims {
 		n *= d
@@ -90,8 +93,8 @@ func wavefrontRun(dims []int, workers int, fn pointFn) bool {
 		if wavefrontTiles(ny, workers) < 2 || wavefrontTiles(nx, workers) < 2 {
 			return false
 		}
-		wavefront2(ny, nx, workers, func(y, x int) {
-			fn(y*nx + x)
+		wavefront2(ny, nx, workers, func(y, xlo, xhi int) {
+			row(0, y, xlo, xhi)
 		})
 		return true
 	case 3:
@@ -99,14 +102,29 @@ func wavefrontRun(dims []int, workers int, fn pointFn) bool {
 		if wavefrontTiles(nz, workers) < 2 || wavefrontTiles(ny, workers) < 2 {
 			return false
 		}
-		wavefront2(nz, ny, workers, func(z, y int) {
-			base := (z*ny + y) * nx
-			for x := 0; x < nx; x++ {
-				fn(base + x)
+		wavefront2(nz, ny, workers, func(z, ylo, yhi int) {
+			for y := ylo; y < yhi; y++ {
+				row(z, y, 0, nx)
 			}
 		})
 		return true
 	default:
 		return false
+	}
+}
+
+// serialRows sweeps every row of a rank-2 or rank-3 domain in raster order.
+func serialRows(dims []int, row rowFn) {
+	nx := dims[len(dims)-1]
+	if len(dims) == 2 {
+		for j := 0; j < dims[0]; j++ {
+			row(0, j, 0, nx)
+		}
+		return
+	}
+	for k := 0; k < dims[0]; k++ {
+		for j := 0; j < dims[1]; j++ {
+			row(k, j, 0, nx)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"lrm/internal/bitstream"
 	"lrm/internal/grid"
 )
 
@@ -43,5 +44,28 @@ func FuzzDecompress(f *testing.F) {
 		}
 		_, _ = c.DecodeAt(data, 0, 0)
 		_, _ = c.DecodeAt(data, 1)
+
+		// Differential check of the plane decoders over the same arbitrary
+		// (valid, truncated, or corrupt) bytes: the batch window decoder and
+		// the per-bit reference must agree on every value, significance
+		// count, and error outcome. The checked-in seeds include truncated
+		// streams, so plain `go test` covers the fault-injection corpus.
+		rFast := bitstream.NewReader(data)
+		rSlow := bitstream.NewReader(data)
+		nf, ns := 0, 0
+		for p := 0; p < 24 && nf < 64; p++ {
+			xf, nf2, errF := decodePlane(rFast, 64, nf)
+			xs, ns2, errS := decodePlaneScalar(rSlow, 64, ns)
+			if (errF == nil) != (errS == nil) {
+				t.Fatalf("plane %d: decoder error mismatch: %v vs %v", p, errF, errS)
+			}
+			if errF != nil {
+				break
+			}
+			if xf != xs || nf2 != ns2 {
+				t.Fatalf("plane %d: (%#x,%d) != reference (%#x,%d)", p, xf, nf2, xs, ns2)
+			}
+			nf, ns = nf2, ns2
+		}
 	})
 }

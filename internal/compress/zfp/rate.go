@@ -151,7 +151,7 @@ func (c *Codec) compressRate(ctx context.Context, f *grid.Field) ([]byte, error)
 
 	bs := blocks(f.Dims)
 	var w bitstream.Writer
-	workers := c.workerCount()
+	workers := c.workerCount(8 * int64(f.Len()))
 	if workers <= 1 || len(bs) < minParallelBlocks {
 		_, sp := trace.Start(ctx, "zfp.shard_encode")
 		sp.AddItems(int64(len(bs)))
@@ -198,15 +198,18 @@ func (c *Codec) encodeRateBlocks(f *grid.Field, bs []blockShape, budget int, w *
 
 	for _, b := range bs {
 		gather(f, b, vals)
-		maxAbs := 0.0
+		// Fused NaN/Inf + max-magnitude scan over the raw bits, as in
+		// encodeBlocks.
+		maxBits := uint64(0)
 		for _, v := range vals {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return errors.New("zfp: NaN/Inf not supported")
-			}
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
+			if u := math.Float64bits(v) &^ (1 << 63); u > maxBits {
+				maxBits = u
 			}
 		}
+		if maxBits >= 0x7ff0000000000000 {
+			return errors.New("zfp: NaN/Inf not supported")
+		}
+		maxAbs := math.Float64frombits(maxBits)
 		start := w.Len()
 		_, emax := math.Frexp(maxAbs)
 		if maxAbs == 0 {

@@ -62,6 +62,7 @@ type Codec struct {
 	tolerance float64 // absolute error tolerance (accuracy mode)
 	rate      uint    // bits per value (rate mode), 1..62
 	workers   int     // worker pool size; 0 = parallel.DefaultWorkers()
+	minShard  int64   // size-aware cutover; see parallel.Config.MinShardBytes
 }
 
 // Stream/codec modes.
@@ -132,9 +133,22 @@ func (c *Codec) WithWorkers(workers int) compress.Codec {
 	return &cp
 }
 
-// workerCount resolves the effective pool size.
-func (c *Codec) workerCount() int {
-	return parallel.Config{Workers: c.workers}.Resolve()
+// WithParallel returns a copy of c bound to a full parallel config: the
+// worker budget plus the size-aware cutover threshold. The zero config
+// restores all defaults. Implements compress.ParallelTunable.
+func (c *Codec) WithParallel(cfg parallel.Config) compress.Codec {
+	cp := *c
+	cp.workers = cfg.Workers
+	cp.minShard = cfg.MinShardBytes
+	return &cp
+}
+
+// workerCount resolves the effective pool size for an input of totalBytes
+// (8 bytes per sample), applying the size-aware cutover: small inputs run
+// serially no matter the budget, because forking the pool costs more than
+// it saves below ~half a MiB per shard.
+func (c *Codec) workerCount(totalBytes int64) int {
+	return parallel.Config{Workers: c.workers, MinShardBytes: c.minShard}.WorkersFor(totalBytes)
 }
 
 // Name implements compress.Codec.
@@ -263,22 +277,46 @@ func transformForward(blk []int64, rank int) {
 			fwdLift(blk, x, 4)
 		}
 	case 3:
-		for z := 0; z < 4; z++ {
-			for y := 0; y < 4; y++ {
-				fwdLift(blk, 16*z+4*y, 1)
+		// The 48 lifts of a full 3-D block run on a fixed-size array view
+		// through the value-form lift4, whose inlined body keeps each
+		// 4-vector in registers: constant indices eliminate the bounds
+		// checks and the load/store traffic of the slice-based fwdLift.
+		// Lifts within one pass touch disjoint 4-vectors, so this is the
+		// same computation in the same pass order.
+		p := (*[64]int64)(blk)
+		for b := 0; b <= 60; b += 4 { // along x
+			p[b], p[b+1], p[b+2], p[b+3] = lift4(p[b], p[b+1], p[b+2], p[b+3])
+		}
+		for z := 0; z < 64; z += 16 { // along y
+			for i := z; i < z+4; i++ {
+				p[i], p[i+4], p[i+8], p[i+12] = lift4(p[i], p[i+4], p[i+8], p[i+12])
 			}
 		}
-		for z := 0; z < 4; z++ {
-			for x := 0; x < 4; x++ {
-				fwdLift(blk, 16*z+x, 4)
-			}
-		}
-		for y := 0; y < 4; y++ {
-			for x := 0; x < 4; x++ {
-				fwdLift(blk, 4*y+x, 16)
-			}
+		for i := 0; i < 16; i++ { // along z
+			p[i], p[i+16], p[i+32], p[i+48] = lift4(p[i], p[i+16], p[i+32], p[i+48])
 		}
 	}
+}
+
+// lift4 is fwdLift in value form: same operations in the same order, but on
+// register operands so call sites with constant indices inline to pure
+// register arithmetic.
+func lift4(x, y, z, w int64) (int64, int64, int64, int64) {
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	return x, y, z, w
 }
 
 // transformInverse undoes transformForward (reverse order, inverse steps).
@@ -334,43 +372,142 @@ func transpose64(m *[64]uint64) {
 	}
 }
 
+// transposeTop is transpose64 restricted to the first `rows` output words:
+// words [0, rows) equal the full anti-transpose, words beyond hold
+// unspecified values. The butterfly stage with span j only has to cover the
+// prefix rounded up to a whole 2j-aligned pair block — working backwards
+// from the needed outputs, stage j must produce roundup(rows, j) correct
+// words from roundup(rows, 2j) correct inputs — so the per-stage pair count
+// shrinks geometrically instead of staying at 32. The precision-16 encoder
+// reads only 16 of the 64 plane words, which cuts the butterfly count from
+// 192 to 80.
+func transposeTop(m *[64]uint64, rows int) {
+	if rows >= 64 {
+		transpose64(m)
+		return
+	}
+	if rows <= 0 {
+		return
+	}
+	if rows <= 16 {
+		transposeTop16(m)
+		return
+	}
+	j := uint(32)
+	mask := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		lim := (rows + int(2*j) - 1) &^ int(2*j-1) // roundup(rows, 2j)
+		if lim > 64 {
+			lim = 64
+		}
+		for k := 0; k < lim; k = (k + int(j) + 1) &^ int(j) {
+			t := (m[k] ^ (m[k+int(j)] >> j)) & mask
+			m[k] ^= t
+			m[k+int(j)] ^= t << j
+		}
+		j >>= 1
+		mask ^= mask << j
+	}
+}
+
+// transposeTop16 is transposeTop specialised to rows <= 16 — the hot shape:
+// the default precision-16 encoder reads exactly 16 plane words. The six
+// butterfly stages are written out with constant spans and constant loop
+// bounds so the compiler drops every bounds check and can schedule the
+// independent butterflies across execution ports; the generic loop's
+// bit-trick index stepping defeats both. The butterflies performed are
+// exactly those of the generic prefix-limited network (80 in total), so
+// words [0, 16) hold the same values.
+func transposeTop16(m *[64]uint64) {
+	// The first two stages skip the partner write-back: stage j=32 feeds
+	// only words [0,32) to stage j=16, and j=16 feeds only [0,16) onward,
+	// so the upper-half updates are dead here. With the write-back gone the
+	// xor butterfly a ^= (a^(b>>j))&mask folds to the masked merge
+	// a&^mask | (b>>j)&mask — identical low words, fewer operations.
+	for k := 0; k < 32; k++ { // j=32, lim=64
+		m[k] = m[k]&^0x00000000FFFFFFFF | m[k+32]>>32
+	}
+	for k := 0; k < 16; k++ { // j=16, lim=32
+		m[k] = m[k]&^0x0000FFFF0000FFFF | m[k+16]>>16&0x0000FFFF0000FFFF
+	}
+	for k := 0; k < 8; k++ { // j=8, lim=16
+		t := (m[k] ^ (m[k+8] >> 8)) & 0x00FF00FF00FF00FF
+		m[k] ^= t
+		m[k+8] ^= t << 8
+	}
+	for base := 0; base < 16; base += 8 { // j=4, lim=16
+		for k := base; k < base+4; k++ {
+			t := (m[k] ^ (m[k+4] >> 4)) & 0x0F0F0F0F0F0F0F0F
+			m[k] ^= t
+			m[k+4] ^= t << 4
+		}
+	}
+	for base := 0; base < 16; base += 4 { // j=2, lim=16
+		for k := base; k < base+2; k++ {
+			t := (m[k] ^ (m[k+2] >> 2)) & 0x3333333333333333
+			m[k] ^= t
+			m[k+2] ^= t << 2
+		}
+	}
+	for k := 0; k < 16; k += 2 { // j=1, lim=16
+		t := (m[k] ^ (m[k+1] >> 1)) & 0x5555555555555555
+		m[k] ^= t
+		m[k+1] ^= t << 1
+	}
+}
+
 // encodePlane writes one bit plane x (bit i of x = plane bit of value i)
 // using ZFP's verbatim-prefix + group-tested run-length scheme. n is the
 // count of values already known significant; the updated n is returned.
-// Emitted bits are batched through a local accumulator so the common case
-// costs a handful of WriteBits calls instead of one WriteBit per bit.
+//
+// The emitted stream is "test 1, zero run, terminating 1" per significant
+// value, so instead of walking the plane bit by bit the loop jumps from set
+// bit to set bit with TrailingZeros64 and emits each whole group — test
+// bit, run, terminator — as one value through a 64-bit accumulator. A dense
+// plane costs a couple of WriteBits calls; a sparse one costs one per set
+// bit, never one per zero.
 func encodePlane(w *bitstream.Writer, x uint64, size, n int) int {
 	if n > 0 {
 		// Verbatim prefix: the low n bits of x, least significant first.
 		w.WriteBits(bits.Reverse64(x)>>(64-uint(n)), uint(n))
 		x >>= uint(n)
 	}
-	acc, cnt := uint64(0), uint(0)
+	var acc uint64
+	var cnt uint
 	for n < size {
 		if x == 0 {
-			acc, cnt = acc<<1, cnt+1
-			break
-		}
-		acc, cnt = acc<<1|1, cnt+1
-		if cnt == 64 {
-			w.WriteBits(acc, 64)
-			acc, cnt = 0, 0
-		}
-		for n < size-1 {
-			bit := x & 1
-			acc, cnt = acc<<1|bit, cnt+1
+			// Group test fails: a single 0 ends the plane.
 			if cnt == 64 {
 				w.WriteBits(acc, 64)
 				acc, cnt = 0, 0
 			}
-			if bit != 0 {
-				break
-			}
-			x >>= 1
-			n++
+			acc <<= 1
+			cnt++
+			break
 		}
-		x >>= 1
-		n++
+		tz := bits.TrailingZeros64(x)
+		var v uint64
+		var k uint
+		if tz >= size-1-n {
+			// The next set bit sits at the plane's final position: the
+			// terminating 1 is implicit, so the group is the test bit plus
+			// the zero run only.
+			k = uint(size - n)
+			v = 1 << (k - 1)
+			n = size
+		} else {
+			// Test bit, tz zeros, terminating 1 — one batch of tz+2 bits.
+			k = uint(tz) + 2
+			v = 1<<(k-1) | 1
+			x >>= uint(tz + 1)
+			n += tz + 1
+		}
+		if cnt+k > 64 {
+			w.WriteBits(acc, cnt)
+			acc, cnt = 0, 0
+		}
+		acc = acc<<k | v
+		cnt += k
 	}
 	if cnt > 0 {
 		w.WriteBits(acc, cnt)
@@ -378,7 +515,12 @@ func encodePlane(w *bitstream.Writer, x uint64, size, n int) int {
 	return n
 }
 
-// decodePlane mirrors encodePlane.
+// decodePlane mirrors encodePlane: one Peek64 window exposes the test bit
+// and the whole zero run at once, so LeadingZeros64 replaces the per-bit
+// read loop. Availability is checked against Remaining before every
+// Advance, which reproduces the per-bit reader's ErrOutOfBits behaviour on
+// truncated streams (window positions past the end read as zero and are
+// never consumed).
 func decodePlane(r *bitstream.Reader, size, n int) (uint64, int, error) {
 	var x uint64
 	if n > 0 {
@@ -390,25 +532,37 @@ func decodePlane(r *bitstream.Reader, size, n int) (uint64, int, error) {
 		x = bits.Reverse64(v) >> (64 - uint(n))
 	}
 	for n < size {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, 0, err
+		rem := r.Remaining()
+		if rem == 0 {
+			return 0, 0, bitstream.ErrOutOfBits
 		}
-		if b == 0 {
+		win := r.Peek64()
+		if win>>63 == 0 {
+			// Group test fails: the plane holds no further set bits.
+			r.Advance(1)
 			break
 		}
-		for n < size-1 {
-			bb, err := r.ReadBit()
-			if err != nil {
-				return 0, 0, err
+		lim := size - 1 - n
+		z := bits.LeadingZeros64(win << 1) // zeros after the test bit
+		if z >= lim {
+			// The run reaches the final position; its 1 is implicit. The
+			// encoder emitted 1+lim bits, all of which must really exist.
+			if rem < 1+lim {
+				return 0, 0, bitstream.ErrOutOfBits
 			}
-			if bb != 0 {
-				break
+			r.Advance(1 + lim)
+			x |= 1 << uint(size-1)
+			n = size
+		} else {
+			// A genuine 1 inside the window is never padding, so the z+2
+			// consumed bits are guaranteed present; the check is defensive.
+			if rem < z+2 {
+				return 0, 0, bitstream.ErrOutOfBits
 			}
-			n++
+			r.Advance(z + 2)
+			x |= 1 << uint(n+z)
+			n += z + 1
 		}
-		x |= 1 << uint(n)
-		n++
 	}
 	return x, n, nil
 }
@@ -512,6 +666,29 @@ func gather(f *grid.Field, b blockShape, vals []float64) {
 	default:
 		ny, nx = f.Dims[1], f.Dims[2]
 	}
+	// Full-block fast path: every row of a complete block is 4 contiguous
+	// samples, so the interior (the vast majority of blocks on non-tiny
+	// fields) copies rows directly with no per-sample clamping.
+	// The 4-sample rows are moved as array assignments rather than copy():
+	// a 32-byte memmove call costs more in call overhead than the move
+	// itself, and these run once per row of every block.
+	if b.size == [3]int{1, 4, 4} && rank == 2 {
+		base := b.origin[1]*nx + b.origin[2]
+		for y := 0; y < 4; y++ {
+			*(*[4]float64)(vals[4*y : 4*y+4]) = *(*[4]float64)(f.Data[base+y*nx : base+y*nx+4])
+		}
+		return
+	}
+	if b.size == [3]int{4, 4, 4} && rank == 3 {
+		base := (b.origin[0]*ny+b.origin[1])*nx + b.origin[2]
+		for z := 0; z < 4; z++ {
+			row := base + z*ny*nx
+			for y := 0; y < 4; y++ {
+				*(*[4]float64)(vals[16*z+4*y : 16*z+4*y+4]) = *(*[4]float64)(f.Data[row+y*nx : row+y*nx+4])
+			}
+		}
+		return
+	}
 	at := func(z, y, x int) float64 {
 		return f.Data[(z*ny+y)*nx+x]
 	}
@@ -545,6 +722,25 @@ func scatter(f *grid.Field, b blockShape, vals []float64) {
 		ny, nx = f.Dims[0], f.Dims[1]
 	default:
 		ny, nx = f.Dims[1], f.Dims[2]
+	}
+	// Full-block fast path mirroring gather's: contiguous 4-sample rows,
+	// moved as array assignments to skip the memmove call overhead.
+	if b.size == [3]int{1, 4, 4} && rank == 2 {
+		base := b.origin[1]*nx + b.origin[2]
+		for y := 0; y < 4; y++ {
+			*(*[4]float64)(f.Data[base+y*nx : base+y*nx+4]) = *(*[4]float64)(vals[4*y : 4*y+4])
+		}
+		return
+	}
+	if b.size == [3]int{4, 4, 4} && rank == 3 {
+		base := (b.origin[0]*ny+b.origin[1])*nx + b.origin[2]
+		for z := 0; z < 4; z++ {
+			row := base + z*ny*nx
+			for y := 0; y < 4; y++ {
+				*(*[4]float64)(f.Data[row+y*nx : row+y*nx+4]) = *(*[4]float64)(vals[16*z+4*y : 16*z+4*y+4])
+			}
+		}
+		return
 	}
 	yl, xl := 4, 4
 	if rank < 2 {
@@ -605,14 +801,17 @@ func (c *Codec) CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error) 
 		sp.SetError(err)
 		return nil, err
 	}
-	out := compress.EncodeDimsHeader(f.Dims)
+	body := w.Bytes()
+	hdr := compress.EncodeDimsHeader(f.Dims)
+	out := make([]byte, 0, len(hdr)+len(body)+16)
+	out = append(out, hdr...)
 	out = append(out, c.mode)
 	if c.mode == modeAccuracy {
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(c.tolerance))
 	} else {
 		out = append(out, byte(c.precision))
 	}
-	out = append(out, w.Bytes()...)
+	out = append(out, body...)
 	sp.SetBytes(int64(8*f.Len()), int64(len(out)))
 	return out, nil
 }
@@ -624,7 +823,7 @@ func (c *Codec) CompressCtx(ctx context.Context, f *grid.Field) ([]byte, error) 
 // zfp.shard_encode span is opened per shard on both paths, so traces show
 // the shard structure even when the pool budget forces serial execution.
 func (c *Codec) encodeShards(ctx context.Context, f *grid.Field, bs []blockShape, w *bitstream.Writer) error {
-	workers := c.workerCount()
+	workers := c.workerCount(8 * int64(f.Len()))
 	if workers <= 1 || len(bs) < minParallelBlocks {
 		_, sp := trace.Start(ctx, "zfp.shard_encode")
 		sp.AddItems(int64(len(bs)))
@@ -658,6 +857,12 @@ func (c *Codec) encodeShards(ctx context.Context, f *grid.Field, bs []blockShape
 func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer) error {
 	rank := f.Rank()
 	size := 1 << (2 * uint(rank)) // 4, 16, or 64
+	// Pre-size the bit buffer near the typical smooth-field stream size
+	// (a few bits per value; the group coder terminates sparse planes
+	// early). This only reserves capacity — a block that codes more still
+	// grows the buffer normally — but it collapses most of the append-
+	// doubling sequence into one allocation without over-reserving.
+	w.Grow(len(bs) * size * 6)
 	s := newBlockScratch(size)
 	defer s.release()
 	vals, blk, nb := s.vals, s.blk, s.nb
@@ -682,16 +887,21 @@ func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer
 		}
 		gather(f, b, vals)
 
-		// Step 1: common-exponent alignment.
-		maxAbs := 0.0
+		// Step 1: common-exponent alignment. The NaN/Inf guard and the
+		// max-magnitude scan fuse into one branch-free pass over the raw
+		// bits: for finite values, magnitude order equals unsigned order of
+		// the sign-cleared IEEE-754 bits, and every NaN/Inf pattern compares
+		// above all of them.
+		maxBits := uint64(0)
 		for _, v := range vals {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return errors.New("zfp: NaN/Inf not supported")
-			}
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
+			if u := math.Float64bits(v) &^ (1 << 63); u > maxBits {
+				maxBits = u
 			}
 		}
+		if maxBits >= 0x7ff0000000000000 {
+			return errors.New("zfp: NaN/Inf not supported")
+		}
+		maxAbs := math.Float64frombits(maxBits)
 		if maxAbs == 0 {
 			w.WriteBit(0) // empty block
 			if rec {
@@ -700,14 +910,15 @@ func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer
 			}
 			continue
 		}
-		w.WriteBit(1)
 		_, emax := math.Frexp(maxAbs) // maxAbs = f * 2^emax, f in [0.5, 1)
 		if invariant.Enabled {
 			// Align boundary: the biased exponent must fit its 15-bit
 			// header field or the stream silently wraps.
 			invariant.InRange(emax+16384, 0, 1<<15, "zfp: biased block exponent")
 		}
-		w.WriteBits(uint64(emax+16384), 15)
+		// Non-empty marker and the 15-bit biased exponent in one write —
+		// the same 16 bits the separate WriteBit(1)+WriteBits pair emitted.
+		w.WriteBits(1<<15|uint64(emax+16384), 16)
 
 		scale := math.Ldexp(1, fixedPointBits-emax)
 		for i, v := range vals {
@@ -723,7 +934,9 @@ func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer
 		// total sequency so significant bits cluster at low indices.
 		transformForward(blk, rank)
 		for i := range blk {
-			nb[i] = int2nb(blk[perm[i]])
+			// perm is a permutation of [0,64): &63 is a no-op on the value
+			// that stands in for the unprovable bounds check.
+			nb[i] = int2nb(blk[perm[i]&63])
 		}
 		if rec {
 			now := time.Now()
@@ -761,19 +974,97 @@ func (c *Codec) encodeBlocks(f *grid.Field, bs []blockShape, w *bitstream.Writer
 // encodePlanes codes planes intprec-1 down to kmin of the negabinary
 // coefficients. Full 64-coefficient blocks take the transpose fast path;
 // smaller blocks extract each plane with the scalar loop.
+//
+// nb is CONSUMED: the full-block path transposes it in place, so its
+// contents are unspecified after the call. Callers treat it as per-block
+// scratch that is fully rewritten before reuse.
 func encodePlanes(w *bitstream.Writer, nb []uint64, size, kmin int) {
 	n := 0
 	if size == 64 {
-		// Load coefficients in reverse so the anti-transpose yields plane
-		// words under the bit-i-is-value-i convention: after the call,
-		// planes[63-k] bit i == nb[i] bit k.
-		var planes [64]uint64
-		for i := 0; i < 64; i++ {
-			planes[i] = nb[63-i]
+		// Straight copy: the anti-transpose of unreversed words yields each
+		// plane BIT-REVERSED — planes[63-k] bit 63-i == nb[i] bit k. That
+		// orientation is the cheap one for the coder: the verbatim prefix
+		// (low n coefficient bits, LSB first) is exactly the word's top n
+		// bits, and the set-bit scan becomes LeadingZeros64 — no per-plane
+		// bits.Reverse64 anywhere (x86 has no bit-reverse instruction).
+		// Only planes kmin and above are ever read (words [0, intprec-kmin)),
+		// so the butterfly is cut to that output prefix. The transpose runs
+		// destructively in nb's own backing array — nb is per-block scratch
+		// that the caller fully rewrites before the next use, and skipping
+		// the 512-byte staging copy removes a memmove per block.
+		planes := (*[64]uint64)(nb)
+		transposeTop(planes, intprec-kmin)
+		// All planes run through one persistent accumulator: prefixes,
+		// group tests, runs, and terminators append to acc and spill only
+		// at 64-bit boundaries. The Writer sees the exact bit sequence the
+		// per-plane encodePlane calls would produce — only call and flush
+		// granularity changes, so the stream is identical while the per-
+		// plane function call and flush overhead (3 WriteBits per plane)
+		// disappears. Shift counts of 64 are safe throughout: Go defines
+		// over-wide shifts as zero, and every such site has acc == 0 after
+		// the preceding flush.
+		var acc uint64
+		var cnt uint
+		k := intprec - 1
+		// Leading all-zero planes (no value significant yet) each emit a
+		// single failed group test; batch those zero bits in one step.
+		for k >= kmin && planes[63-k] == 0 {
+			k--
 		}
-		transpose64(&planes)
-		for k := intprec - 1; k >= kmin; k-- {
-			n = encodePlane(w, planes[63-k], size, n)
+		if z := uint(intprec - 1 - k); z > 0 {
+			// z <= MaxPrecision zero bits fit the empty accumulator.
+			acc <<= z
+			cnt += z
+		}
+		for ; k >= kmin; k-- {
+			y := planes[63-k] // bit 63-i = plane bit of value i
+			if n > 0 {
+				// Verbatim prefix: the top n bits of y.
+				pn := uint(n)
+				if cnt+pn > 64 {
+					w.WriteBits(acc, cnt)
+					acc, cnt = 0, 0
+				}
+				acc = acc<<pn | y>>(64-pn)
+				cnt += pn
+				y <<= pn
+			}
+			for n < size {
+				if y == 0 {
+					// Group test fails: a single 0 ends the plane.
+					if cnt == 64 {
+						w.WriteBits(acc, 64)
+						acc, cnt = 0, 0
+					}
+					acc <<= 1
+					cnt++
+					break
+				}
+				lz := bits.LeadingZeros64(y)
+				var v uint64
+				var g uint
+				if lz >= size-1-n {
+					// Set bit at the final position: terminator implicit.
+					g = uint(size - n)
+					v = 1 << (g - 1)
+					n = size
+				} else {
+					// Test bit, lz zeros, terminating 1 — one batch.
+					g = uint(lz) + 2
+					v = 1<<(g-1) | 1
+					y <<= uint(lz + 1)
+					n += lz + 1
+				}
+				if cnt+g > 64 {
+					w.WriteBits(acc, cnt)
+					acc, cnt = 0, 0
+				}
+				acc = acc<<g | v
+				cnt += g
+			}
+		}
+		if cnt > 0 {
+			w.WriteBits(acc, cnt)
 		}
 		return
 	}
@@ -912,7 +1203,11 @@ func (c *Codec) decompress(ctx context.Context, data []byte) (*grid.Field, error
 		}
 		rest = rest[9:]
 	case modeRate:
-		return decompressRate(ctx, dims, rest[1:], c.workerCount())
+		n := int64(1)
+		for _, d := range dims {
+			n *= int64(d)
+		}
+		return decompressRate(ctx, dims, rest[1:], c.workerCount(8*n))
 	default:
 		return nil, fmt.Errorf("zfp: unknown mode %d in stream: %w", mode, compress.ErrHeader)
 	}
@@ -930,7 +1225,7 @@ func (c *Codec) decompress(ctx context.Context, data []byte) (*grid.Field, error
 	rank := f.Rank()
 	size := 1 << (2 * uint(rank))
 	bs := blocks(dims)
-	workers := c.workerCount()
+	workers := c.workerCount(8 * int64(f.Len()))
 	if workers > 1 && len(bs) >= minParallelBlocks {
 		// The parallel path buffers every parsed block's coefficients at
 		// once; degenerate shapes (many mostly-padding blocks) can make that

@@ -54,19 +54,23 @@ type Options struct {
 }
 
 // withParallel returns a copy of opts whose codecs are bound to the
-// configured pool size. Codecs that are not Parallelizable pass through.
+// configured parallel.Config — pool size plus the size-aware shard cutover
+// (Config.MinShardBytes). Codecs that accept neither knob pass through.
 func (o Options) withParallel() Options {
-	if o.Parallel.Workers == 0 {
+	if o.Parallel == (parallel.Config{}) {
 		return o
 	}
-	o.DataCodec = applyWorkers(o.DataCodec, o.Parallel.Workers)
-	o.DeltaCodec = applyWorkers(o.DeltaCodec, o.Parallel.Workers)
+	o.DataCodec = applyParallel(o.DataCodec, o.Parallel)
+	o.DeltaCodec = applyParallel(o.DeltaCodec, o.Parallel)
 	return o
 }
 
-func applyWorkers(c compress.Codec, workers int) compress.Codec {
-	if p, ok := c.(compress.Parallelizable); ok {
-		return p.WithWorkers(workers)
+func applyParallel(c compress.Codec, cfg parallel.Config) compress.Codec {
+	if p, ok := c.(compress.ParallelTunable); ok {
+		return p.WithParallel(cfg)
+	}
+	if p, ok := c.(compress.Parallelizable); ok && cfg.Workers != 0 {
+		return p.WithWorkers(cfg.Workers)
 	}
 	return c
 }

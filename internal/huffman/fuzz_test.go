@@ -3,17 +3,27 @@ package huffman
 import "testing"
 
 // FuzzDecode asserts the canonical-Huffman decoder never panics on
-// arbitrary input.
+// arbitrary input, and differentially checks the table-driven decoder
+// against the per-bit reference: identical symbols, identical errors. The
+// checked-in seeds under testdata/fuzz/FuzzDecode include truncated and
+// bit-flipped streams, so plain `go test` already exercises both decoders
+// over the fault-injection corpus.
 func FuzzDecode(f *testing.F) {
 	f.Add(Encode([]int{1, 2, 3, 1, 1, 2}))
 	f.Add(Encode([]int{-5}))
 	f.Add(Encode(nil))
+	big := make([]int, 500)
+	for i := range big {
+		big[i] = i % 7
+	}
+	f.Add(Encode(big))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if out, err := Decode(data); err == nil {
 			if len(out) > 1<<26 {
 				t.Fatalf("implausible decode length %d", len(out))
 			}
 		}
+		compareDecoders(t, data)
 	})
 }
 

@@ -16,9 +16,10 @@
 package huffman
 
 import (
-	"container/heap"
+	"cmp"
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 
 	"lrm/internal/bitstream"
@@ -31,41 +32,29 @@ import (
 // canonical-code arithmetic safely inside uint64.
 const maxCodeLen = 57
 
+// tableBits sizes the first-level decode table: every code of length ≤
+// tableBits resolves with a single Peek64 and one load. SZ quantization
+// alphabets are dominated by a handful of near-zero bins, so in practice
+// almost every payload symbol takes this path.
+const tableBits = 11
+
+// tableMinSymbols gates the decode-table build: below this, filling 2^11
+// entries costs more than the per-bit walk it replaces.
+const tableMinSymbols = 64
+
 // minParallelSymbols gates the sharded paths: below this, pool fork/join
 // overhead swamps the counting and packing work.
 const minParallelSymbols = 4096
 
-type node struct {
-	count       int
-	symbol      int // valid for leaves; min leaf symbol for internal nodes
-	seq         int // creation sequence; final Less tie-break
-	left, right *node
-}
-
-type nodeHeap []*node
-
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].count != h[j].count {
-		return h[i].count < h[j].count
-	}
-	if h[i].symbol != h[j].symbol {
-		return h[i].symbol < h[j].symbol
-	}
-	// A leaf and an internal node can collide on (count, symbol); the
-	// creation sequence makes Less a strict total order so the pop
-	// sequence — and therefore the tree shape — is a pure function of the
-	// symbol counts, independent of heap layout or counting strategy.
-	return h[i].seq < h[j].seq
-}
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// treeNode is one slab entry of the Huffman tree. All nodes live in a single
+// slice and refer to children by index, so building a tree costs O(1)
+// allocations instead of one per node.
+type treeNode struct {
+	count  int
+	symbol int // valid for leaves; min leaf symbol for internal nodes
+	seq    int // creation sequence; final ordering tie-break
+	left   int32
+	right  int32 // slab indices; -1 marks a leaf
 }
 
 // symCount is one alphabet entry: a distinct symbol and its frequency.
@@ -196,6 +185,13 @@ func denseHistogram(symbols []int, lo, span, workers int) []symCount {
 
 // codeLengths computes Huffman code lengths from a symbol-sorted histogram.
 // The result is a deterministic function of the histogram alone.
+//
+// Nodes live in one slab and the work queue is a manual binary heap of slab
+// indices. The ordering below is a strict total order — (count, symbol, seq)
+// never ties, because a leaf and an internal node colliding on (count,
+// symbol) still differ in creation sequence — so every correct heap pops the
+// unique minimum at each step. The merge sequence, and therefore the tree,
+// is identical to the previous container/heap implementation.
 func codeLengths(hist []symCount) []symLen {
 	if len(hist) == 0 {
 		return nil
@@ -203,45 +199,116 @@ func codeLengths(hist []symCount) []symLen {
 	if len(hist) == 1 {
 		return []symLen{{hist[0].symbol, 1}}
 	}
-	h := make(nodeHeap, 0, len(hist))
-	seq := 0
-	for _, e := range hist {
-		h = append(h, &node{count: e.count, symbol: e.symbol, seq: seq})
-		seq++
+	n := len(hist)
+	nodes := make([]treeNode, n, 2*n-1)
+	for i, e := range hist {
+		nodes[i] = treeNode{count: e.count, symbol: e.symbol, seq: i, left: -1, right: -1}
 	}
-	heap.Init(&h)
-	for h.Len() > 1 {
-		a := heap.Pop(&h).(*node)
-		b := heap.Pop(&h).(*node)
-		heap.Push(&h, &node{count: a.count + b.count, symbol: min(a.symbol, b.symbol), seq: seq, left: a, right: b})
+	less := func(a, b int32) bool {
+		na, nb := &nodes[a], &nodes[b]
+		if na.count != nb.count {
+			return na.count < nb.count
+		}
+		if na.symbol != nb.symbol {
+			return na.symbol < nb.symbol
+		}
+		return na.seq < nb.seq
+	}
+	h := make([]int32, n)
+	for i := range h {
+		h[i] = int32(i)
+	}
+	siftDown := func(i int) {
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				return
+			}
+			m := l
+			if r := l + 1; r < len(h) && less(h[r], h[l]) {
+				m = r
+			}
+			if !less(h[m], h[i]) {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	pop := func() int32 {
+		x := h[0]
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		siftDown(0)
+		return x
+	}
+	seq := n
+	for len(h) > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, treeNode{
+			count:  nodes[a].count + nodes[b].count,
+			symbol: min(nodes[a].symbol, nodes[b].symbol),
+			seq:    seq,
+			left:   a,
+			right:  b,
+		})
 		seq++
+		// Push the merged node: append then sift up.
+		h = append(h, int32(len(nodes)-1))
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
 	}
 	root := h[0]
-	lengths := make([]symLen, 0, len(hist))
-	var walk func(n *node, depth int)
-	walk = func(n *node, depth int) {
-		if n.left == nil {
-			if depth == 0 {
-				depth = 1
-			}
-			lengths = append(lengths, symLen{n.symbol, depth})
-			return
-		}
-		walk(n.left, depth+1)
-		walk(n.right, depth+1)
+
+	lengths := make([]symLen, 0, n)
+	type frame struct {
+		idx   int32
+		depth int
 	}
-	walk(root, 0)
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{root, 0})
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := &nodes[f.idx]
+		if nd.left < 0 {
+			d := f.depth
+			if d == 0 {
+				d = 1
+			}
+			lengths = append(lengths, symLen{nd.symbol, d})
+			continue
+		}
+		// Right pushed first so the left subtree pops first, preserving the
+		// recursive DFS emission order.
+		stack = append(stack, frame{nd.right, f.depth + 1})
+		stack = append(stack, frame{nd.left, f.depth + 1})
+	}
 	return lengths
 }
 
 // canonicalize sorts entries into canonical order (length, then symbol) and
 // assigns the canonical code values, returned parallel to the sorted slice.
 func canonicalize(sl []symLen) []uint64 {
-	sort.Slice(sl, func(i, j int) bool {
-		if sl[i].length != sl[j].length {
-			return sl[i].length < sl[j].length
+	// slices.SortFunc specialises the comparator at compile time; the
+	// ordering (length, then symbol) is identical to the previous
+	// sort.Slice and the key is strict-total, so the canonical assignment
+	// is unchanged.
+	slices.SortFunc(sl, func(a, b symLen) int {
+		if a.length != b.length {
+			return a.length - b.length // lengths are tiny: no overflow
 		}
-		return sl[i].symbol < sl[j].symbol
+		return cmp.Compare(a.symbol, b.symbol)
 	})
 	codes := make([]uint64, len(sl))
 	var code uint64
@@ -301,18 +368,39 @@ func buildCodeTable(sl []symLen, codes []uint64) codeTable {
 	return t
 }
 
-// pack writes the codes for a run of symbols into w.
+// pack writes the codes for a run of symbols into w. Codes batch through a
+// local 64-bit accumulator that spills to WriteBits only when full — the
+// emitted bit sequence is exactly the per-symbol WriteBits sequence (codes
+// are at most maxCodeLen < 64 bits and canonical, so each value fits its
+// length), but the Writer's field traffic drops to once per ~64 bits.
 func (t *codeTable) pack(w *bitstream.Writer, symbols []int) {
+	var acc uint64
+	var cnt uint
 	if t.dense {
 		base, codeArr, lenArr := t.base, t.codeArr, t.lenArr
 		for _, s := range symbols {
 			i := s - base
-			w.WriteBits(codeArr[i], uint(lenArr[i]))
+			c, l := codeArr[i], uint(lenArr[i])
+			if cnt+l > 64 {
+				w.WriteBits(acc, cnt)
+				acc, cnt = 0, 0
+			}
+			acc = acc<<l | c
+			cnt += l
 		}
-		return
+	} else {
+		for _, s := range symbols {
+			c, l := t.codeMap[s], uint(t.lenMap[s])
+			if cnt+l > 64 {
+				w.WriteBits(acc, cnt)
+				acc, cnt = 0, 0
+			}
+			acc = acc<<l | c
+			cnt += l
+		}
 	}
-	for _, s := range symbols {
-		w.WriteBits(t.codeMap[s], uint(t.lenMap[s]))
+	if cnt > 0 {
+		w.WriteBits(acc, cnt)
 	}
 }
 
@@ -328,7 +416,7 @@ func EncodeParallel(symbols []int, workers int) []byte {
 	sl := codeLengths(hist)
 	codes := canonicalize(sl)
 
-	var hdr []byte
+	hdr := make([]byte, 0, 20+11*len(sl))
 	hdr = binary.AppendUvarint(hdr, uint64(len(symbols)))
 	hdr = binary.AppendUvarint(hdr, uint64(len(sl)))
 	for _, e := range sl {
@@ -339,6 +427,20 @@ func EncodeParallel(symbols []int, workers int) []byte {
 	table := buildCodeTable(sl, codes)
 	var w bitstream.Writer
 	if workers <= 1 || len(symbols) < minParallelSymbols {
+		// Presize the payload buffer: the exact bit total is a histogram
+		// dot product, which turns pack's repeated append-growth into a
+		// single allocation.
+		var totalBits int
+		if table.dense {
+			for _, e := range hist {
+				totalBits += e.count * int(table.lenArr[e.symbol-table.base])
+			}
+		} else {
+			for _, e := range hist {
+				totalBits += e.count * table.lenMap[e.symbol]
+			}
+		}
+		w.Grow(totalBits)
 		table.pack(&w, symbols)
 	} else {
 		shards := parallel.Shards(workers, len(symbols))
@@ -428,14 +530,19 @@ func Decode(data []byte) ([]int, error) {
 
 	// Rebuild canonical codes and index them by length: code lengths are
 	// at most maxCodeLen, so a flat array replaces the map probe that used
-	// to sit inside the per-bit decode loop.
-	type lenGroup struct {
-		first  uint64 // first code of this length
-		offset int    // index into ordered symbols of first code
-		count  int
-	}
+	// to sit inside the per-bit decode loop. For payloads worth the setup
+	// cost, additionally fill a first-level lookup table resolving every
+	// code of length ≤ tableBits in one probe.
 	var groups [maxCodeLen + 1]lenGroup
 	ordered := make([]int, len(sl))
+	var table []uint64
+	if count >= tableMinSymbols {
+		table = parallel.Uint64s(1 << tableBits)
+		defer parallel.PutUint64s(table)
+		for i := range table {
+			table[i] = 0
+		}
+	}
 	var code uint64
 	prevLen := 0
 	for i, e := range sl {
@@ -446,37 +553,91 @@ func Decode(data []byte) ([]int, error) {
 			groups[e.length].count++
 		}
 		ordered[i] = e.symbol
+		if table != nil && e.length <= tableBits && code < 1<<uint(e.length) {
+			// Every tableBits-bit window starting with this code maps to it;
+			// prefix-freeness keeps the fill ranges disjoint. Entries pack
+			// idx<<8|length; length ≥ 1 makes 0 an unambiguous "no short
+			// code" marker. A corrupt (Kraft-oversubscribed) header can push
+			// a canonical code to ≥ 2^length; such a code can never equal
+			// any length-bit window, so the group walk treats it as
+			// unreachable — skipping it here preserves that exactly and
+			// keeps the fill in bounds.
+			ent := uint64(i)<<8 | uint64(e.length)
+			lo := code << uint(tableBits-e.length)
+			for j := lo + 1<<uint(tableBits-e.length); j > lo; j-- {
+				table[j-1] = ent
+			}
+		}
 		code++
 		prevLen = e.length
 	}
 
 	r := bitstream.NewReader(data[pos:])
 	out := make([]int, 0, count)
-	for uint64(len(out)) < count {
-		var v uint64
-		l := 0
-		decoded := false
-		for l < maxCodeLen {
-			b, err := r.ReadBit()
-			if err != nil {
-				return nil, fmt.Errorf("huffman: truncated payload after %d symbols: %w", len(out), compress.ErrTruncated)
-			}
-			v = v<<1 | uint64(b)
-			l++
-			g := &groups[l]
-			if g.count == 0 {
+	if table != nil {
+		for uint64(len(out)) < count {
+			e := table[r.Peek64()>>(64-tableBits)]
+			if e != 0 {
+				// A matched entry longer than the remaining genuine bits can
+				// only arise from zero padding past the end of the stream —
+				// the per-bit walk would have run out of bits mid-code.
+				l := int(e & 0xff)
+				if l > r.Remaining() {
+					return nil, fmt.Errorf("huffman: truncated payload after %d symbols: %w", len(out), compress.ErrTruncated)
+				}
+				r.Advance(l)
+				out = append(out, ordered[e>>8])
 				continue
 			}
-			idx := v - g.first
-			if v >= g.first && idx < uint64(g.count) {
-				out = append(out, ordered[g.offset+int(idx)])
-				decoded = true
-				break
+			// No code of length ≤ tableBits prefixes the window: a long
+			// code, corruption, or truncation. The per-bit walk reproduces
+			// the exact pre-table outcome for all three.
+			sym, err := decodeOneSlow(r, &groups, ordered, len(out))
+			if err != nil {
+				return nil, err
 			}
+			out = append(out, sym)
 		}
-		if !decoded {
-			return nil, fmt.Errorf("huffman: invalid code in payload: %w", compress.ErrCorrupt)
+		return out, nil
+	}
+	for uint64(len(out)) < count {
+		sym, err := decodeOneSlow(r, &groups, ordered, len(out))
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, sym)
 	}
 	return out, nil
+}
+
+// lenGroup indexes one canonical code length: its first code value and the
+// contiguous run it occupies in canonical symbol order.
+type lenGroup struct {
+	first  uint64 // first code of this length
+	offset int    // index into ordered symbols of first code
+	count  int
+}
+
+// decodeOneSlow decodes a single symbol with the per-bit group walk — the
+// path for codes longer than tableBits, for corrupt or truncated tails, and
+// for payloads too short to amortize the table build.
+func decodeOneSlow(r *bitstream.Reader, groups *[maxCodeLen + 1]lenGroup, ordered []int, decoded int) (int, error) {
+	var v uint64
+	l := 0
+	for l < maxCodeLen {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, fmt.Errorf("huffman: truncated payload after %d symbols: %w", decoded, compress.ErrTruncated)
+		}
+		v = v<<1 | uint64(b)
+		l++
+		g := &groups[l]
+		if g.count == 0 {
+			continue
+		}
+		if idx := v - g.first; v >= g.first && idx < uint64(g.count) {
+			return ordered[g.offset+int(idx)], nil
+		}
+	}
+	return 0, fmt.Errorf("huffman: invalid code in payload: %w", compress.ErrCorrupt)
 }

@@ -9,6 +9,9 @@
 //   - goroutine:  goroutines launched with no completion/escape mechanism
 //   - deadassign: `_ = expr` blank assignments masking dead computation
 //   - obsspan:    obs.Start/StartChild spans without End() on every return path
+//   - hotalloc:   make() allocations inside hot-path kernels (the canonical
+//     list in hotalloc.go plus //lrm:hotpath-marked functions) that should
+//     draw scratch from the internal/parallel arenas instead
 //
 // plus three interprocedural analyzers built on module-wide function
 // summaries (call-graph construction from go/types, per-function
@@ -162,6 +165,7 @@ func All() []*Analyzer {
 		AnalyzerGoroutine,
 		AnalyzerDeadAssign,
 		AnalyzerObsSpan,
+		AnalyzerHotAlloc,
 		AnalyzerDecodeTaint,
 		AnalyzerErrTaxonomy,
 		AnalyzerCtxFlow,

@@ -1,0 +1,60 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer: slice
+// and map makes inside //lrm:hotpath functions are flagged unless they
+// refill a sync.Pool (the arena slow path).
+package hotalloc
+
+import "sync"
+
+var scratchPool sync.Pool
+
+// encodeRows is a per-block kernel: every make here is a steady-state
+// allocation storm.
+//
+//lrm:hotpath
+func encodeRows(out []uint64, n int) int {
+	tmp := make([]uint64, n)        // want "hot-path function encodeRows allocates with make"
+	seen := make(map[uint64]int, n) // want "hot-path function encodeRows allocates with make"
+	for i := range tmp {
+		tmp[i] = uint64(i)
+		seen[tmp[i]] = i
+	}
+	return len(out) + len(seen)
+}
+
+// refillScratch takes its buffer from the pool; the make inside the New
+// callback is the arena's own refill path and must not be flagged.
+//
+//lrm:hotpath
+func refillScratch(n int) []float64 {
+	scratchPool.New = func() any {
+		return make([]float64, 0, 4096) // arena refill: exempt
+	}
+	buf := scratchPool.Get().([]float64)
+	return buf[:0]
+}
+
+// literalPool builds the pool inline; the New field's make is likewise the
+// refill path, but the trailing make escapes the literal and is hot.
+//
+//lrm:hotpath
+func literalPool(n int) []int {
+	p := sync.Pool{New: func() any { return make([]int, 64) }}
+	got := p.Get().([]int)
+	extra := make([]int, n) // want "hot-path function literalPool allocates with make"
+	return append(got, extra...)
+}
+
+// coldSetup is not marked hot: setup-time allocation is fine.
+func coldSetup(n int) []float64 {
+	return make([]float64, n)
+}
+
+// waived shows the per-site suppression escape hatch for a make that is
+// genuinely once-per-call, not per-element.
+//
+//lrm:hotpath
+func waived(n int) []byte {
+	//lrmlint:ignore hotalloc header buffer is built once per stream
+	hdr := make([]byte, 16)
+	return hdr[:8:16]
+}

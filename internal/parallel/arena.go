@@ -36,6 +36,7 @@ var (
 	int64Arena  slicePool[int64]
 	uint64Arena slicePool[uint64]
 	intArena    slicePool[int]
+	byteArena   slicePool[byte]
 )
 
 // Floats returns a float64 scratch slice of length n from the arena.
@@ -62,3 +63,9 @@ func Ints(n int) []int { return intArena.get(n) }
 
 // PutInts returns a slice obtained from Ints to the arena.
 func PutInts(s []int) { intArena.put(s) }
+
+// Bytes returns a byte scratch slice of length n from the arena.
+func Bytes(n int) []byte { return byteArena.get(n) }
+
+// PutBytes returns a slice obtained from Bytes to the arena.
+func PutBytes(s []byte) { byteArena.put(s) }

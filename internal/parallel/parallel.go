@@ -42,7 +42,20 @@ type Config struct {
 	// goroutines. 0 defaults to DefaultWorkers(); negative values are
 	// treated as 1.
 	Workers int
+	// MinShardBytes is the smallest per-shard input (in bytes of the data
+	// being cut) worth forking the pool for: WorkersFor reduces the
+	// effective worker count until every shard carries at least this much,
+	// so tiny inputs never pay fork/join and stream-concatenation overhead
+	// they cannot amortize. 0 defaults to DefaultMinShardBytes; negative
+	// disables the cutover (every resolved worker count is used as-is).
+	MinShardBytes int64
 }
+
+// DefaultMinShardBytes is the per-shard input size below which the pool
+// costs more than it saves, measured on the BENCH harness: the zfp small
+// cell (256 KiB) regressed under workers=4 while the medium cell (2 MiB,
+// 512 KiB/shard) did not, so the default cutover sits at 512 KiB.
+const DefaultMinShardBytes = 512 << 10
 
 // Resolve returns the effective worker count for the config.
 func (c Config) Resolve() int {
@@ -53,6 +66,41 @@ func (c Config) Resolve() int {
 		return 1
 	}
 	return c.Workers
+}
+
+// minShardBytes resolves the cutover threshold.
+func (c Config) minShardBytes() int64 {
+	if c.MinShardBytes == 0 {
+		return DefaultMinShardBytes
+	}
+	if c.MinShardBytes < 0 {
+		return 0
+	}
+	return c.MinShardBytes
+}
+
+// WorkersFor returns the worker count to use for an input of totalBytes:
+// Resolve(), clamped so every shard gets at least MinShardBytes of input.
+// The clamp only ever lowers the count (never below 1), so a codec that
+// shards its input across WorkersFor(n) workers still produces the
+// byte-identical stream of any other worker count — the cutover trades
+// pool overhead, never format.
+func (c Config) WorkersFor(totalBytes int64) int {
+	w := c.Resolve()
+	if w <= 1 {
+		return w
+	}
+	min := c.minShardBytes()
+	if min <= 0 {
+		return w
+	}
+	if totalBytes < min {
+		return 1
+	}
+	if per := totalBytes / min; int64(w) > per {
+		w = int(per)
+	}
+	return w
 }
 
 // DefaultWorkers is the pool size used when no explicit worker count is

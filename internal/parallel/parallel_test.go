@@ -193,3 +193,47 @@ func TestPoolStress(t *testing.T) {
 		t.Fatal("stress loop did not run")
 	}
 }
+
+func TestWorkersForCutover(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		bytes int64
+		want  int
+	}{
+		// Tiny inputs never fork, whatever the worker budget says.
+		{"small-input-serial", Config{Workers: 4}, 256 << 10, 1},
+		{"below-threshold", Config{Workers: 8}, DefaultMinShardBytes - 1, 1},
+		// At exactly one shard's worth, one worker.
+		{"one-shard", Config{Workers: 8}, DefaultMinShardBytes, 1},
+		// Medium inputs clamp to totalBytes / DefaultMinShardBytes shards.
+		{"clamped", Config{Workers: 8}, 2 << 20, 4},
+		{"unclamped", Config{Workers: 2}, 64 << 20, 2},
+		// Workers == 1 stays serial regardless of size.
+		{"serial", Config{Workers: 1}, 1 << 30, 1},
+		// A custom threshold moves the cutover.
+		{"custom-threshold", Config{Workers: 8, MinShardBytes: 1 << 10}, 16 << 10, 8},
+		{"custom-threshold-clamp", Config{Workers: 8, MinShardBytes: 1 << 20}, 2 << 20, 2},
+		// Negative disables the cutover entirely.
+		{"disabled", Config{Workers: 8, MinShardBytes: -1}, 1, 8},
+		{"disabled-zero-bytes", Config{Workers: 3, MinShardBytes: -1}, 0, 3},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.WorkersFor(tc.bytes); got != tc.want {
+			t.Errorf("%s: WorkersFor(%d) = %d, want %d", tc.name, tc.bytes, got, tc.want)
+		}
+	}
+}
+
+func TestWorkersForNeverExceedsResolve(t *testing.T) {
+	for workers := 1; workers <= 16; workers++ {
+		for _, bytes := range []int64{0, 1, 4 << 10, 512 << 10, 1 << 20, 1 << 30} {
+			cfg := Config{Workers: workers}
+			got := cfg.WorkersFor(bytes)
+			if got < 1 || got > cfg.Resolve() {
+				t.Fatalf("WorkersFor(%d) with %d workers = %d, out of [1,%d]",
+					bytes, workers, got, cfg.Resolve())
+			}
+		}
+	}
+}

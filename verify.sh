@@ -36,6 +36,10 @@ step go test -tags invariants ./internal/compress/... ./internal/reduce/... ./in
 # Fault-injection sweep: every archive mutation must yield a classified
 # error (never a panic, never an unbounded allocation).
 step go test -run 'TestSweepCorpus|TestPartialDecodeMetricsUnderSweep' -count=1 ./internal/faultinject
+# Checked-in artifact gate: BENCH_5 and BENCH_7 were measured on the same
+# host, so a tight tolerance applies — no cell may have lost more than 25%
+# throughput between the checked-in baselines.
+step go run ./cmd/lrmbench -compare -tolerance 0.25 BENCH_5.json BENCH_7.json
 
 if [ "${1:-}" != "quick" ]; then
 	# Concurrent packages under the race detector.
@@ -46,7 +50,7 @@ if [ "${1:-}" != "quick" ]; then
 	# Benchmark smoke: one iteration of the JSON benchmark harness proves
 	# the artifact pipeline end to end without paying full measurement cost,
 	# and the traced pass exercises span propagation through the pool.
-	step go run ./cmd/lrmbench -iters 1 -stats -out /tmp/lrmbench-smoke.json -trace /tmp/lrmbench-trace.json
+	step go run ./cmd/lrmbench -iters 1 -stats -profile-top -out /tmp/lrmbench-smoke.json -trace /tmp/lrmbench-trace.json
 	# The trace artifact must contain the pipeline root span (lrmbench
 	# already refuses to write a file that is not valid JSON).
 	echo "==> trace smoke: core.compress root present"
