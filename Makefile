@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint lint-json test invariants faultsweep race race-trace fuzz bench bench-smoke bench-compare trace-smoke verify
+.PHONY: build vet fmt lint lint-json test invariants faultsweep race race-trace fuzz bench bench-smoke bench-compare trace-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,7 @@ faultsweep:
 
 # Concurrent packages under the race detector.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/...
+	$(GO) test -race ./internal/obs/... ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/... ./internal/serve/... ./cmd/lrmserve/...
 
 # Trace recorder race-stress in isolation: concurrent Start/End against
 # Snapshot/export/Reset, repeated so interleavings vary.
@@ -58,6 +58,11 @@ bench-compare: bench-smoke
 # (load at https://ui.perfetto.dev).
 trace-smoke:
 	$(GO) run ./cmd/lrmbench -iters 1 -out /tmp/lrmbench-smoke.json -trace /tmp/lrmbench-trace.json
+
+# Serving smoke: in-process lrmserve under a short mixed load; fails on
+# any 5xx, any transport error, or a loopback p99 above 2s.
+serve-smoke:
+	$(GO) run ./cmd/lrmbench -serve-load -serve-clients 4 -serve-duration 3s -serve-p99 2s
 
 # Short mutation pass over the decoder fuzz targets (seeds always run in
 # plain `make test`; this adds -fuzztime of coverage-guided input search).

@@ -8,6 +8,8 @@
 //	         [-trace trace.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	         [-debug-addr :8080] [-profile-top]
 //	lrmbench -compare [-tolerance 0.25] old.json new.json
+//	lrmbench -serve-load [-serve-url URL] [-serve-clients N]
+//	         [-serve-duration 5s] [-serve-p99 LIMIT]
 //
 // Each benchmark compresses (and decompresses) a Heat3d field at two
 // problem sizes, per codec, at worker counts 1 and 4, plus the chunked
@@ -24,6 +26,14 @@
 // top-10 cumulative frames (function, cum ns, cum %) in that cell's JSON,
 // so a regression flagged by -compare comes with its own hot-path
 // attribution; it is mutually exclusive with -cpuprofile.
+//
+// -serve-load turns lrmbench into a load generator for lrmserve: a mixed
+// compress/decompress request stream from -serve-clients concurrent
+// clients for -serve-duration, reported as JSON with status counts and
+// latency percentiles. The run fails (exit 1) on any 5xx response, any
+// transport error, or a p99 above -serve-p99 — the CI serving smoke gate.
+// With no -serve-url it stands up an in-process loopback server, so the
+// smoke test needs no separate process.
 //
 // -trace runs one deterministic traced pass over the full core pipeline
 // (single-field and chunked, medium size) after the benchmarks and writes
@@ -128,7 +138,16 @@ func main() {
 	profileTop := flag.Bool("profile-top", false, "CPU-profile each cell and attach its top-10 cumulative frames to the JSON")
 	compare := flag.Bool("compare", false, "compare two lrmbench JSON reports (old.json new.json) and fail on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput regression in -compare mode")
+	serveLoad := flag.Bool("serve-load", false, "run the lrmserve load generator instead of the codec benchmarks")
+	serveURL := flag.String("serve-url", "", "lrmserve base URL for -serve-load (empty = in-process loopback server)")
+	serveClients := flag.Int("serve-clients", 4, "concurrent clients for -serve-load")
+	serveDuration := flag.Duration("serve-duration", 5*time.Second, "wall time for -serve-load")
+	serveP99 := flag.Duration("serve-p99", 0, "fail -serve-load when request p99 exceeds this (0 = no latency gate)")
 	flag.Parse()
+
+	if *serveLoad {
+		os.Exit(serveLoadMain(*serveURL, *serveClients, *serveDuration, *serveP99))
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -152,7 +171,18 @@ func main() {
 		obs.SetEnabled(true)
 	}
 	if *debugAddr != "" {
-		go obs.ServeDebug(*debugAddr)
+		_, stopDebug, err := obs.StartDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrmbench: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := stopDebug(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "lrmbench: debug server shutdown: %v\n", err)
+			}
+		}()
 	}
 	if *profileTop && *cpuProfile != "" {
 		// Both need the runtime's single CPU profiler; per-cell profiles

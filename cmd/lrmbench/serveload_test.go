@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote; serveLoadMain prints its JSON report there.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan []byte)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, rerr := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if rerr != nil {
+				done <- buf
+				return
+			}
+		}
+	}()
+	fn()
+	w.Close()
+	out := <-done
+	r.Close()
+	return out
+}
+
+// TestServeLoadInProcess runs the whole smoke gate end to end against the
+// in-process loopback server: a short mixed load must finish with zero
+// 5xx, zero transport errors, a well-formed JSON report, and exit code 0.
+func TestServeLoadInProcess(t *testing.T) {
+	var code int
+	out := captureStdout(t, func() {
+		code = serveLoadMain("", 2, 300*time.Millisecond, 20*time.Second)
+	})
+	if code != 0 {
+		t.Fatalf("serveLoadMain = %d, want 0", code)
+	}
+	var rep serveLoadReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out)
+	}
+	if rep.Schema != serveLoadSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Status2xx == 0 {
+		t.Error("no successful requests")
+	}
+	if rep.Status5xx != 0 || rep.TransportErrors != 0 {
+		t.Errorf("5xx = %d, transport errors = %d", rep.Status5xx, rep.TransportErrors)
+	}
+	if rep.P99Ns <= 0 || rep.P99Ns < rep.P50Ns {
+		t.Errorf("implausible percentiles: p50 %d p99 %d", rep.P50Ns, rep.P99Ns)
+	}
+}
+
+// TestServeLoadP99Gate pins the latency gate: an absurdly low limit must
+// turn an otherwise clean run into a failure.
+func TestServeLoadP99Gate(t *testing.T) {
+	var code int
+	captureStdout(t, func() {
+		code = serveLoadMain("", 1, 200*time.Millisecond, time.Nanosecond)
+	})
+	if code != 1 {
+		t.Fatalf("serveLoadMain with 1ns p99 limit = %d, want 1", code)
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -52,7 +53,18 @@ func main() {
 		}()
 	}
 	if *debugAddr != "" {
-		go obs.ServeDebug(*debugAddr)
+		_, stopDebug, err := obs.StartDebug(*debugAddr)
+		if err != nil {
+			logger.Error("lrmexp: debug server", "err", err)
+			os.Exit(1)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := stopDebug(ctx); err != nil {
+				logger.Error("lrmexp: debug server shutdown", "err", err)
+			}
+		}()
 	}
 	if *cpuProfile != "" {
 		stop, err := obs.StartCPUProfile(*cpuProfile)

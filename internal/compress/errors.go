@@ -1,6 +1,7 @@
 package compress
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -32,6 +33,15 @@ var (
 	ErrHeader    = fmt.Errorf("%w (invalid header)", ErrCorrupt)
 )
 
+// ErrCanceled classifies failures caused by the caller's context — the
+// client hung up or the deadline passed — rather than by the stream. It is
+// deliberately outside the corrupt/truncated split: a canceled decode says
+// nothing about the archive, so callers must not quarantine or retry the
+// data on its account. Errors carrying this sentinel always also satisfy
+// errors.Is against the originating context.Canceled or
+// context.DeadlineExceeded.
+var ErrCanceled = errors.New("compress: operation canceled")
+
 // Classify wraps err into the decode-error taxonomy. Errors that already
 // carry a sentinel pass through unchanged; end-of-input conditions map to
 // ErrTruncated; everything else maps to ErrCorrupt. Decode paths call this
@@ -40,8 +50,11 @@ func Classify(err error) error {
 	if err == nil {
 		return nil
 	}
-	if errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) {
+	if errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrCanceled) {
 		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
 	}
 	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) || errors.Is(err, bitstream.ErrOutOfBits) {
 		return fmt.Errorf("%w: %w", ErrTruncated, err)

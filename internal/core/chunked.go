@@ -48,6 +48,12 @@ func CompressChunked(f *grid.Field, opts Options, chunks int) (*Result, error) {
 // CompressChunkedCtx is CompressChunked with trace propagation: each chunk's
 // core.chunk_compress span parents onto the container span carried into the
 // pool workers, and the chunk's codec shards nest under the chunk in turn.
+//
+// ctx is also consulted at every chunk boundary: once canceled, no further
+// chunks are scheduled and the call returns an error wrapping
+// compress.ErrCanceled plus the context's own sentinel. Chunks already in
+// flight finish, so cancellation never changes the bytes of a completed
+// archive — an uncanceled run is byte-identical at any worker count.
 func CompressChunkedCtx(ctx context.Context, f *grid.Field, opts Options, chunks int) (*Result, error) {
 	ctx, sp := trace.Start(ctx, "core.compress_chunked")
 	defer sp.End()
@@ -81,6 +87,15 @@ func CompressChunkedCtx(ctx context.Context, f *grid.Field, opts Options, chunks
 	}
 	outs := make([]chunkOut, chunks)
 	parallel.ForCtx(ctx, workers, chunks, func(ctx context.Context, c int) {
+		// Cancellation is checked once per chunk, here at the boundary: a
+		// canceled request (client disconnect, deadline) stops scheduling new
+		// chunk work instead of compressing every remaining slab at full CPU.
+		// Chunks already in flight run to completion, so an uncanceled run is
+		// byte-identical to the serial execution.
+		if err := ctx.Err(); err != nil {
+			outs[c] = chunkOut{err: err}
+			return
+		}
 		ctx, restore := trace.WithLabels(ctx, "stage", "chunk_compress", "chunk", strconv.Itoa(c))
 		defer restore()
 		cctx, csp := trace.Start(ctx, "core.chunk_compress")
@@ -100,6 +115,12 @@ func CompressChunkedCtx(ctx context.Context, f *grid.Field, opts Options, chunks
 			csp.SetBytes(int64(8*sub.Len()), int64(len(res.Archive)))
 		}
 	})
+
+	if err := ctx.Err(); err != nil {
+		werr := fmt.Errorf("core: chunked compress: %w: %w", compress.ErrCanceled, err)
+		sp.SetError(werr)
+		return nil, werr
+	}
 
 	var buf bytes.Buffer
 	buf.WriteString(chunkedMagic)
@@ -127,6 +148,52 @@ func CompressChunkedCtx(ctx context.Context, f *grid.Field, opts Options, chunks
 	return total, nil
 }
 
+// ChunkCRCs frames an LRMC container — header dims plus every chunk
+// record — and returns the index-seeded CRC32 of each record's actual
+// payload bytes (see chunkCRC), recomputed rather than read from the
+// record, without decoding anything. ok reports whether the bytes are a
+// well-framed LRMC container with no trailing garbage. Because the CRCs
+// cover the payloads themselves, the returned (dims, crcs) pair is a
+// trustworthy content address for the container: any payload flip, chunk
+// reorder, or splice changes it, even when the mutation also rewrites the
+// stored CRC fields. internal/serve keys its decompressed-response cache
+// on it.
+func ChunkCRCs(archive []byte) (dims []int, crcs []uint32, ok bool) {
+	r := &reader{buf: archive}
+	if string(r.take(4)) != chunkedMagic {
+		return nil, nil, false
+	}
+	chunks := int(r.uvarint())
+	rank := int(r.byte())
+	// Every record costs at least two bytes (CRC uvarint + length uvarint),
+	// so a chunk count beyond the archive length is a varint bomb: refuse it
+	// before it sizes the crcs allocation.
+	if r.err != nil || rank < 1 || rank > 3 || chunks < 1 || chunks > len(archive) {
+		return nil, nil, false
+	}
+	dims = make([]int, rank)
+	for i := range dims {
+		v := r.uvarint()
+		if r.err != nil || v == 0 || v > compress.MaxElements {
+			return nil, nil, false
+		}
+		dims[i] = int(v)
+	}
+	crcs = make([]uint32, chunks)
+	for c := 0; c < chunks; c++ {
+		r.uvarint() // stored CRC: framing only, deliberately not trusted
+		payload := r.bytes()
+		if r.err != nil {
+			return nil, nil, false
+		}
+		crcs[c] = chunkCRC(c, payload)
+	}
+	if r.pos != len(r.buf) {
+		return nil, nil, false
+	}
+	return dims, crcs, true
+}
+
 // chunkCRC is the per-record checksum: CRC32 (IEEE) over the chunk's index
 // as a little-endian uint32, then its archive bytes. Seeding with the index
 // makes duplicated, reordered, or spliced records fail validation — a plain
@@ -143,7 +210,9 @@ func chunkCRC(idx int, archive []byte) uint32 {
 // degraded mode every chunk is attempted, failures are reported per chunk,
 // and the surviving chunks' regions are returned (failed regions stay
 // zero). A container header too damaged to frame any chunk fails outright
-// in both modes.
+// in both modes, as does a canceled ctx — cancellation is checked at every
+// chunk boundary and reported as compress.ErrCanceled, never as a chunk
+// failure.
 func chunkedDecode(ctx context.Context, archive []byte, workers int, degraded bool) (*Partial, error) {
 	ctx, sp := trace.Start(ctx, "core.decompress_chunked")
 	defer sp.End()
@@ -250,6 +319,13 @@ func chunkedDecode(ctx context.Context, archive []byte, workers int, degraded bo
 	inner := max(1, workers/running)
 	errs := make([]error, chunks)
 	parallel.ForCtx(ctx, workers, chunks, func(ctx context.Context, c int) {
+		// Same chunk-boundary cancellation contract as CompressChunkedCtx: a
+		// canceled request stops scheduling chunk decodes instead of running
+		// every remaining record at full CPU.
+		if err := ctx.Err(); err != nil {
+			errs[c] = err
+			return
+		}
 		ctx, restore := trace.WithLabels(ctx, "stage", "chunk_decode", "chunk", strconv.Itoa(c))
 		defer restore()
 		cctx, csp := trace.Start(ctx, "core.chunk_decode")
@@ -278,6 +354,15 @@ func chunkedDecode(ctx context.Context, archive []byte, workers int, degraded bo
 		copy(out.Data[lo*slab:hi*slab], f.Data)
 		csp.SetBytes(int64(len(recs[c].archive)), int64(8*f.Len()))
 	})
+
+	// Cancellation outranks both modes: a canceled decode says nothing about
+	// the archive, so returning a half-zeroed Partial (degraded) or blaming a
+	// chunk (strict) would misreport client disconnects as data loss.
+	if err := ctx.Err(); err != nil {
+		werr := fmt.Errorf("core: chunked decode: %w: %w", compress.ErrCanceled, err)
+		sp.SetError(werr)
+		return nil, werr
+	}
 
 	if sp != nil {
 		sp.AddItems(int64(chunks))

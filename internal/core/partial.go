@@ -73,7 +73,10 @@ func DecompressChunkedPartialWithOpts(archive []byte, opts DecompressOpts) (*Par
 // DecompressChunkedPartialWithOptsCtx is the fully-explicit variant: worker
 // budget plus trace propagation. Failed chunks' spans carry their decode
 // error, so a degraded recovery always lands in the trace ring's errored
-// pool.
+// pool. ctx is consulted at every chunk boundary: once canceled, remaining
+// chunks are skipped and the call fails with an error wrapping
+// compress.ErrCanceled (degraded mode does not apply to cancellation — a
+// client disconnect is not data loss).
 func DecompressChunkedPartialWithOptsCtx(ctx context.Context, archive []byte, opts DecompressOpts) (*Partial, error) {
 	p, err := chunkedDecode(ctx, archive, opts.Parallel.Resolve(), true)
 	if err != nil {

@@ -1,12 +1,15 @@
 package obs
 
 import (
+	"context"
 	"expvar"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	runtimepprof "runtime/pprof"
 	"sync"
+	"time"
 )
 
 // extraHandlers are debug endpoints registered by other packages (the
@@ -57,13 +60,55 @@ func Handler() http.Handler {
 	return mux
 }
 
-// ServeDebug blocks serving Handler on addr — commands run it on its own
-// goroutine (`go obs.ServeDebug(addr)`); errors surface on stderr rather
-// than killing the measurement run.
-func ServeDebug(addr string) {
-	if err := http.ListenAndServe(addr, Handler()); err != nil {
-		os.Stderr.WriteString("obs: debug server: " + err.Error() + "\n")
+// StartDebug serves Handler on addr from a background goroutine and
+// returns a stop function that drains and closes the server. Unlike the
+// bare http.ListenAndServe it replaces, the server carries full lifecycle
+// protection — a slow or stalled client cannot pin a connection (and with
+// it a test's listener) forever:
+//
+//	ReadHeaderTimeout  5s     slowloris guard on every connection
+//	ReadTimeout        1m     bounded request read (debug requests are tiny)
+//	WriteTimeout       2m     bounded response write; generous because
+//	                          /debug/pprof/profile streams for its full
+//	                          ?seconds= window (30s default) before writing
+//	IdleTimeout        2m     keep-alive connections are reaped
+//	MaxHeaderBytes     1MiB   bounded header allocation
+//
+// The listener is bound synchronously, so a bad addr fails here rather
+// than on a background goroutine, and addr ":0" works for tests (read the
+// bound address back via the returned Addr). stop performs a graceful
+// drain bounded by its ctx: in-flight requests finish, then the listener
+// and idle connections close. Serve errors after a clean start surface on
+// stderr — the debug plane must never kill the measurement run it
+// observes.
+func StartDebug(addr string) (boundAddr string, stop func(ctx context.Context) error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
 	}
+	srv := &http.Server{
+		Handler:           Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			os.Stderr.WriteString("obs: debug server: " + serr.Error() + "\n")
+		}
+	}()
+	stop = func(ctx context.Context) error {
+		err := srv.Shutdown(ctx)
+		// Join the serve goroutine: when stop returns, the listener is
+		// closed AND the accept loop has actually exited.
+		<-done
+		return err
+	}
+	return ln.Addr().String(), stop, nil
 }
 
 // StartCPUProfile begins a CPU profile into path. It returns a stop

@@ -15,7 +15,11 @@ import (
 // profiles attribute pool work to the submitting stage) and fn receives
 // ctx, whose trace span — when the caller started one — parents any spans
 // fn opens. ctx is carried, not consulted: like For, the batch always runs
-// to completion; cancellation semantics belong to the caller's fn.
+// to completion; cancellation semantics belong to the caller's fn. Callers
+// that want early abort check ctx.Err() at the top of fn and skip the
+// unit's work — the chunked container (internal/core) does exactly that at
+// chunk boundaries, so a canceled request drains in at most one in-flight
+// unit per worker rather than running the whole batch.
 //
 // With workers <= 1 or n <= 1 the loop runs inline on the calling
 // goroutine, which already holds ctx and its labels — the serial path stays

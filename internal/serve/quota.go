@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is a per-tenant token-bucket table. Each tenant (API key) owns a
+// bucket of capacity burst that refills at rps tokens per second; a request
+// spends one token. Buckets are created on first sight and swept once the
+// table grows past sweepThreshold, dropping any bucket that has been idle
+// long enough to be full again — a full bucket is indistinguishable from a
+// fresh one, so eviction never costs a tenant tokens.
+type quotas struct {
+	mu      sync.Mutex
+	rps     float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// sweepThreshold bounds the bucket table. Quota keys come from request
+// headers — attacker-controlled — so the table must not grow without limit.
+const sweepThreshold = 4096
+
+func newQuotas(rps, burst float64) *quotas {
+	return &quotas{rps: rps, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty it
+// returns false and how long until one token has refilled, for Retry-After.
+func (q *quotas) allow(key string, now time.Time) (bool, time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+
+	b, ok := q.buckets[key]
+	if !ok {
+		if len(q.buckets) >= sweepThreshold {
+			q.sweepLocked(now)
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[key] = b
+	} else {
+		b.tokens = min(q.burst, b.tokens+q.rps*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / q.rps * float64(time.Second))
+}
+
+// sweepLocked drops buckets idle long enough to have refilled completely.
+// If every tenant is genuinely active the table may stay above the
+// threshold — correctness over memory in that (already unusual) regime.
+func (q *quotas) sweepLocked(now time.Time) {
+	idle := time.Duration(q.burst / q.rps * float64(time.Second))
+	for k, b := range q.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(q.buckets, k)
+		}
+	}
+}

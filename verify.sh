@@ -43,7 +43,7 @@ step go run ./cmd/lrmbench -compare -tolerance 0.25 BENCH_5.json BENCH_7.json
 
 if [ "${1:-}" != "quick" ]; then
 	# Concurrent packages under the race detector.
-	step go test -race ./internal/obs/... ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/...
+	step go test -race ./internal/obs/... ./internal/parallel/... ./internal/mpi/... ./internal/core/... ./internal/sim/laplace/... ./internal/sim/heat3d/... ./internal/compress/... ./internal/huffman/... ./internal/faultinject/... ./internal/linalg/... ./internal/serve/... ./cmd/lrmserve/...
 	# Trace race-stress: concurrent Start/End/Snapshot/export/Reset on the
 	# trace recorder specifically, repeated so interleavings vary.
 	step go test -race -run TestConcurrentTraceStress -count=2 ./internal/obs/trace
@@ -58,6 +58,11 @@ if [ "${1:-}" != "quick" ]; then
 		echo "trace smoke: core.compress span missing from /tmp/lrmbench-trace.json" >&2
 		exit 1
 	}
+	# Serving smoke: the in-process lrmserve under a short mixed load must
+	# produce zero 5xx, zero transport errors, and a loopback p99 under a
+	# generous ceiling (real lifecycle bugs — deadlock under admission
+	# pressure, drain racing the handlers — blow straight past it).
+	step go run ./cmd/lrmbench -serve-load -serve-clients 4 -serve-duration 3s -serve-p99 2s
 	# Perf gate: compare the smoke run against the checked-in artifact. The
 	# wide 0.75 tolerance absorbs machine-to-machine variance; real
 	# regressions (parallel kernels silently serialized, tracing left
