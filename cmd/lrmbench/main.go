@@ -7,6 +7,7 @@
 //	lrmbench [-out BENCH.json] [-iters N] [-baseline old.json] [-stats]
 //	         [-trace trace.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	         [-debug-addr :8080] [-profile-top]
+//	         [-history hist.json] [-dash dash.html]
 //	lrmbench -compare [-tolerance 0.25] old.json new.json
 //	lrmbench -serve-load [-serve-url URL] [-serve-clients N]
 //	         [-serve-duration 5s] [-serve-p99 LIMIT]
@@ -67,6 +68,7 @@ import (
 	"lrm/internal/grid"
 	"lrm/internal/obs"
 	"lrm/internal/obs/trace"
+	"lrm/internal/obs/tsdb"
 	"lrm/internal/parallel"
 	"lrm/internal/sim/heat3d"
 )
@@ -143,6 +145,8 @@ func main() {
 	serveClients := flag.Int("serve-clients", 4, "concurrent clients for -serve-load")
 	serveDuration := flag.Duration("serve-duration", 5*time.Second, "wall time for -serve-load")
 	serveP99 := flag.Duration("serve-p99", 0, "fail -serve-load when request p99 exceeds this (0 = no latency gate)")
+	historyPath := flag.String("history", "", "sample the obs registry during the run and write the telemetry history JSON here")
+	dashPath := flag.String("dash", "", "write the rendered telemetry dashboard HTML here at exit")
 	flag.Parse()
 
 	if *serveLoad {
@@ -207,11 +211,30 @@ func main() {
 		}()
 	}
 
+	// -history/-dash sample the obs registry on a fast cadence for the
+	// whole run and dump the retained series (JSON) and rendered dashboard
+	// (HTML) at exit. Both imply metrics: an unsampled registry would dump
+	// empty series.
+	var hist *tsdb.Store
+	if *historyPath != "" || *dashPath != "" {
+		obs.SetEnabled(true)
+		hist = tsdb.New(tsdb.Config{Interval: 100 * time.Millisecond})
+		hist.Start()
+	}
+
 	rep := run(*iters, baseline, *stats, *profileTop)
 
 	if *tracePath != "" {
 		if err := runTraced(*tracePath); err != nil {
 			fatal(context.Background(), "lrmbench: trace", "err", err)
+		}
+	}
+
+	if hist != nil {
+		hist.Stop()
+		if err := hist.DumpFiles(*historyPath, *dashPath); err != nil {
+			fmt.Fprintf(os.Stderr, "lrmbench: history: %v\n", err)
+			os.Exit(1)
 		}
 	}
 

@@ -36,6 +36,37 @@ type serveLoadReport struct {
 	P90Ns           int64   `json:"p90_ns"`
 	P99Ns           int64   `json:"p99_ns"`
 	MaxNs           int64   `json:"max_ns"`
+	// ServeMetrics is present in in-process mode only, where the server
+	// shares this process's obs registry: cache effectiveness and
+	// rejection-reason counts, as deltas over the run.
+	ServeMetrics *serveLoadMetrics `json:"serve_metrics,omitempty"`
+}
+
+// serveLoadMetrics mirrors the server-side counters a load run cares
+// about: did the response cache earn its memory, and which admission gates
+// fired.
+type serveLoadMetrics struct {
+	CacheHits         int64   `json:"cache_hits"`
+	CacheMisses       int64   `json:"cache_misses"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	RejectedAdmission int64   `json:"rejected_admission"`
+	RejectedQuota     int64   `json:"rejected_quota"`
+	RejectedDraining  int64   `json:"rejected_draining"`
+}
+
+// serveCounterNames are the registry counters serveLoadMetrics reads,
+// in struct field order.
+var serveCounterNames = []string{
+	"serve.cache.hits", "serve.cache.misses",
+	"serve.rejected.admission", "serve.rejected.quota", "serve.rejected.draining",
+}
+
+func readServeCounters() [5]int64 {
+	var out [5]int64
+	for i, n := range serveCounterNames {
+		out[i] = obs.GetCounter(n).Value()
+	}
+	return out
 }
 
 const serveLoadSchema = "lrm-serve-load/1"
@@ -66,6 +97,14 @@ func serveLoadMain(url string, clients int, duration, p99Limit time.Duration) in
 			fmt.Fprintf(os.Stderr, "lrmbench: serve-load: %v\n", err)
 			return 1
 		}
+	}
+
+	// In-process the server shares our registry, so cache and rejection
+	// counters can be reported as deltas over the run (the priming request
+	// below is part of the run: it seeds the cache).
+	var base [5]int64
+	if inProcess {
+		base = readServeCounters()
 	}
 
 	// Workload bodies: one raw field for /v1/compress, its archive for
@@ -159,6 +198,20 @@ func serveLoadMain(url string, clients int, duration, p99Limit time.Duration) in
 		rep.P90Ns = all[n*9/10].Nanoseconds()
 		rep.P99Ns = all[n*99/100].Nanoseconds()
 		rep.MaxNs = all[n-1].Nanoseconds()
+	}
+	if inProcess {
+		cur := readServeCounters()
+		m := &serveLoadMetrics{
+			CacheHits:         cur[0] - base[0],
+			CacheMisses:       cur[1] - base[1],
+			RejectedAdmission: cur[2] - base[2],
+			RejectedQuota:     cur[3] - base[3],
+			RejectedDraining:  cur[4] - base[4],
+		}
+		if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
+			m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
+		}
+		rep.ServeMetrics = m
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	lrmexp [-size small|medium|large] [-snapshots N] <experiment-id>|all|list
+//	lrmexp [-size small|medium|large] [-snapshots N] [-history hist.json]
+//	       [-dash dash.html] <experiment-id>|all|list
 //
 // Experiment ids match the paper's artifacts: table2, fig1, fig3, fig4,
 // fig6, fig7, fig8, fig9, fig10, fig11, fig12, table4.
@@ -21,6 +22,7 @@ import (
 	"lrm/internal/experiments"
 	"lrm/internal/obs"
 	"lrm/internal/obs/trace"
+	"lrm/internal/obs/tsdb"
 )
 
 // logger replaces the old ad-hoc stderr prints. It routes through
@@ -37,11 +39,25 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run here")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit here")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	historyPath := flag.String("history", "", "sample the obs registry during the run and write the telemetry history JSON here")
+	dashPath := flag.String("dash", "", "write the rendered telemetry dashboard HTML here at exit")
 	flag.Usage = usage
 	flag.Parse()
 
-	if *statsOut != "" || *debugAddr != "" || *traceOut != "" {
+	if *statsOut != "" || *debugAddr != "" || *traceOut != "" || *historyPath != "" || *dashPath != "" {
 		obs.SetEnabled(true)
+	}
+	if *historyPath != "" || *dashPath != "" {
+		hist := tsdb.New(tsdb.Config{Interval: 100 * time.Millisecond})
+		hist.Mount() // /debug/history and /debug/dash join -debug-addr's mux
+		hist.Start()
+		hp, dp := *historyPath, *dashPath
+		defer func() {
+			hist.Stop()
+			if err := hist.DumpFiles(hp, dp); err != nil {
+				logger.Error("lrmexp: history", "err", err)
+			}
+		}()
 	}
 	if *traceOut != "" {
 		trace.SetEnabled(true)

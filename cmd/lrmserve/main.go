@@ -7,14 +7,18 @@
 //	lrmserve [-addr :8080] [-workers N] [-max-inflight N] [-timeout 60s]
 //	         [-max-body BYTES] [-quota-rps R] [-quota-burst N]
 //	         [-cache-bytes BYTES] [-chunks N] [-drain-timeout 30s]
+//	         [-history-interval 1s] [-history-samples 512]
+//	         [-slo-availability 0.999] [-slo-p99 500ms]
 //
 // Endpoints:
 //
 //	POST /v1/compress?dims=64,64,64[&codec=zfp&precision=16&chunks=8]
 //	POST /v1/decompress[?partial=1]
 //	GET  /v1/codecs
-//	GET  /healthz
+//	GET  /healthz[?verbose=1]
 //	GET  /metrics, /debug/vars, /debug/pprof/..., /debug/traces
+//	GET  /debug/history[?name=...&match=...&since=5m&rate=1&n=100]
+//	GET  /debug/dash, /debug/quality
 package main
 
 import (
@@ -30,7 +34,9 @@ import (
 	"time"
 
 	"lrm/internal/obs"
+	"lrm/internal/obs/slo"
 	"lrm/internal/obs/trace"
+	"lrm/internal/obs/tsdb"
 	"lrm/internal/serve"
 )
 
@@ -54,6 +60,10 @@ func run(args []string) int {
 	cacheBytes := fs.Int64("cache-bytes", 0, "decompressed-response cache budget (0 = 64 MiB, negative = off)")
 	chunks := fs.Int("chunks", 0, "default container chunk count (0 = 8)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests at shutdown")
+	histInterval := fs.Duration("history-interval", 0, "telemetry-history sampling period (0 = 1s)")
+	histSamples := fs.Int("history-samples", 0, "samples retained per history series (0 = 512)")
+	sloAvail := fs.Float64("slo-availability", 0, "availability objective in (0,1) (0 = 0.999)")
+	sloP99 := fs.Duration("slo-p99", 0, "p99 latency objective (0 = 500ms)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,6 +72,12 @@ func run(args []string) int {
 	// tracer feed /metrics and /debug/traces on the same listener.
 	obs.SetEnabled(true)
 	trace.SetEnabled(true)
+
+	// The history store must mount its /debug handlers before serve.New
+	// snapshots the debug mux; sampling starts alongside the listener and
+	// stops after the drain so the final samples cover shutdown.
+	hist := tsdb.New(tsdb.Config{Interval: *histInterval, Capacity: *histSamples})
+	hist.Mount()
 
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
@@ -72,6 +88,7 @@ func run(args []string) int {
 		QuotaBurst:     *quotaBurst,
 		CacheBytes:     *cacheBytes,
 		DefaultChunks:  *chunks,
+		SLO:            slo.Objectives{Availability: *sloAvail, LatencyP99: *sloP99},
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -80,6 +97,7 @@ func run(args []string) int {
 		return 1
 	}
 	logger.Info("lrmserve: serving", "addr", ln.Addr().String())
+	hist.Start()
 
 	// Drain on SIGTERM (orchestrator stop) and SIGINT (operator ^C): stop
 	// the signal context, flip into draining, and give in-flight requests
@@ -111,6 +129,10 @@ func run(args []string) int {
 		logger.Error("lrmserve: serve", "err", err)
 		code = 1
 	}
+	// Stop the sampler after the drain completes: its final pass records
+	// the post-drain registry state, so the history ends with the truth
+	// about how shutdown went.
+	hist.Stop()
 	logger.Info("lrmserve: stopped")
 	return code
 }

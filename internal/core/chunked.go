@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"strconv"
 
 	"lrm/internal/compress"
 	"lrm/internal/grid"
 	"lrm/internal/mpi"
 	"lrm/internal/obs"
+	"lrm/internal/obs/quality"
 	"lrm/internal/obs/trace"
 	"lrm/internal/parallel"
 )
@@ -113,6 +115,32 @@ func CompressChunkedCtx(ctx context.Context, f *grid.Field, opts Options, chunks
 		outs[c] = chunkOut{res: res, err: err}
 		if res != nil {
 			csp.SetBytes(int64(8*sub.Len()), int64(len(res.Archive)))
+		}
+		if err == nil && obs.Enabled() {
+			bound := math.NaN()
+			if eb, ok := opts.DataCodec.(compress.ErrorBounded); ok {
+				if b, ok := eb.AbsErrorBound(sub); ok {
+					bound = b
+				}
+			}
+			quality.Observe(quality.Event{
+				Source:          "core.chunk_compress",
+				Codec:           opts.DataCodec.Name(),
+				Chunk:           c,
+				Dims:            sub.Dims,
+				OriginalBytes:   8 * sub.Len(),
+				CompressedBytes: len(res.Archive),
+				Bound:           bound,
+				Raw:             sub.Bytes,
+				Original:        sub.Data,
+				Reconstruct: func() ([]float64, error) {
+					g, derr := decompressSingle(cctx, res.Archive, 1)
+					if derr != nil {
+						return nil, derr
+					}
+					return g.Data, nil
+				},
+			})
 		}
 	})
 

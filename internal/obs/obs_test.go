@@ -170,6 +170,8 @@ func TestStageAdd(t *testing.T) {
 // exposition format we emit.
 var promLine = regexp.MustCompile(
 	`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|` +
+		`# HELP [a-zA-Z_:][a-zA-Z0-9_:]* [^\n]*|` +
+		`# exemplar [^\n]*|` +
 		`[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="([0-9]+|\+Inf)"\})? -?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?)$`)
 
 func TestWritePromParses(t *testing.T) {

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromNamesCollision pins the sanitized-name collision fix: "a.b" and
+// "a-b" sanitize to the same Prometheus name, and both members of the
+// colliding group must be disambiguated deterministically.
+func TestPromNamesCollision(t *testing.T) {
+	names := []string{"colltest.a.b", "colltest.a-b", "colltest.plain"}
+	pns := promNames(names)
+
+	if got := pns["colltest.plain"]; got != "lrm_colltest_plain" {
+		t.Errorf("non-colliding name mangled: %q", got)
+	}
+	ab, dash := pns["colltest.a.b"], pns["colltest.a-b"]
+	if ab == dash {
+		t.Fatalf("collision not resolved: both map to %q", ab)
+	}
+	for n, pn := range pns {
+		if !strings.HasPrefix(pn, "lrm_colltest_") {
+			t.Errorf("promNames(%q) = %q, lost the sanitized stem", n, pn)
+		}
+		for _, r := range pn {
+			ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == ':'
+			if !ok {
+				t.Errorf("promNames(%q) = %q contains illegal rune %q", n, pn, r)
+			}
+		}
+	}
+
+	// Deterministic regardless of input order.
+	rev := promNames([]string{"colltest.plain", "colltest.a-b", "colltest.a.b"})
+	for n, pn := range pns {
+		if rev[n] != pn {
+			t.Errorf("promNames order-dependent: %q -> %q vs %q", n, pn, rev[n])
+		}
+	}
+}
+
+// TestWritePromCollisionRegression drives the collision through the full
+// exposition: two registry metrics with the same sanitized name must emit
+// two distinct, correctly-valued sample lines.
+func TestWritePromCollisionRegression(t *testing.T) {
+	withObs(t)
+	GetCounter("collide.x.y").Add(1)
+	GetCounter("collide.x-y").Add(2)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	sampled := map[string]string{} // prom name -> value
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lrm_collide_x_y") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if prev, dup := sampled[fields[0]]; dup {
+			t.Fatalf("duplicate series %s (values %s and %s) corrupts the scrape", fields[0], prev, fields[1])
+		}
+		sampled[fields[0]] = fields[1]
+	}
+	if len(sampled) != 2 {
+		t.Fatalf("expected 2 disambiguated series, got %v", sampled)
+	}
+	values := map[string]bool{}
+	for _, v := range sampled {
+		values[v] = true
+	}
+	if !values["1"] || !values["2"] {
+		t.Fatalf("disambiguated series lost their values: %v", sampled)
+	}
+}
+
+func TestWritePromHelpLines(t *testing.T) {
+	withObs(t)
+	GetCounter("helptest.described").Inc()
+	GetCounter("helptest.bare").Inc()
+	Describe("helptest.described", "Counts things.\nWith a \\ in it.")
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	want := `# HELP lrm_helptest_described Counts things.\nWith a \\ in it.` + "\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("missing escaped HELP line %q in:\n%s", want, out)
+	}
+	if strings.Contains(out, "# HELP lrm_helptest_bare") {
+		t.Error("undescribed metric grew a HELP line")
+	}
+	// HELP must precede TYPE for the same metric (canonical 0.0.4 layout).
+	hi := strings.Index(out, "# HELP lrm_helptest_described")
+	ti := strings.Index(out, "# TYPE lrm_helptest_described")
+	if hi == -1 || ti == -1 || hi > ti {
+		t.Errorf("HELP/TYPE ordering wrong: help at %d, type at %d", hi, ti)
+	}
+}

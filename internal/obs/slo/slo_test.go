@@ -1,0 +1,198 @@
+package slo_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"lrm/internal/obs"
+	"lrm/internal/obs/slo"
+)
+
+// boundMs returns the obs.DefTimeBounds bucket upper bound containing ns,
+// in milliseconds — the value windowed p99 estimates report.
+func boundMs(ns int64) float64 {
+	for _, b := range obs.DefTimeBounds {
+		if ns <= b {
+			return float64(b) / 1e6
+		}
+	}
+	return float64(obs.DefTimeBounds[len(obs.DefTimeBounds)-1]) / 1e6
+}
+
+func window(t *testing.T, rep slo.Report, name string) slo.WindowStats {
+	t.Helper()
+	for _, w := range rep.Windows {
+		if w.Window == name {
+			return w
+		}
+	}
+	t.Fatalf("report has no %q window: %+v", name, rep)
+	return slo.WindowStats{}
+}
+
+func TestNewDefaultsInvalidObjectives(t *testing.T) {
+	def := slo.DefaultObjectives()
+	for _, obj := range []slo.Objectives{
+		{},
+		{Availability: -1, LatencyP99: -time.Second},
+		{Availability: 1.5},
+	} {
+		got := slo.New(obj).Objectives()
+		if got.Availability != def.Availability && obj.Availability != got.Availability {
+			t.Errorf("New(%+v).Availability = %v", obj, got.Availability)
+		}
+		if got.Availability <= 0 || got.Availability >= 1 || got.LatencyP99 <= 0 {
+			t.Errorf("New(%+v) left invalid objectives: %+v", obj, got)
+		}
+	}
+	// Valid objectives pass through untouched.
+	obj := slo.Objectives{Availability: 0.99, LatencyP99: 42 * time.Millisecond}
+	if got := slo.New(obj).Objectives(); got != obj {
+		t.Errorf("New(%+v).Objectives() = %+v", obj, got)
+	}
+}
+
+func TestAvailabilityBurn(t *testing.T) {
+	tr := slo.New(slo.Objectives{Availability: 0.999, LatencyP99: 100 * time.Millisecond})
+	now := time.Unix(10_000, 0)
+	for i := 0; i < 100; i++ {
+		tr.RecordAt(now, 200, time.Millisecond)
+	}
+	tr.RecordAt(now, 500, time.Millisecond)
+
+	w := window(t, tr.Report(now), "5m")
+	if w.Requests != 101 || w.Errors != 1 {
+		t.Fatalf("window = %+v, want 101 requests / 1 error", w)
+	}
+	wantAvail := 100.0 / 101.0
+	if math.Abs(w.Availability-wantAvail) > 1e-12 {
+		t.Errorf("availability = %v, want %v", w.Availability, wantAvail)
+	}
+	wantBurn := (1.0 / 101.0) / (1 - 0.999)
+	if math.Abs(w.AvailabilityBurn-wantBurn) > 1e-9 {
+		t.Errorf("availability burn = %v, want %v", w.AvailabilityBurn, wantBurn)
+	}
+	if w.LatencyBurn != 0 {
+		t.Errorf("latency burn = %v, want 0 (nothing was slow)", w.LatencyBurn)
+	}
+}
+
+func TestLatencyBurnAndP99(t *testing.T) {
+	tr := slo.New(slo.Objectives{Availability: 0.999, LatencyP99: 100 * time.Millisecond})
+	now := time.Unix(20_000, 0)
+	for i := 0; i < 99; i++ {
+		tr.RecordAt(now, 200, time.Millisecond)
+	}
+	tr.RecordAt(now, 200, 200*time.Millisecond) // over the objective
+
+	w := window(t, tr.Report(now), "5m")
+	if w.Slow != 1 {
+		t.Fatalf("slow = %d, want 1", w.Slow)
+	}
+	// 1% of requests slow against a 1% budget: burning at exactly 1x.
+	if math.Abs(w.LatencyBurn-1) > 1e-12 {
+		t.Errorf("latency burn = %v, want 1.0", w.LatencyBurn)
+	}
+	if w.AvailabilityBurn != 0 {
+		t.Errorf("availability burn = %v, want 0 (no 5xx)", w.AvailabilityBurn)
+	}
+	// rank 99 of 100 lands on the last fast request: the 1ms bucket bound.
+	if want := boundMs(time.Millisecond.Nanoseconds()); w.P99Ms != want {
+		t.Errorf("p99 = %vms, want bucket bound %vms", w.P99Ms, want)
+	}
+}
+
+func TestMultiWindowSeparation(t *testing.T) {
+	tr := slo.New(slo.Objectives{})
+	now := time.Unix(30_000, 0)
+	tr.RecordAt(now.Add(-10*time.Minute), 500, time.Millisecond) // outside 5m, inside 1h
+	tr.RecordAt(now, 200, time.Millisecond)
+
+	rep := tr.Report(now)
+	w5, w1h := window(t, rep, "5m"), window(t, rep, "1h")
+	if w5.Requests != 1 || w5.Errors != 0 {
+		t.Errorf("5m window = %+v, want only the fresh OK", w5)
+	}
+	if w1h.Requests != 2 || w1h.Errors != 1 {
+		t.Errorf("1h window = %+v, want both requests and the old error", w1h)
+	}
+	if w5.AvailabilityBurn != 0 || w1h.AvailabilityBurn == 0 {
+		t.Errorf("burns: 5m=%v 1h=%v, want 0 and >0", w5.AvailabilityBurn, w1h.AvailabilityBurn)
+	}
+}
+
+func TestBucketRotationEvictsOldData(t *testing.T) {
+	tr := slo.New(slo.Objectives{})
+	old := time.Unix(40_000, 0)
+	tr.RecordAt(old, 500, time.Millisecond)
+	// One ring revolution later the same slot is reused; stale outcomes
+	// must not leak into the new hour.
+	now := old.Add(3600 * time.Second)
+	tr.RecordAt(now, 200, time.Millisecond)
+
+	w := window(t, tr.Report(now), "1h")
+	if w.Requests != 1 || w.Errors != 0 {
+		t.Fatalf("1h window after rotation = %+v, want the fresh request only", w)
+	}
+}
+
+func TestGaugesPublished(t *testing.T) {
+	prev := obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(prev); obs.Reset() })
+	obs.Reset()
+
+	tr := slo.New(slo.Objectives{Availability: 0.999, LatencyP99: 100 * time.Millisecond})
+	now := time.Unix(50_000, 0)
+	tr.RecordAt(now, 500, 200*time.Millisecond)
+
+	snap := obs.Snapshot()
+	if got := snap.Floats["slo.availability.burn_5m"]; got <= 0 {
+		t.Errorf("slo.availability.burn_5m = %v, want > 0 after a 5xx", got)
+	}
+	if got := snap.Floats["slo.latency.burn_5m"]; got <= 0 {
+		t.Errorf("slo.latency.burn_5m = %v, want > 0 after a slow request", got)
+	}
+	if got := snap.Counters["slo.requests"]; got != 1 {
+		t.Errorf("slo.requests = %d, want 1", got)
+	}
+	if got := snap.Counters["slo.errors"]; got != 1 {
+		t.Errorf("slo.errors = %d, want 1", got)
+	}
+	if got := snap.Counters["slo.slow"]; got != 1 {
+		t.Errorf("slo.slow = %d, want 1", got)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := slo.New(slo.Objectives{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				status := 200
+				if i%100 == g {
+					status = 500
+				}
+				tr.Record(status, time.Duration(i)*time.Microsecond)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Report(time.Now())
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	w := window(t, tr.Report(time.Now()), "1h")
+	if w.Requests != 8*500 {
+		t.Fatalf("recorded %d requests, want %d", w.Requests, 8*500)
+	}
+}

@@ -1,0 +1,80 @@
+package tsdb_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"lrm/internal/obs"
+	"lrm/internal/obs/tsdb"
+)
+
+// FuzzHistoryQuery feeds arbitrary query strings through the /debug/history
+// parser and, when they parse, through a small store's Eval and WriteJSON —
+// no input may panic, and parsed queries must satisfy their documented
+// invariants.
+func FuzzHistoryQuery(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"name=a",
+		"name=a&name=b&rate=1",
+		"match=serve.&since=5m",
+		"from=1&to=2&n=3",
+		"rate=true",
+		"since=-5m",
+		"n=-1",
+		"from=2&to=1",
+		"%zz",
+		"name=&match=",
+		"rate=yes",
+		"since=1h30m&n=100000",
+	} {
+		f.Add(seed)
+	}
+
+	obs.GetCounter("tsdbtest.fuzz.ctr").Add(7)
+	obs.GetGauge("tsdbtest.fuzz.gauge").Set(3)
+	store := tsdb.New(tsdb.Config{Capacity: 8})
+	t0 := time.UnixMilli(1_000_000)
+	for i := 0; i < 3; i++ {
+		store.SampleOnce(t0.Add(time.Duration(i) * time.Second))
+	}
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := tsdb.ParseHistoryQuery(raw)
+		if err != nil {
+			return
+		}
+		if q.Since < 0 {
+			t.Fatalf("parsed Since is negative: %v", q.Since)
+		}
+		if q.From < 0 || q.To < 0 {
+			t.Fatalf("parsed From/To negative: %d/%d", q.From, q.To)
+		}
+		if q.From != 0 && q.To != 0 && q.From > q.To {
+			t.Fatalf("parser admitted inverted range %d > %d", q.From, q.To)
+		}
+		if q.MaxPoints < 0 {
+			t.Fatalf("parsed MaxPoints negative: %d", q.MaxPoints)
+		}
+		for _, n := range q.Names {
+			if n == "" {
+				t.Fatal("parser admitted an empty series name")
+			}
+		}
+		series := store.Eval(q, t0.Add(time.Minute))
+		for _, sn := range series {
+			if q.MaxPoints > 0 && len(sn.Points) > q.MaxPoints {
+				t.Fatalf("series %s has %d points, n=%d", sn.Name, len(sn.Points), q.MaxPoints)
+			}
+			for i := 1; i < len(sn.Points); i++ {
+				if sn.Points[i][0] < sn.Points[i-1][0] {
+					t.Fatalf("series %s points out of order", sn.Name)
+				}
+			}
+		}
+		if err := store.WriteJSON(io.Discard, q); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package tsdb_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lrm/internal/obs"
+	"lrm/internal/obs/tsdb"
+)
+
+// TestHandlersUnderConcurrentSampling hammers /debug/history and
+// /debug/dash while the background sampler runs and other goroutines
+// mutate and Reset the registry — the race-detector proof that queries,
+// sampling passes, and obs.Reset can overlap freely.
+func TestHandlersUnderConcurrentSampling(t *testing.T) {
+	c := obs.GetCounter("tsdbtest.race.ctr")
+	h := obs.GetHistogram("tsdbtest.race.hist", nil)
+	t.Cleanup(obs.Reset)
+
+	s := tsdb.New(tsdb.Config{Interval: time.Millisecond, Capacity: 32})
+	s.Start()
+	defer s.Stop()
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/history", s.HistoryHandler())
+	mux.Handle("/debug/dash", s.DashHandler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer: counters + histogram observations
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			h.Observe(int64(i%1000 + 1))
+		}
+	}()
+	go func() { // resetter: the documented Reset race
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			obs.Reset()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, path := range []string{
+			"/debug/history",
+			"/debug/history?match=tsdbtest.race.&rate=1&n=10",
+			"/debug/dash",
+		} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("GET %s: read: %v", path, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+			}
+			if strings.HasPrefix(path, "/debug/history") {
+				var doc map[string]any
+				if err := json.Unmarshal(body, &doc); err != nil {
+					t.Fatalf("GET %s: invalid JSON under concurrent sampling: %v", path, err)
+				}
+			} else if !strings.Contains(string(body), "<svg") {
+				t.Fatalf("GET %s: dash lost its sparklines under load", path)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if s.Samples() < 2 {
+		t.Fatalf("background sampler recorded %d passes during the run", s.Samples())
+	}
+}
+
+func TestHistoryHandlerRejectsBadQuery(t *testing.T) {
+	s := tsdb.New(tsdb.Config{})
+	ts := httptest.NewServer(s.HistoryHandler())
+	defer ts.Close()
+
+	for _, raw := range []string{"bogus=1", "since=never", "rate=2", "n=0", "from=9&to=3"} {
+		resp, err := http.Get(ts.URL + "/?" + raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q: status %d, want 400", raw, resp.StatusCode)
+		}
+	}
+}

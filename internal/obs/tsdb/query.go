@@ -1,0 +1,243 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Query selects series and a time range from a Store. The zero value
+// selects every series over the full retained history at raw values.
+type Query struct {
+	// Names selects series by exact name (repeatable ?name=).
+	Names []string
+	// Match selects series whose name contains the substring (?match=);
+	// combined with Names, a series passes if either selects it.
+	Match string
+	// Since restricts points to the trailing window (?since=5m). Ignored
+	// when From/To are set.
+	Since time.Duration
+	// From/To restrict points to [From, To] in unix milliseconds
+	// (?from=, ?to=; 0 means unbounded on that side).
+	From, To int64
+	// Rate converts counter series to per-second rates (?rate=1).
+	Rate bool
+	// MaxPoints downsamples each series to at most this many points by
+	// striding (?n=). 0 means no limit.
+	MaxPoints int
+}
+
+// ParseHistoryQuery parses a raw URL query string (the part after '?')
+// into a Query. Errors name the offending parameter; unknown parameters
+// are rejected so typos fail loudly instead of silently selecting
+// everything.
+func ParseHistoryQuery(raw string) (Query, error) {
+	var q Query
+	vals, err := url.ParseQuery(raw)
+	if err != nil {
+		return q, fmt.Errorf("tsdb: malformed query: %v", err)
+	}
+	for key, vs := range vals {
+		v := ""
+		if len(vs) > 0 {
+			v = vs[len(vs)-1]
+		}
+		switch key {
+		case "name":
+			for _, n := range vs {
+				if n != "" {
+					q.Names = append(q.Names, n)
+				}
+			}
+		case "match":
+			q.Match = v
+		case "since":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return q, fmt.Errorf("tsdb: since=%q is not a non-negative duration", v)
+			}
+			q.Since = d
+		case "from", "to":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return q, fmt.Errorf("tsdb: %s=%q is not a non-negative unix-millisecond timestamp", key, v)
+			}
+			if key == "from" {
+				q.From = n
+			} else {
+				q.To = n
+			}
+		case "rate":
+			switch v {
+			case "", "0", "false":
+				q.Rate = false
+			case "1", "true":
+				q.Rate = true
+			default:
+				return q, fmt.Errorf("tsdb: rate=%q (want 0 or 1)", v)
+			}
+		case "n":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return q, fmt.Errorf("tsdb: n=%q is not a positive integer", v)
+			}
+			q.MaxPoints = n
+		default:
+			return q, fmt.Errorf("tsdb: unknown parameter %q", key)
+		}
+	}
+	if q.From != 0 && q.To != 0 && q.From > q.To {
+		return q, fmt.Errorf("tsdb: from=%d is after to=%d", q.From, q.To)
+	}
+	return q, nil
+}
+
+// selects reports whether the query's name filters admit name.
+func (q *Query) selects(name string) bool {
+	if len(q.Names) == 0 && q.Match == "" {
+		return true
+	}
+	for _, n := range q.Names {
+		if n == name {
+			return true
+		}
+	}
+	return q.Match != "" && strings.Contains(name, q.Match)
+}
+
+// historyDoc is the /debug/history response shape.
+type historyDoc struct {
+	NowMs         int64        `json:"now_ms"`
+	IntervalMs    int64        `json:"interval_ms"`
+	Samples       int64        `json:"samples"`
+	DroppedSeries int64        `json:"dropped_series"`
+	Series        []SeriesSnap `json:"series"`
+}
+
+// Eval runs the query against the store and returns the matching series
+// with range filtering, counter-rate derivation, and downsampling applied.
+func (s *Store) Eval(q Query, now time.Time) []SeriesSnap {
+	nowMs := now.UnixMilli()
+	from, to := q.From, q.To
+	if from == 0 && to == 0 && q.Since > 0 {
+		from = nowMs - q.Since.Milliseconds()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SeriesSnap, 0, 16)
+	for _, name := range s.order {
+		if !q.selects(name) {
+			continue
+		}
+		sr := s.series[name]
+		pts := sr.points(nil)
+		if q.Rate && sr.kind == KindCounter {
+			pts = derivedRates(pts)
+		}
+		pts = clipRange(pts, from, to)
+		pts = downsample(pts, q.MaxPoints)
+		if len(pts) == 0 {
+			continue
+		}
+		out = append(out, SeriesSnap{Name: name, Kind: sr.kind.String(), Points: pts})
+	}
+	return out
+}
+
+// WriteJSON evaluates q and writes the historyDoc JSON — the shared body
+// of the /debug/history handler and the -history file dump.
+func (s *Store) WriteJSON(w io.Writer, q Query) error {
+	now := time.Now()
+	doc := historyDoc{
+		NowMs:         now.UnixMilli(),
+		IntervalMs:    s.cfg.Interval.Milliseconds(),
+		Samples:       s.Samples(),
+		DroppedSeries: s.DroppedSeries(),
+		Series:        s.Eval(q, now),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// HistoryHandler serves JSON range queries over the retained history:
+//
+//	/debug/history                               everything retained
+//	/debug/history?name=serve.compress.requests  one series, raw values
+//	/debug/history?match=slo.&since=5m           prefix + trailing window
+//	/debug/history?rate=1&n=100                  counter rates, downsampled
+func (s *Store) HistoryHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q, err := ParseHistoryQuery(r.URL.RawQuery)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = s.WriteJSON(w, q)
+	})
+}
+
+// derivedRates converts cumulative counter points to per-second rates over
+// each inter-sample gap. A value drop (obs.Reset, process restart in a
+// future persisted form) is treated as a counter reset: the new value is
+// the whole delta. The first point has no predecessor and is dropped.
+func derivedRates(pts [][2]float64) [][2]float64 {
+	if len(pts) < 2 {
+		return nil
+	}
+	out := make([][2]float64, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		dtMs := pts[i][0] - pts[i-1][0]
+		if dtMs <= 0 {
+			continue
+		}
+		delta := pts[i][1] - pts[i-1][1]
+		if delta < 0 {
+			delta = pts[i][1]
+		}
+		out = append(out, [2]float64{pts[i][0], delta / (dtMs / 1000)})
+	}
+	return out
+}
+
+func clipRange(pts [][2]float64, from, to int64) [][2]float64 {
+	if from == 0 && to == 0 {
+		return pts
+	}
+	out := pts[:0]
+	for _, p := range pts {
+		if from != 0 && int64(p[0]) < from {
+			continue
+		}
+		if to != 0 && int64(p[0]) > to {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// downsample keeps at most n points by striding from the tail backwards,
+// so the most recent sample always survives.
+func downsample(pts [][2]float64, n int) [][2]float64 {
+	if n <= 0 || len(pts) <= n {
+		return pts
+	}
+	stride := (len(pts) + n - 1) / n
+	out := make([][2]float64, 0, n)
+	for i := len(pts) - 1; i >= 0; i -= stride {
+		out = append(out, pts[i])
+	}
+	// Reverse back into chronological order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"lrm/internal/compress"
 	"lrm/internal/core"
 	"lrm/internal/grid"
+	"lrm/internal/obs/quality"
 	"lrm/internal/obs/trace"
 	"lrm/internal/parallel"
 )
@@ -160,7 +162,37 @@ func (s *Server) compress(ctx context.Context, w http.ResponseWriter, r *http.Re
 	w.Header().Set("X-Lrm-Original-Bytes", strconv.Itoa(res.OriginalBytes))
 	w.Header().Set("X-Lrm-Ratio", strconv.FormatFloat(res.Ratio(), 'g', 6, 64))
 	writeStream(w, res.Archive)
+	quality.Observe(quality.Event{
+		Source:          "serve.compress",
+		Codec:           codec.Name(),
+		Chunk:           -1,
+		Dims:            f.Dims,
+		OriginalBytes:   res.OriginalBytes,
+		CompressedBytes: len(res.Archive),
+		Bound:           absBound(codec, f),
+		Raw:             func() []byte { return body },
+		Original:        f.Data,
+		Reconstruct: func() ([]float64, error) {
+			g, err := core.DecompressWithOptsCtx(ctx, res.Archive,
+				core.DecompressOpts{Parallel: parallel.Config{Workers: s.cfg.Workers}})
+			if err != nil {
+				return nil, err
+			}
+			return g.Data, nil
+		},
+	})
 	return nil
+}
+
+// absBound extracts the codec's requested absolute error bound for f, or
+// NaN when the codec's guarantee is not expressible as one.
+func absBound(codec compress.Codec, f *grid.Field) float64 {
+	if eb, ok := codec.(compress.ErrorBounded); ok {
+		if b, ok := eb.AbsErrorBound(f); ok {
+			return b
+		}
+	}
+	return math.NaN()
 }
 
 // handleDecompress is POST /v1/decompress: archive in (LRMC or LRM1), raw
@@ -226,6 +258,18 @@ func (s *Server) decompress(ctx context.Context, w http.ResponseWriter, r *http.
 		s.cache.put(key, field.Dims, payload)
 	}
 	writeField(w, field.Dims, payload, "miss", partial, chunkErrs, chunks)
+	// Decompression has no reference data to grade against; the event
+	// still carries the expansion ratio and (when sampled) the byte
+	// features of the reconstructed field.
+	quality.Observe(quality.Event{
+		Source:          "serve.decompress",
+		Chunk:           -1,
+		Dims:            field.Dims,
+		OriginalBytes:   len(payload),
+		CompressedBytes: len(archive),
+		Bound:           math.NaN(),
+		Raw:             func() []byte { return payload },
+	})
 	return nil
 }
 

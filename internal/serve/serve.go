@@ -28,6 +28,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"net"
 	"net/http"
 	"runtime"
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"lrm/internal/obs"
+	"lrm/internal/obs/slo"
 )
 
 // Config tunes the server. The zero value serves with production defaults.
@@ -67,6 +69,10 @@ type Config struct {
 	// request does not pass ?chunks=. 0 means 8 (clamped to the leading
 	// extent).
 	DefaultChunks int
+	// SLO sets the service-level objectives the built-in tracker evaluates
+	// (availability + p99 latency, multi-window burn rates). Zero-value
+	// fields take slo.DefaultObjectives.
+	SLO slo.Objectives
 }
 
 func (c Config) withDefaults() Config {
@@ -122,12 +128,22 @@ func newEpMetrics(name string) *epMetrics {
 }
 
 // Shared rejection counters: one per refusal reason, so saturation,
-// throttling, and drain are distinguishable on /metrics.
+// throttling, and drain are distinguishable on /metrics. serve.requests is
+// the cross-endpoint aggregate the SLO tracker and telemetry history key
+// on.
 var (
+	obsRequests     = obs.GetCounter("serve.requests")
 	obsRejAdmission = obs.GetCounter("serve.rejected.admission")
 	obsRejQuota     = obs.GetCounter("serve.rejected.quota")
 	obsRejDraining  = obs.GetCounter("serve.rejected.draining")
 )
+
+func init() {
+	obs.Describe("serve.requests", "API requests across all endpoints, admitted or not.")
+	obs.Describe("serve.rejected.admission", "Requests refused by the in-flight semaphore (429).")
+	obs.Describe("serve.rejected.quota", "Requests refused by the per-tenant token bucket (429).")
+	obs.Describe("serve.rejected.draining", "Requests refused during graceful drain (503).")
+}
 
 // Server is the lrmserve HTTP service. Create with New, run with Serve (or
 // mount Handler under a test server), stop with Shutdown.
@@ -139,6 +155,7 @@ type Server struct {
 	quota    *quotas
 	cache    *respCache
 	draining atomic.Bool
+	slo      *slo.Tracker
 
 	epCompress   *epMetrics
 	epDecompress *epMetrics
@@ -151,6 +168,7 @@ func New(cfg Config) *Server {
 		cfg:          cfg,
 		mux:          http.NewServeMux(),
 		sem:          make(chan struct{}, cfg.MaxInFlight),
+		slo:          slo.New(cfg.SLO),
 		epCompress:   newEpMetrics("compress"),
 		epDecompress: newEpMetrics("decompress"),
 	}
@@ -206,15 +224,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // handleHealthz is the load-balancer probe: 200 while serving, 503 once
-// draining so traffic shifts away before the listener closes.
+// draining so traffic shifts away before the listener closes. With
+// ?verbose=1 the body is JSON carrying the SLO report — availability and
+// latency burn rates over the 5m and 1h windows — so a human (or a probe
+// that alerts on burn) reads service health and error-budget spend from
+// one endpoint.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, state := http.StatusOK, "ok"
 	if s.draining.Load() {
+		status, state = http.StatusServiceUnavailable, "draining"
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}
+	if !boolParam(r, "verbose") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(state + "\n"))
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = w.Write([]byte("ok\n"))
+	doc := struct {
+		Status string     `json:"status"`
+		SLO    slo.Report `json:"slo"`
+	}{Status: state, SLO: s.slo.Report(time.Now())}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(doc)
 }
 
 // guard wraps an API endpoint with the full admission path, in rejection
@@ -222,29 +257,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // rejection is cheap, counted, and carries Retry-After; only admitted
 // requests pay for body reads and pipeline work. The wrapper also records
 // the endpoint's request counter, in-flight gauge, latency histogram, and
-// status-class counters.
+// status-class counters, plus the cross-endpoint aggregate and the SLO
+// tracker — every outcome, rejections included, routes through the
+// statusWriter so the SLO windows see exactly what clients saw.
 func (s *Server) guard(ep *epMetrics, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ep.requests.Inc()
+		obsRequests.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		defer func() { s.slo.Record(sw.status, time.Since(t0)) }()
 		if r.Method != http.MethodPost {
 			ep.s4xx.Inc()
-			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			sw.Header().Set("Allow", http.MethodPost)
+			http.Error(sw, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
 		if s.draining.Load() {
 			obsRejDraining.Inc()
 			ep.s5xx.Inc()
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "draining", http.StatusServiceUnavailable)
+			sw.Header().Set("Retry-After", "1")
+			http.Error(sw, "draining", http.StatusServiceUnavailable)
 			return
 		}
 		if s.quota != nil {
 			if ok, retry := s.quota.allow(tenantKey(r), time.Now()); !ok {
 				obsRejQuota.Inc()
 				ep.s4xx.Inc()
-				w.Header().Set("Retry-After", retryAfterSeconds(retry))
-				http.Error(w, "tenant quota exceeded", http.StatusTooManyRequests)
+				sw.Header().Set("Retry-After", retryAfterSeconds(retry))
+				http.Error(sw, "tenant quota exceeded", http.StatusTooManyRequests)
 				return
 			}
 		}
@@ -253,16 +294,14 @@ func (s *Server) guard(ep *epMetrics, h http.HandlerFunc) http.Handler {
 		default:
 			obsRejAdmission.Inc()
 			ep.s4xx.Inc()
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "server saturated", http.StatusTooManyRequests)
+			sw.Header().Set("Retry-After", "1")
+			http.Error(sw, "server saturated", http.StatusTooManyRequests)
 			return
 		}
 		defer func() { <-s.sem }()
 
 		ep.inflight.Add(1)
 		defer ep.inflight.Add(-1)
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		t0 := time.Now()
 		h(sw, r)
 		ep.latency.Observe(time.Since(t0).Nanoseconds())
 		ep.bytesOut.Add(sw.written)

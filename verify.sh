@@ -75,6 +75,7 @@ if [ "${1:-}" != "quick" ]; then
 	done
 	step go test -fuzz=FuzzDecompressChunked -fuzztime=10s -run='^$' ./internal/core
 	step go test -fuzz=FuzzWriteChromeTrace -fuzztime=10s -run='^$' ./internal/obs/trace
+	step go test -fuzz=FuzzHistoryQuery -fuzztime=10s -run='^$' ./internal/obs/tsdb
 fi
 
 echo "==> verify OK"
