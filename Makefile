@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt lint lint-json test invariants faultsweep race race-trace fuzz bench bench-smoke bench-compare trace-smoke serve-smoke verify
+.PHONY: build vet fmt lint lint-json test invariants faultsweep race race-trace race-profile fuzz bench bench-smoke bench-compare trace-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,11 @@ race:
 race-trace:
 	$(GO) test -race -run TestConcurrentTraceStress -count=2 ./internal/obs/trace
 
+# Continuous-profiler race-stress: real windows rotating concurrently with
+# /debug/profile + /debug/flame scrapes and registry Reset.
+race-profile:
+	$(GO) test -race -run TestConcurrentWindowsAndScrapes -count=2 ./internal/obs/profile
+
 # JSON benchmark harness (BENCH_<n>.json artifact); bench-smoke is the CI
 # single-iteration configuration.
 bench:
@@ -72,6 +77,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecompress -fuzztime=10s -run='^$$' ./internal/compress/fpc
 	$(GO) test -fuzz=FuzzDecompressChunked -fuzztime=10s -run='^$$' ./internal/core
 	$(GO) test -fuzz=FuzzWriteChromeTrace -fuzztime=10s -run='^$$' ./internal/obs/trace
+	$(GO) test -fuzz=FuzzHistoryQuery -fuzztime=10s -run='^$$' ./internal/obs/tsdb
+	$(GO) test -fuzz=FuzzParsePprof -fuzztime=10s -run='^$$' ./internal/obs/pprofparse
 
 verify:
 	./verify.sh

@@ -67,6 +67,8 @@ import (
 	"lrm/internal/core"
 	"lrm/internal/grid"
 	"lrm/internal/obs"
+	"lrm/internal/obs/pprofparse"
+	"lrm/internal/obs/profile"
 	"lrm/internal/obs/trace"
 	"lrm/internal/obs/tsdb"
 	"lrm/internal/parallel"
@@ -115,7 +117,7 @@ type Benchmark struct {
 	BaselineNsOp      int64                `json:"baseline_ns_op,omitempty"`
 	SpeedupVsBaseline float64              `json:"speedup_vs_baseline,omitempty"`
 	Stages            map[string]StageStat `json:"stages,omitempty"`
-	ProfileTop        []Frame              `json:"profile_top,omitempty"`
+	ProfileTop        []pprofparse.Frame   `json:"profile_top,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -147,6 +149,9 @@ func main() {
 	serveP99 := flag.Duration("serve-p99", 0, "fail -serve-load when request p99 exceeds this (0 = no latency gate)")
 	historyPath := flag.String("history", "", "sample the obs registry during the run and write the telemetry history JSON here")
 	dashPath := flag.String("dash", "", "write the rendered telemetry dashboard HTML here at exit")
+	profCont := flag.Bool("profile-continuous", false, "run the continuous in-process profiler (short CPU windows + heap deltas) during the benchmarks")
+	profileJSON := flag.String("profile-json", "", "write the continuous profiler's aggregated JSON here at exit (implies -profile-continuous)")
+	flamePath := flag.String("flame", "", "write the continuous profiler's flame graph SVG here at exit (implies -profile-continuous)")
 	flag.Parse()
 
 	if *serveLoad {
@@ -174,6 +179,22 @@ func main() {
 	if *stats || *debugAddr != "" {
 		obs.SetEnabled(true)
 	}
+	// The continuous profiler and the one-shot profiling modes all want the
+	// runtime's single CPU profiler; refuse contradictory flag sets up
+	// front with a clear message instead of letting whichever started first
+	// win and the loser write a silent empty profile.
+	continuous := *profCont || *profileJSON != "" || *flamePath != ""
+	if err := profileModeConflict(*cpuProfile, *profileTop, continuous); err != nil {
+		fmt.Fprintf(os.Stderr, "lrmbench: %v\n", err)
+		os.Exit(2)
+	}
+	var prof *profile.Profiler
+	if continuous {
+		obs.SetEnabled(true)
+		prof = profile.New(profile.Config{Interval: 2 * time.Second, Window: 500 * time.Millisecond})
+		prof.Mount() // /debug/profile and /debug/flame join -debug-addr's mux
+		prof.Start()
+	}
 	if *debugAddr != "" {
 		_, stopDebug, err := obs.StartDebug(*debugAddr)
 		if err != nil {
@@ -187,12 +208,6 @@ func main() {
 				fmt.Fprintf(os.Stderr, "lrmbench: debug server shutdown: %v\n", err)
 			}
 		}()
-	}
-	if *profileTop && *cpuProfile != "" {
-		// Both need the runtime's single CPU profiler; per-cell profiles
-		// cannot nest inside a whole-run profile.
-		fmt.Fprintln(os.Stderr, "lrmbench: -profile-top and -cpuprofile are mutually exclusive")
-		os.Exit(2)
 	}
 	if *cpuProfile != "" {
 		stop, err := obs.StartCPUProfile(*cpuProfile)
@@ -237,6 +252,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if prof != nil {
+		prof.Stop() // flushes the in-flight window before the dump
+		if err := prof.DumpFiles(*profileJSON, *flamePath); err != nil {
+			fmt.Fprintf(os.Stderr, "lrmbench: profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -255,6 +277,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lrmbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// profileModeConflict reports why the requested profiling modes cannot
+// coexist. The runtime owns a single CPU profiler, so the whole-run
+// -cpuprofile, the per-cell -profile-top, and the continuous profiler's
+// sampled windows are pairwise exclusive — whichever started first would
+// win and the loser would write a silent empty profile.
+func profileModeConflict(cpuProfile string, profileTop, continuous bool) error {
+	switch {
+	case profileTop && cpuProfile != "":
+		return errors.New("-profile-top and -cpuprofile are mutually exclusive: both need the runtime's single CPU profiler")
+	case continuous && cpuProfile != "":
+		return errors.New("-profile-continuous (or -profile-json/-flame) and -cpuprofile are mutually exclusive: the runtime allows one CPU profile at a time")
+	case continuous && profileTop:
+		return errors.New("-profile-continuous (or -profile-json/-flame) and -profile-top are mutually exclusive: the runtime allows one CPU profile at a time")
+	}
+	return nil
 }
 
 func readReport(path string) (*Report, error) {
@@ -419,7 +458,7 @@ func measure(name string, iters, rawBytes, workers int, stats, profTop bool, fn 
 	}
 	if profTop {
 		pprof.StopCPUProfile()
-		frames, err := topCumFrames(profBuf.Bytes(), 10)
+		frames, err := pprofparse.TopCumFrames(profBuf.Bytes(), 10)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lrmbench: %s: profile-top: %v\n", name, err)
 			os.Exit(1)

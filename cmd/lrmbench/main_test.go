@@ -124,3 +124,63 @@ func TestAttachBaseline(t *testing.T) {
 		t.Fatal("name mangled")
 	}
 }
+
+// TestMeasureProfileTop runs a real cell under -profile-top and checks the
+// profile attributes CPU to the busy function.
+func TestMeasureProfileTop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiled spin is not short")
+	}
+	sink := 0.0
+	b := measure("spin", 2, 8, 1, false, true, func() error {
+		for i := 0; i < 8_000_000; i++ {
+			sink += float64(i % 7)
+		}
+		return nil
+	})
+	_ = sink
+	if b.NsOp <= 0 {
+		t.Fatalf("ns_op %d", b.NsOp)
+	}
+	if len(b.ProfileTop) == 0 {
+		t.Fatal("profiled cell carried no frames")
+	}
+	if len(b.ProfileTop) > 10 {
+		t.Fatalf("more than 10 frames: %d", len(b.ProfileTop))
+	}
+	for i := 1; i < len(b.ProfileTop); i++ {
+		if b.ProfileTop[i].CumNs > b.ProfileTop[i-1].CumNs {
+			t.Fatalf("frames not sorted by cum_ns: %+v", b.ProfileTop)
+		}
+	}
+}
+
+// TestProfileModeConflict pins the pairwise exclusivity of the three
+// profiling modes: every conflicting pair is refused with a message naming
+// both flags, and each mode alone is allowed.
+func TestProfileModeConflict(t *testing.T) {
+	cases := []struct {
+		cpuProfile string
+		profileTop bool
+		continuous bool
+		wantErr    bool
+	}{
+		{"", false, false, false},
+		{"cpu.pprof", false, false, false},
+		{"", true, false, false},
+		{"", false, true, false},
+		{"cpu.pprof", true, false, true},
+		{"cpu.pprof", false, true, true},
+		{"", true, true, true},
+	}
+	for _, c := range cases {
+		err := profileModeConflict(c.cpuProfile, c.profileTop, c.continuous)
+		if (err != nil) != c.wantErr {
+			t.Errorf("profileModeConflict(%q, %v, %v) = %v, want error %v",
+				c.cpuProfile, c.profileTop, c.continuous, err, c.wantErr)
+		}
+		if err != nil && !strings.Contains(err.Error(), "mutually exclusive") {
+			t.Errorf("conflict error does not name the exclusivity: %v", err)
+		}
+	}
+}

@@ -1,13 +1,19 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"lrm/internal/sim/heat3d"
 )
 
 // TestRunServesAndDrainsOnSigterm drives the real entrypoint: run() binds,
@@ -68,5 +74,160 @@ func TestRunServesAndDrainsOnSigterm(t *testing.T) {
 
 	if _, err := http.Get(url); err == nil {
 		t.Fatal("server still answering after drain")
+	}
+}
+
+// TestRunContinuousProfilerEndToEnd boots the full service with a fast
+// profiler cadence, drives real compress traffic, and checks the three
+// acceptance surfaces over TCP: /debug/profile carries stage-attributed
+// samples, /debug/flame is an SVG whose frames include a stage.* label,
+// and /debug/history serves profile.stage.* CPU-fraction series.
+func TestRunContinuousProfilerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots the full service and profiles real CPU windows")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("probe listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	codec := make(chan int, 1)
+	go func() {
+		codec <- run([]string{
+			"-addr", addr, "-drain-timeout", "5s",
+			"-history-interval", "100ms",
+			"-profile-interval", "800ms", "-profile-window", "400ms",
+		})
+	}()
+	defer func() {
+		_ = syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		select {
+		case code := <-codec:
+			if code != 0 {
+				t.Errorf("run exited %d after SIGTERM, want 0", code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("run did not exit within 10s of SIGTERM")
+		}
+	}()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up on %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Drive compress load so the profiler's windows catch labeled codec
+	// work. The generator runs until the poll below succeeds.
+	body := heat3d.Solve(heat3d.Default(32)).Bytes()
+	loadStop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(stop chan struct{}) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(base+"/v1/compress?dims=32,32,32&codec=sz&mode=abs&bound=1e-6", "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(loadStop)
+	}
+	defer func() {
+		close(loadStop)
+		wg.Wait()
+	}()
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, raw
+	}
+
+	// Poll until a window attributes CPU to a chunk_compress stage.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		code, raw := get("/debug/profile")
+		if code != http.StatusOK {
+			t.Fatalf("/debug/profile: status %d: %s", code, raw)
+		}
+		var doc struct {
+			Schema string `json:"schema"`
+			Stages []struct {
+				Value string `json:"value"`
+				Ns    int64  `json:"ns"`
+			} `json:"stages"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("/debug/profile: bad JSON: %v\n%s", err, raw)
+		}
+		if doc.Schema != "lrm-profile/1" {
+			t.Fatalf("/debug/profile schema %q", doc.Schema)
+		}
+		attributed := false
+		for _, s := range doc.Stages {
+			if s.Value == "chunk_compress" && s.Ns > 0 {
+				attributed = true
+			}
+		}
+		if attributed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no chunk_compress attribution after 30s: %s", raw)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Flame graph: well-formed SVG with a stage-labeled frame on top.
+	code, svg := get("/debug/flame")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flame: status %d", code)
+	}
+	if !bytes.HasPrefix(svg, []byte("<svg")) || !bytes.Contains(svg, []byte("stage.chunk_compress")) {
+		t.Fatalf("/debug/flame missing stage frame: %.200s", svg)
+	}
+
+	// History: the stage CPU-fraction gauges became TSDB series.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		code, raw := get("/debug/history?match=profile.stage.")
+		if code != http.StatusOK {
+			t.Fatalf("/debug/history: status %d", code)
+		}
+		if bytes.Contains(raw, []byte("profile.stage.chunk_compress.cpu_fraction")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no profile.stage.* history series after 10s: %.400s", raw)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"math"
 	"strconv"
+	"strings"
 
 	"lrm/internal/compress"
 	"lrm/internal/grid"
@@ -28,6 +29,16 @@ var (
 
 // chunkedMagic marks the multi-chunk container format.
 const chunkedMagic = "LRMC"
+
+// codecFamily reduces a codec's self-description to its family name for
+// pprof labels: "sz(abs=1e-3)" → "sz". Parameters would explode label
+// cardinality in the continuous profiler's per-codec attribution.
+func codecFamily(name string) string {
+	if i := strings.IndexByte(name, '('); i >= 0 {
+		name = name[:i]
+	}
+	return name
+}
 
 // CompressChunked splits the field into `chunks` slabs along the leading
 // dimension and compresses them concurrently on the shared bounded worker
@@ -88,6 +99,10 @@ func CompressChunkedCtx(ctx context.Context, f *grid.Field, opts Options, chunks
 		err error
 	}
 	outs := make([]chunkOut, chunks)
+	// The codec family label ("sz", not "sz(abs=1e-3)") joins stage/chunk
+	// on the workers' pprof labels, so the continuous profiler can split
+	// CPU by codec as request-level codec choice becomes dynamic.
+	codecFam := codecFamily(opts.DataCodec.Name())
 	parallel.ForCtx(ctx, workers, chunks, func(ctx context.Context, c int) {
 		// Cancellation is checked once per chunk, here at the boundary: a
 		// canceled request (client disconnect, deadline) stops scheduling new
@@ -98,7 +113,7 @@ func CompressChunkedCtx(ctx context.Context, f *grid.Field, opts Options, chunks
 			outs[c] = chunkOut{err: err}
 			return
 		}
-		ctx, restore := trace.WithLabels(ctx, "stage", "chunk_compress", "chunk", strconv.Itoa(c))
+		ctx, restore := trace.WithLabels(ctx, "stage", "chunk_compress", "codec", codecFam, "chunk", strconv.Itoa(c))
 		defer restore()
 		cctx, csp := trace.Start(ctx, "core.chunk_compress")
 		defer csp.End()

@@ -159,3 +159,19 @@ func TestChunkedRank1(t *testing.T) {
 		t.Fatalf("rank-1 chunked error %v", e)
 	}
 }
+
+// TestCodecFamily pins the pprof codec-label reduction: parameters are
+// stripped so label cardinality stays at the codec-family count.
+func TestCodecFamily(t *testing.T) {
+	cases := map[string]string{
+		"sz(abs=1e-3)":      "sz",
+		"zfp(precision=16)": "zfp",
+		"fpc":               "fpc",
+		"":                  "",
+	}
+	for in, want := range cases {
+		if got := codecFamily(in); got != want {
+			t.Errorf("codecFamily(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

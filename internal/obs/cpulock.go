@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The Go runtime supports exactly one active CPU profile per process:
+// runtime/pprof.StartCPUProfile fails while another profile is running,
+// and the net/http/pprof handler returns 500 under the same contention.
+// With PR 10's continuous profiler running windows in the background,
+// that contention is routine rather than exotic, so ownership is
+// arbitrated here: every in-process CPU-profile producer acquires the
+// profiler before starting and the conflict error names the holder,
+// turning a silent empty profile into an actionable message.
+var (
+	cpuProfMu    sync.Mutex
+	cpuProfOwner string
+)
+
+// AcquireCPUProfiler claims the process-wide CPU profiler for owner (a
+// human-readable tag like `-cpuprofile cpu.pprof` or "continuous
+// profiler"). On success the returned release function must be called
+// after runtime/pprof.StopCPUProfile; on contention the error names the
+// current holder and release is nil.
+func AcquireCPUProfiler(owner string) (release func(), err error) {
+	cpuProfMu.Lock()
+	defer cpuProfMu.Unlock()
+	if cpuProfOwner != "" {
+		return nil, fmt.Errorf("obs: CPU profiler busy: held by %s (the runtime allows one CPU profile at a time)", cpuProfOwner)
+	}
+	cpuProfOwner = owner
+	return func() {
+		cpuProfMu.Lock()
+		cpuProfOwner = ""
+		cpuProfMu.Unlock()
+	}, nil
+}
+
+// CPUProfilerOwner reports the tag of the current CPU-profiler holder, or
+// "" when the profiler is free. Diagnostic only — checking then acquiring
+// is inherently racy; call AcquireCPUProfiler and handle its error.
+func CPUProfilerOwner() string {
+	cpuProfMu.Lock()
+	defer cpuProfMu.Unlock()
+	return cpuProfOwner
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAcquireCPUProfiler pins the arbitration contract: second acquire
+// fails naming the holder, release frees the slot for the next owner.
+func TestAcquireCPUProfiler(t *testing.T) {
+	rel, err := AcquireCPUProfiler("test-owner-a")
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if got := CPUProfilerOwner(); got != "test-owner-a" {
+		t.Fatalf("owner %q, want test-owner-a", got)
+	}
+	if _, err := AcquireCPUProfiler("test-owner-b"); err == nil {
+		t.Fatal("second acquire succeeded while held")
+	} else if !strings.Contains(err.Error(), "test-owner-a") {
+		t.Fatalf("conflict error does not name the holder: %v", err)
+	}
+	rel()
+	if got := CPUProfilerOwner(); got != "" {
+		t.Fatalf("owner after release %q, want empty", got)
+	}
+	rel2, err := AcquireCPUProfiler("test-owner-b")
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	rel2()
+}
+
+// TestStartCPUProfileArbitrated: StartCPUProfile refuses to start while
+// the profiler is held, with an error naming the holder, and releases its
+// claim on stop.
+func TestStartCPUProfileArbitrated(t *testing.T) {
+	rel, err := AcquireCPUProfiler("continuous profiler")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	if _, err := StartCPUProfile(path); err == nil {
+		t.Fatal("StartCPUProfile succeeded while profiler held")
+	} else if !strings.Contains(err.Error(), "continuous profiler") {
+		t.Fatalf("error does not name the holder: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("refused profile still created file: %v", err)
+	}
+	rel()
+
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatalf("StartCPUProfile after release: %v", err)
+	}
+	if got := CPUProfilerOwner(); !strings.Contains(got, "cpu.pprof") {
+		t.Fatalf("owner while profiling %q, want path tag", got)
+	}
+	stop()
+	if got := CPUProfilerOwner(); got != "" {
+		t.Fatalf("owner after stop %q, want empty", got)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("profile file missing or empty: %v %v", fi, err)
+	}
+}

@@ -113,19 +113,29 @@ func StartDebug(addr string) (boundAddr string, stop func(ctx context.Context) e
 
 // StartCPUProfile begins a CPU profile into path. It returns a stop
 // function to defer; a creation failure is reported via the returned error
-// with a no-op stop.
+// with a no-op stop. The process-wide profiler is claimed via
+// AcquireCPUProfiler first, so starting while the continuous profiler (or
+// another -cpuprofile) holds it fails with an error naming the holder
+// instead of producing a silent empty profile.
 func StartCPUProfile(path string) (stop func(), err error) {
+	release, err := AcquireCPUProfiler("-cpuprofile " + path)
+	if err != nil {
+		return func() {}, err
+	}
 	f, err := os.Create(path)
 	if err != nil {
+		release()
 		return func() {}, err
 	}
 	if err := runtimepprof.StartCPUProfile(f); err != nil {
 		f.Close()
+		release()
 		return func() {}, err
 	}
 	return func() {
 		runtimepprof.StopCPUProfile()
 		f.Close()
+		release()
 	}, nil
 }
 

@@ -1,10 +1,13 @@
-package main
+package pprofparse
 
 import (
 	"bytes"
 	"compress/gzip"
 	"encoding/binary"
+	"errors"
 	"testing"
+
+	"lrm/internal/compress"
 )
 
 // pbEnc builds protobuf wire bytes for the synthetic-profile tests.
@@ -78,11 +81,42 @@ func syntheticProfile() []byte {
 	return e.buf
 }
 
+// labeledProfile is syntheticProfile with two extra string-table entries
+// ("stage", "chunk_compress") and a stage label on the first sample.
+func labeledProfile() []byte {
+	var e pbEnc
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", "fnA", "fnB", "fnC",
+		"stage", "chunk_compress"}
+	e.msgField(1, func(m *pbEnc) { m.varintField(1, 1); m.varintField(2, 2) })
+	e.msgField(1, func(m *pbEnc) { m.varintField(1, 3); m.varintField(2, 4) })
+	e.msgField(2, func(m *pbEnc) {
+		m.packedField(1, 1, 2)
+		m.packedField(2, 3, 300)
+		m.msgField(3, func(l *pbEnc) { l.varintField(1, 8); l.varintField(2, 9) })
+	})
+	e.msgField(2, func(m *pbEnc) { m.packedField(1, 1, 1); m.packedField(2, 1, 100) })
+	e.msgField(4, func(m *pbEnc) {
+		m.varintField(1, 1)
+		m.msgField(4, func(l *pbEnc) { l.varintField(1, 1) })
+	})
+	e.msgField(4, func(m *pbEnc) {
+		m.varintField(1, 2)
+		m.msgField(4, func(l *pbEnc) { l.varintField(1, 2) })
+	})
+	e.msgField(5, func(m *pbEnc) { m.varintField(1, 1); m.varintField(2, 5) })
+	e.msgField(5, func(m *pbEnc) { m.varintField(1, 2); m.varintField(2, 6) })
+	for _, s := range strs {
+		e.bytesField(6, []byte(s))
+	}
+	return e.buf
+}
+
 // TestTopCumFramesSynthetic pins the rollup semantics: nanosecond column
 // selection, once-per-sample crediting through recursion and inlining, and
-// descending cum order.
+// descending cum order — the exact behavior lrmbench's -profile-top JSON
+// depends on.
 func TestTopCumFramesSynthetic(t *testing.T) {
-	frames, err := topCumFrames(syntheticProfile(), 10)
+	frames, err := TopCumFrames(syntheticProfile(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +135,7 @@ func TestTopCumFramesSynthetic(t *testing.T) {
 	}
 
 	// top-n truncation
-	top1, err := topCumFrames(syntheticProfile(), 1)
+	top1, err := TopCumFrames(syntheticProfile(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +155,7 @@ func TestTopCumFramesGzip(t *testing.T) {
 	if err := zw.Close(); err != nil {
 		t.Fatal(err)
 	}
-	frames, err := topCumFrames(buf.Bytes(), 10)
+	frames, err := TopCumFrames(buf.Bytes(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,37 +182,80 @@ func TestTopCumFramesCorrupt(t *testing.T) {
 					t.Errorf("input %d: panic %v", i, r)
 				}
 			}()
-			topCumFrames(in, 10)
+			TopCumFrames(in, 10)
 		}()
 	}
 }
 
-// TestMeasureProfileTop runs a real cell under -profile-top and checks the
-// profile attributes CPU to the busy function.
-func TestMeasureProfileTop(t *testing.T) {
-	if testing.Short() {
-		t.Skip("profiled spin is not short")
+// TestParseSampleTypesAndLabels checks the parser surfaces the sample-type
+// names and per-sample string labels the continuous profiler attributes
+// by, including the deferred string-table resolution (the table arrives
+// after the messages that reference it).
+func TestParseSampleTypesAndLabels(t *testing.T) {
+	p, err := Parse(labeledProfile())
+	if err != nil {
+		t.Fatal(err)
 	}
-	sink := 0.0
-	b := measure("spin", 2, 8, 1, false, true, func() error {
-		for i := 0; i < 8_000_000; i++ {
-			sink += float64(i % 7)
+	wantTypes := []SampleType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}}
+	if len(p.SampleTypes) != 2 || p.SampleTypes[0] != wantTypes[0] || p.SampleTypes[1] != wantTypes[1] {
+		t.Fatalf("sample types %+v, want %+v", p.SampleTypes, wantTypes)
+	}
+	if got := p.ValueIndex("nanoseconds"); got != 1 {
+		t.Fatalf("ValueIndex(nanoseconds) = %d, want 1", got)
+	}
+	if got := p.TypeIndex("cpu"); got != 1 {
+		t.Fatalf("TypeIndex(cpu) = %d, want 1", got)
+	}
+	if got := p.TypeIndex("alloc_space"); got != -1 {
+		t.Fatalf("TypeIndex(alloc_space) = %d, want -1", got)
+	}
+	if len(p.Samples) != 2 {
+		t.Fatalf("samples %d, want 2", len(p.Samples))
+	}
+	if got := p.Samples[0].Labels["stage"]; got != "chunk_compress" {
+		t.Fatalf("sample 0 stage label %q, want chunk_compress", got)
+	}
+	if p.Samples[1].Labels != nil {
+		t.Fatalf("sample 1 unexpectedly labeled: %v", p.Samples[1].Labels)
+	}
+	stack := p.StackFuncs(p.Samples[0], nil)
+	if len(stack) != 2 || stack[0] != "fnA" || stack[1] != "fnB" {
+		t.Fatalf("stack %v, want [fnA fnB]", stack)
+	}
+}
+
+// TestParseEmptyProfile: a profile with no sample types yields no frames
+// and no error (the runtime emits such profiles for zero-sample windows).
+func TestParseEmptyProfile(t *testing.T) {
+	frames, err := TopCumFrames([]byte{}, 10)
+	if err != nil || frames != nil {
+		t.Fatalf("empty profile: frames %v err %v", frames, err)
+	}
+}
+
+// TestGunzipBombRefused: a gzip stream claiming more bytes than the decode
+// allocation cap is refused with a classified error before the claimed
+// bytes are allocated.
+func TestGunzipBombRefused(t *testing.T) {
+	prev := compress.SetDecodeAllocCap(1 << 16)
+	defer compress.SetDecodeAllocCap(prev)
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zero := make([]byte, 1<<12)
+	for i := 0; i < 64; i++ { // 256 KiB of zeros, compresses tiny
+		if _, err := zw.Write(zero); err != nil {
+			t.Fatal(err)
 		}
-		return nil
-	})
-	_ = sink
-	if b.NsOp <= 0 {
-		t.Fatalf("ns_op %d", b.NsOp)
 	}
-	if len(b.ProfileTop) == 0 {
-		t.Fatal("profiled cell carried no frames")
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
 	}
-	if len(b.ProfileTop) > 10 {
-		t.Fatalf("more than 10 frames: %d", len(b.ProfileTop))
+	_, err := Parse(buf.Bytes())
+	if err == nil {
+		t.Fatal("gzip bomb parsed without error")
 	}
-	for i := 1; i < len(b.ProfileTop); i++ {
-		if b.ProfileTop[i].CumNs > b.ProfileTop[i-1].CumNs {
-			t.Fatalf("frames not sorted by cum_ns: %+v", b.ProfileTop)
-		}
+	if !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("bomb refusal not classified as ErrCorrupt: %v", err)
 	}
 }

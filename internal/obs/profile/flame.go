@@ -1,0 +1,237 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"lrm/internal/compress"
+)
+
+// BaselineSchema identifies the checked-in flame baseline format: a flat
+// map from function name to its cumulative fraction of sampled CPU
+// (0..1) in the baseline run. Fractions rather than nanoseconds so a
+// baseline captured at one cadence diffs cleanly against any other.
+const BaselineSchema = "lrm-flame-baseline/1"
+
+// maxBaselineBytes bounds baseline file reads; a real baseline is a few
+// KiB of function names.
+const maxBaselineBytes = 8 << 20
+
+type baselineDoc struct {
+	Schema string             `json:"schema"`
+	Frames map[string]float64 `json:"frames"`
+}
+
+// SetBaseline installs the reference profile /debug/flame?diff=1 colors
+// against: function name → cumulative CPU fraction (0..1).
+func (p *Profiler) SetBaseline(frames map[string]float64) {
+	p.mu.Lock()
+	p.baseline = frames
+	p.mu.Unlock()
+}
+
+// LoadBaseline reads a BaselineSchema JSON file and installs it.
+func (p *Profiler) LoadBaseline(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := compress.CheckedAlloc("profile.baseline", uint64(len(raw)), maxBaselineBytes, 1); err != nil {
+		return err
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("profile: baseline %s: %w", path, err)
+	}
+	if doc.Schema != BaselineSchema {
+		return fmt.Errorf("profile: baseline %s: schema %q, want %q", path, doc.Schema, BaselineSchema)
+	}
+	p.SetBaseline(doc.Frames)
+	return nil
+}
+
+// WriteBaseline emits the current aggregate as a BaselineSchema document,
+// the artifact to check in for future ?diff=1 comparisons.
+func (p *Profiler) WriteBaseline(w io.Writer) error {
+	p.mu.Lock()
+	doc := baselineDoc{Schema: BaselineSchema, Frames: make(map[string]float64, len(p.flat))}
+	if p.totalNs > 0 {
+		for name, f := range p.flat {
+			doc.Frames[name] = float64(f.cumNs) / float64(p.totalNs)
+		}
+	}
+	p.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// --- SVG flame graph ----------------------------------------------------
+
+const (
+	flameWidth  = 1200.0
+	rowHeight   = 16.0
+	flameMargin = 4.0
+	// minFrac hides slivers narrower than 0.1% of the root — below one
+	// pixel they are unreadable and only bloat the SVG.
+	minFrac = 0.001
+	// maxFlameDepth bounds the rendered (not aggregated) stack depth.
+	maxFlameDepth = 48
+)
+
+// flameRow is one laid-out rectangle of the flame graph.
+type flameRow struct {
+	name  string
+	depth int
+	x, w  float64 // fractions of total width
+	frac  float64 // fraction of root cum
+	delta float64 // vs baseline cum fraction (diff mode)
+}
+
+// WriteFlameSVG renders the aggregate stack trie as a self-contained
+// inline-SVG icicle graph (root on top, no JavaScript, hover titles via
+// native <title> elements). With diff set and a baseline installed,
+// frames are colored by their cumulative-fraction delta against the
+// baseline — red grew, blue shrank, gray unchanged — instead of by name
+// hash.
+func (p *Profiler) WriteFlameSVG(w io.Writer, diff bool) error {
+	p.mu.Lock()
+	useDiff := diff && p.baseline != nil
+	var cumFrac map[string]float64
+	if useDiff {
+		cumFrac = make(map[string]float64, len(p.flat))
+		if p.totalNs > 0 {
+			for name, f := range p.flat {
+				cumFrac[name] = float64(f.cumNs) / float64(p.totalNs)
+			}
+		}
+	}
+	rows := []flameRow{}
+	maxDepth := 0
+	var walk func(n *node, depth int, x float64)
+	walk = func(n *node, depth int, x float64) {
+		if depth > maxFlameDepth {
+			return
+		}
+		frac := 0.0
+		if p.root.cum > 0 {
+			frac = float64(n.cum) / float64(p.root.cum)
+		}
+		if frac < minFrac && depth > 0 {
+			return
+		}
+		row := flameRow{name: n.name, depth: depth, x: x, w: frac, frac: frac}
+		if useDiff {
+			row.delta = cumFrac[n.name] - p.baseline[n.name]
+		}
+		rows = append(rows, row)
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		names := make([]string, 0, len(n.kids))
+		for name := range n.kids {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		cx := x
+		for _, name := range names {
+			k := n.kids[name]
+			kw := 0.0
+			if p.root.cum > 0 {
+				kw = float64(k.cum) / float64(p.root.cum)
+			}
+			walk(k, depth+1, cx)
+			cx += kw
+		}
+	}
+	walk(p.root, 0, 0)
+	windows := p.ringN
+	p.mu.Unlock()
+
+	height := float64(maxDepth+1)*rowHeight + 2*flameMargin + 20
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="monospace" font-size="11">`,
+		flameWidth, height, flameWidth, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="#fdfdfd"/>`)
+	mode := "flame"
+	if useDiff {
+		mode = "flame diff vs baseline (red grew, blue shrank)"
+	}
+	fmt.Fprintf(&b, `<text x="%.0f" y="14" fill="#555">lrm continuous profiler — %s, %d windows</text>`,
+		flameMargin, html.EscapeString(mode), windows)
+	for _, r := range rows {
+		x := flameMargin + r.x*(flameWidth-2*flameMargin)
+		w := r.w * (flameWidth - 2*flameMargin)
+		if w < 1 {
+			w = 1
+		}
+		y := 20 + flameMargin + float64(r.depth)*rowHeight
+		fill := flameColor(r.name)
+		if useDiff {
+			fill = diffColor(r.delta)
+		}
+		title := fmt.Sprintf("%s — %.2f%% of sampled CPU", r.name, 100*r.frac)
+		if useDiff {
+			title += fmt.Sprintf(" (%+.2f pp vs baseline)", 100*r.delta)
+		}
+		fmt.Fprintf(&b, `<g><rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#fff" stroke-width="0.5"><title>%s</title></rect>`,
+			x, y, w, rowHeight-1, fill, html.EscapeString(title))
+		if w > 40 {
+			label := r.name
+			if maxChars := int(w / 7); len(label) > maxChars {
+				if maxChars < 3 {
+					maxChars = 3
+				}
+				label = label[:maxChars-2] + ".."
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="#222">%s</text>`,
+				x+3, y+rowHeight-5, html.EscapeString(label))
+		}
+		b.WriteString(`</g>`)
+	}
+	b.WriteString(`</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// flameColor picks a stable warm color from the frame name, so the same
+// function keeps its color across renders. Label pseudo-frames get a
+// distinct cool tint so the stage layer reads at a glance.
+func flameColor(name string) string {
+	if strings.HasPrefix(name, "stage.") || name == "(unlabeled)" || name == "root" {
+		return "#9ec5e8"
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	r := 205 + int(h%50)
+	g := 90 + int((h>>8)%110)
+	return fmt.Sprintf("rgb(%d,%d,60)", r, g)
+}
+
+// diffColor maps a cumulative-fraction delta to red (grew) / blue
+// (shrank) with intensity saturating at ±20 percentage points.
+func diffColor(delta float64) string {
+	mag := delta
+	if mag < 0 {
+		mag = -mag
+	}
+	t := mag / 0.20
+	if t > 1 {
+		t = 1
+	}
+	fade := 235 - int(t*150)
+	if delta > 0 {
+		return fmt.Sprintf("rgb(235,%d,%d)", fade, fade)
+	}
+	if delta < 0 {
+		return fmt.Sprintf("rgb(%d,%d,235)", fade, fade)
+	}
+	return "rgb(224,224,224)"
+}

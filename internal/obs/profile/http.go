@@ -1,0 +1,256 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"lrm/internal/obs"
+)
+
+// profileDoc is the /debug/profile response shape.
+type profileDoc struct {
+	Schema     string       `json:"schema"`
+	NowMs      int64        `json:"now_ms"`
+	IntervalMs int64        `json:"interval_ms"`
+	WindowMs   int64        `json:"window_ms"`
+	Windows    int          `json:"windows"`
+	TotalNs    int64        `json:"total_ns"`
+	WallNs     int64        `json:"wall_ns"`
+	TopCum     []FrameStat  `json:"top_cum"`
+	TopSelf    []FrameStat  `json:"top_self"`
+	Stages     []labelNs    `json:"stages,omitempty"`
+	Codecs     []labelNs    `json:"codecs,omitempty"`
+	ChunkCard  int          `json:"chunk_labels_seen"`
+	Ring       []WindowSnap `json:"ring"`
+}
+
+// labelNs is one row of the label breakdown: the aggregate sampled time
+// carrying that label value and its fraction of the sampled total.
+type labelNs struct {
+	Value string  `json:"value"`
+	Ns    int64   `json:"ns"`
+	Frac  float64 `json:"frac"`
+}
+
+const profileSchema = "lrm-profile/1"
+
+// profileQuery is the parsed /debug/profile parameter set; the range
+// semantics mirror /debug/history (since, from/to in unix milliseconds)
+// and unknown parameters are rejected so typos fail loudly.
+type profileQuery struct {
+	n        int
+	since    time.Duration
+	from, to int64
+	baseline bool
+}
+
+func parseProfileQuery(raw string) (profileQuery, error) {
+	var q profileQuery
+	vals, err := url.ParseQuery(raw)
+	if err != nil {
+		return q, fmt.Errorf("profile: malformed query: %v", err)
+	}
+	for key, vs := range vals {
+		v := ""
+		if len(vs) > 0 {
+			v = vs[len(vs)-1]
+		}
+		switch key {
+		case "n":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return q, fmt.Errorf("profile: n=%q is not a positive integer", v)
+			}
+			q.n = n
+		case "since":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return q, fmt.Errorf("profile: since=%q is not a non-negative duration", v)
+			}
+			q.since = d
+		case "from", "to":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return q, fmt.Errorf("profile: %s=%q is not a non-negative unix-millisecond timestamp", key, v)
+			}
+			if key == "from" {
+				q.from = n
+			} else {
+				q.to = n
+			}
+		case "format":
+			switch v {
+			case "json":
+			case "baseline":
+				q.baseline = true
+			default:
+				return q, fmt.Errorf("profile: format=%q (want json or baseline)", v)
+			}
+		default:
+			return q, fmt.Errorf("profile: unknown parameter %q", key)
+		}
+	}
+	if q.from != 0 && q.to != 0 && q.from > q.to {
+		return q, fmt.Errorf("profile: from=%d is after to=%d", q.from, q.to)
+	}
+	return q, nil
+}
+
+// WriteJSON writes the profileDoc for the given range — the shared body
+// of the /debug/profile handler and the -profile-json file dump.
+func (p *Profiler) WriteJSON(w io.Writer, q profileQuery) error {
+	now := time.Now()
+	from, to := q.from, q.to
+	if from == 0 && to == 0 && q.since > 0 {
+		from = now.UnixMilli() - q.since.Milliseconds()
+	}
+	n := q.n
+	if n <= 0 {
+		n = p.cfg.TopN
+	}
+	stages, codecs, chunks := p.LabelNs()
+	p.mu.Lock()
+	totalNs, wallNs, windows := p.totalNs, p.wallNs, p.ringN
+	p.mu.Unlock()
+	doc := profileDoc{
+		Schema:     profileSchema,
+		NowMs:      now.UnixMilli(),
+		IntervalMs: p.cfg.Interval.Milliseconds(),
+		WindowMs:   p.cfg.Window.Milliseconds(),
+		Windows:    windows,
+		TotalNs:    totalNs,
+		WallNs:     wallNs,
+		TopCum:     p.TopFrames(n, "cum"),
+		TopSelf:    p.TopFrames(n, "self"),
+		Stages:     labelRows(stages, totalNs),
+		Codecs:     labelRows(codecs, totalNs),
+		ChunkCard:  chunks,
+		Ring:       p.Windows(from, to),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+func labelRows(m map[string]int64, total int64) []labelNs {
+	out := make([]labelNs, 0, len(m))
+	for v, ns := range m {
+		row := labelNs{Value: v, Ns: ns}
+		if total > 0 {
+			row.Frac = float64(ns) / float64(total)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ns != out[j].Ns {
+			return out[i].Ns > out[j].Ns
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// ProfileHandler serves the aggregate as JSON:
+//
+//	/debug/profile                  top-N frames, labels, full window ring
+//	/debug/profile?n=25             wider top tables
+//	/debug/profile?since=15m        ring restricted to a trailing window
+//	/debug/profile?from=&to=        ring restricted to [from, to] unix ms
+//	/debug/profile?format=baseline  BaselineSchema doc to check in for ?diff=1
+func (p *Profiler) ProfileHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q, err := parseProfileQuery(r.URL.RawQuery)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if q.baseline {
+			_ = p.WriteBaseline(w)
+			return
+		}
+		_ = p.WriteJSON(w, q)
+	})
+}
+
+// FlameHandler serves the no-JS inline-SVG flame graph:
+//
+//	/debug/flame         aggregate icicle graph, stage pseudo-frames on top
+//	/debug/flame?diff=1  colored by delta vs the installed baseline
+func (p *Profiler) FlameHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		diff := false
+		switch v := r.URL.Query().Get("diff"); v {
+		case "", "0", "false":
+		case "1", "true":
+			diff = true
+		default:
+			http.Error(w, fmt.Sprintf("profile: diff=%q (want 0 or 1)", v), http.StatusBadRequest)
+			return
+		}
+		if diff {
+			p.mu.Lock()
+			ok := p.baseline != nil
+			p.mu.Unlock()
+			if !ok {
+				http.Error(w, "profile: no baseline installed (start with -flame-baseline or POST one)", http.StatusNotFound)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "image/svg+xml; charset=utf-8")
+		_ = p.WriteFlameSVG(w, diff)
+	})
+}
+
+// Mount registers /debug/profile and /debug/flame on every mux
+// obs.Handler builds from now on. Call before the debug server starts,
+// mirroring the TSDB store's Mount.
+func (p *Profiler) Mount() {
+	if p == nil {
+		return
+	}
+	obs.RegisterDebugHandler("/debug/profile", p.ProfileHandler())
+	obs.RegisterDebugHandler("/debug/flame", p.FlameHandler())
+}
+
+// DumpFiles writes the offline artifacts: the aggregate JSON (full ring)
+// to jsonPath and the flame SVG to svgPath. Empty paths are skipped.
+func (p *Profiler) DumpFiles(jsonPath, svgPath string) error {
+	if p == nil {
+		return nil
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		werr := p.WriteJSON(f, profileQuery{})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("profile: dump %s: %w", jsonPath, werr)
+		}
+	}
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		werr := p.WriteFlameSVG(f, false)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("profile: dump %s: %w", svgPath, werr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,600 @@
+// Package profile is the continuous in-process profiler: a background
+// loop captures short sampled CPU-profile windows plus heap snapshots,
+// parses them in-process with internal/obs/pprofparse, and aggregates the
+// results into a fixed-memory frame table keyed by function and by the
+// pprof labels the serving path installs on pool workers (stage, codec,
+// chunk). The aggregate is served as JSON (/debug/profile), as a no-JS
+// inline-SVG flame graph (/debug/flame), and as per-stage CPU-fraction
+// gauges in the obs registry — which the TSDB sampler then turns into
+// /debug/history series and /debug/dash sparklines for free.
+//
+// # Cost model
+//
+// At the default cadence (a 10s window each minute) the profiler's own
+// work is one runtime CPU profile at 100 Hz for a sixth of the time
+// (~0.2% amortized runtime overhead) plus one in-process parse+aggregate
+// pass per window, which is microseconds-to-milliseconds against a 60s
+// interval — comfortably inside the repository's <2% overhead guard,
+// pinned by TestIngestOverheadBudget. When the profiler is not running it
+// costs nothing at all; the label plumbing it attributes by is the
+// existing trace.WithLabels path, which is ~one atomic load when
+// observability is disabled.
+//
+// # Lifecycle
+//
+// New → Mount (register /debug handlers before the mux is built) → Start
+// (after listen) → Stop (during drain; an in-flight window is cut short
+// and still flushed, so the shutdown tail is profiled) → DumpFiles
+// (offline artifacts). All methods are nil-receiver safe so callers can
+// thread an optional profiler without guards.
+package profile
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"lrm/internal/obs"
+	"lrm/internal/obs/pprofparse"
+)
+
+// Config sets the profiler's cadence and memory bounds. The zero value is
+// usable: withDefaults fills in the production cadence.
+type Config struct {
+	// Interval is the time between window starts (default 60s).
+	Interval time.Duration
+	// Window is the length of each sampled CPU capture (default 10s,
+	// clamped to at most half the interval so windows never overlap).
+	Window time.Duration
+	// TopN is the default frame count for /debug/profile JSON (default 10).
+	TopN int
+	// MaxFrames bounds the flat self/cum frame table; overflow is credited
+	// to a single "(other)" row (default 512).
+	MaxFrames int
+	// MaxNodes bounds the flame-graph stack trie the same way (default 8192).
+	MaxNodes int
+	// Ring is the number of retained per-window snapshots (default 120 —
+	// two hours at the default cadence).
+	Ring int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = time.Minute
+	}
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Window > c.Interval/2 {
+		c.Window = c.Interval / 2
+	}
+	if c.TopN <= 0 {
+		c.TopN = 10
+	}
+	if c.MaxFrames <= 0 {
+		c.MaxFrames = 512
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 8192
+	}
+	if c.Ring <= 0 {
+		c.Ring = 120
+	}
+	return c
+}
+
+// overflowFrame absorbs frames past the MaxFrames/MaxNodes budgets so the
+// tables stay fixed-memory under adversarial symbol cardinality.
+const overflowFrame = "(other)"
+
+// maxStackDepth truncates pathological stacks before they enter the trie.
+const maxStackDepth = 64
+
+// maxStageGauges bounds the number of distinct per-stage gauges exported
+// into the obs registry; stages beyond it still appear in the JSON label
+// breakdown but get no metric series.
+const maxStageGauges = 32
+
+// frameStat is one row of the flat table.
+type frameStat struct {
+	selfNs int64
+	cumNs  int64
+}
+
+// node is one frame of the flame-graph stack trie, rooted at the label
+// pseudo-frames ("stage.chunk_compress", "(unlabeled)") so the rendered
+// flame attributes width to stages before functions.
+type node struct {
+	name string
+	cum  int64
+	kids map[string]*node
+}
+
+// WindowSnap is the retained summary of one profiling window — the
+// /debug/profile analogue of a /debug/history sample.
+type WindowSnap struct {
+	UnixMs  int64 `json:"unix_ms"`
+	DurMs   int64 `json:"dur_ms"`
+	Samples int   `json:"samples"`
+	TotalNs int64 `json:"total_ns"`
+	// CPUUtil is average cores busy during the window (sampled ns / wall ns).
+	CPUUtil float64 `json:"cpu_util"`
+	// Stages/Codecs are per-label-value fractions of the window's sampled
+	// CPU time, from the pprof labels installed by trace.WithLabels.
+	Stages map[string]float64 `json:"stages,omitempty"`
+	Codecs map[string]float64 `json:"codecs,omitempty"`
+	// HeapInuseBytes is total inuse_space at window end; HeapAllocBytes is
+	// alloc_space growth since the previous window (0 on the first).
+	HeapInuseBytes int64  `json:"heap_inuse_bytes"`
+	HeapAllocBytes int64  `json:"heap_alloc_window_bytes"`
+	Err            string `json:"err,omitempty"`
+}
+
+// FrameStat is one row of the /debug/profile top table.
+type FrameStat struct {
+	Func    string  `json:"func"`
+	SelfNs  int64   `json:"self_ns"`
+	CumNs   int64   `json:"cum_ns"`
+	SelfPct float64 `json:"self_pct"`
+	CumPct  float64 `json:"cum_pct"`
+}
+
+// Profiler aggregates profiling windows. Construct with New; the zero
+// value is not usable.
+type Profiler struct {
+	cfg Config
+
+	lifecycle sync.Mutex
+	stopc     chan struct{}
+	done      chan struct{}
+
+	mu        sync.Mutex
+	flat      map[string]*frameStat
+	root      *node
+	nodeCount int
+	totalNs   int64 // sampled ns across all windows
+	wallNs    int64 // wall ns across all windows
+	stageNs   map[string]int64
+	codecNs   map[string]int64
+	chunksHot map[string]struct{} // distinct chunk labels seen (cardinality only)
+	ring      []WindowSnap
+	ringN     int // windows ever recorded
+	lastAlloc int64
+	haveAlloc bool
+	baseline  map[string]float64
+	scratch   []string
+}
+
+// New builds a Profiler; no goroutine runs until Start.
+func New(cfg Config) *Profiler {
+	obs.Describe("profile.windows", "Profiling windows completed by the continuous profiler.")
+	obs.Describe("profile.window_errors", "Profiling windows that failed to capture or parse.")
+	obs.Describe("profile.samples", "CPU-profile stack samples aggregated across all windows.")
+	obs.Describe("profile.cpu.utilization", "Average cores busy during the latest profiling window.")
+	obs.Describe("profile.heap.inuse_bytes", "Heap inuse_space at the end of the latest profiling window.")
+	obs.Describe("profile.heap.alloc_window_bytes", "Heap alloc_space growth across the latest profiling window.")
+	return &Profiler{
+		cfg:       cfg.withDefaults(),
+		flat:      make(map[string]*frameStat),
+		root:      &node{name: "root"},
+		stageNs:   make(map[string]int64),
+		codecNs:   make(map[string]int64),
+		chunksHot: make(map[string]struct{}),
+	}
+}
+
+// Interval returns the configured window cadence.
+func (p *Profiler) Interval() time.Duration { return p.cfg.Interval }
+
+// Start launches the background window loop: one immediate window (so
+// short-lived processes still profile), then one per interval. Calling
+// Start on a running profiler is a no-op; pair with Stop.
+func (p *Profiler) Start() {
+	if p == nil {
+		return
+	}
+	p.lifecycle.Lock()
+	defer p.lifecycle.Unlock()
+	if p.stopc != nil {
+		return
+	}
+	p.stopc = make(chan struct{})
+	p.done = make(chan struct{})
+	go func(stopc, done chan struct{}) {
+		defer close(done)
+		tick := time.NewTicker(p.cfg.Interval)
+		defer tick.Stop()
+		p.captureWindow(stopc)
+		for {
+			select {
+			case <-stopc:
+				return
+			case <-tick.C:
+				p.captureWindow(stopc)
+			}
+		}
+	}(p.stopc, p.done)
+}
+
+// Stop halts the window loop. An in-flight window is cut short at the
+// stop signal and still parsed and flushed, so the aggregate includes the
+// tail of a drain. Safe to call without Start, and idempotent.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.lifecycle.Lock()
+	defer p.lifecycle.Unlock()
+	if p.stopc == nil {
+		return
+	}
+	close(p.stopc)
+	<-p.done
+	p.stopc, p.done = nil, nil
+}
+
+// captureWindow runs one profiling window: claim the process-wide CPU
+// profiler, sample for the window (or until stop), then parse and ingest.
+// Failures are counted and retained in the ring rather than logged — the
+// profiler must never kill or spam the process it observes.
+func (p *Profiler) captureWindow(stopc <-chan struct{}) {
+	start := time.Now()
+	release, err := obs.AcquireCPUProfiler("continuous profiler")
+	if err != nil {
+		p.recordError(start, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		release()
+		p.recordError(start, err)
+		return
+	}
+	timer := time.NewTimer(p.cfg.Window)
+	select {
+	case <-stopc:
+		timer.Stop()
+	case <-timer.C:
+	}
+	pprof.StopCPUProfile()
+	release()
+	elapsed := time.Since(start)
+
+	var heapBuf bytes.Buffer
+	if hp := pprof.Lookup("heap"); hp != nil {
+		_ = hp.WriteTo(&heapBuf, 0)
+	}
+	if err := p.ingest(buf.Bytes(), heapBuf.Bytes(), start, elapsed); err != nil {
+		p.recordError(start, err)
+	}
+}
+
+// recordError counts a failed window and retains the reason in the ring.
+func (p *Profiler) recordError(start time.Time, err error) {
+	obs.GetCounter("profile.window_errors").Inc()
+	p.mu.Lock()
+	p.push(WindowSnap{UnixMs: start.UnixMilli(), Err: err.Error()})
+	p.mu.Unlock()
+}
+
+// push appends a window snapshot to the ring. Caller holds p.mu.
+func (p *Profiler) push(w WindowSnap) {
+	if p.ring == nil {
+		p.ring = make([]WindowSnap, p.cfg.Ring)
+	}
+	p.ring[p.ringN%len(p.ring)] = w
+	p.ringN++
+}
+
+// ingest parses one window's CPU and heap profile bytes and folds them
+// into the aggregate tables, gauges, and window ring.
+func (p *Profiler) ingest(cpuRaw, heapRaw []byte, start time.Time, elapsed time.Duration) error {
+	prof, err := pprofparse.Parse(cpuRaw)
+	if err != nil {
+		return fmt.Errorf("profile: cpu window: %w", err)
+	}
+	snap := WindowSnap{UnixMs: start.UnixMilli(), DurMs: elapsed.Milliseconds()}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	winStage := make(map[string]int64)
+	winCodec := make(map[string]int64)
+	var total int64
+	if vi := prof.ValueIndex("nanoseconds"); vi >= 0 {
+		seen := make(map[string]bool, 64)
+		for _, s := range prof.Samples {
+			if vi >= len(s.Values) {
+				continue
+			}
+			v := s.Values[vi]
+			if v <= 0 {
+				continue
+			}
+			p.scratch = prof.StackFuncs(s, p.scratch[:0])
+			if len(p.scratch) == 0 {
+				continue
+			}
+			total += v
+			snap.Samples++
+			p.creditFlat(p.scratch, v, seen)
+			stage := s.Labels["stage"]
+			p.creditTrie(stage, p.scratch, v)
+			if stage != "" {
+				winStage[stage] += v
+			}
+			if c := s.Labels["codec"]; c != "" {
+				winCodec[c] += v
+			}
+			if ch := s.Labels["chunk"]; ch != "" {
+				p.chunksHot[ch] = struct{}{}
+			}
+		}
+	}
+	snap.TotalNs = total
+	if elapsed > 0 {
+		snap.CPUUtil = float64(total) / float64(elapsed.Nanoseconds())
+	}
+	p.totalNs += total
+	p.wallNs += elapsed.Nanoseconds()
+	if total > 0 {
+		snap.Stages = make(map[string]float64, len(winStage))
+		for s, ns := range winStage {
+			p.stageNs[s] += ns
+			snap.Stages[s] = float64(ns) / float64(total)
+		}
+		snap.Codecs = make(map[string]float64, len(winCodec))
+		for c, ns := range winCodec {
+			p.codecNs[c] += ns
+			snap.Codecs[c] = float64(ns) / float64(total)
+		}
+	}
+
+	// Heap: a parse failure here degrades the window to CPU-only rather
+	// than discarding it.
+	if inuse, allocTotal, ok := heapTotals(heapRaw); ok {
+		snap.HeapInuseBytes = inuse
+		if p.haveAlloc && allocTotal >= p.lastAlloc {
+			snap.HeapAllocBytes = allocTotal - p.lastAlloc
+		}
+		p.lastAlloc, p.haveAlloc = allocTotal, true
+		obs.GetGauge("profile.heap.inuse_bytes").Set(inuse)
+		obs.GetGauge("profile.heap.alloc_window_bytes").Set(snap.HeapAllocBytes)
+	}
+
+	p.push(snap)
+	p.exportGauges(snap, winStage, total)
+	obs.GetCounter("profile.windows").Inc()
+	obs.GetCounter("profile.samples").Add(int64(snap.Samples))
+	return nil
+}
+
+// exportGauges publishes the window's per-stage CPU fractions and overall
+// utilization into the obs registry. A stage known from earlier windows
+// but absent from this one is written as 0 so its history series decays
+// instead of freezing at the last busy value. Caller holds p.mu.
+func (p *Profiler) exportGauges(snap WindowSnap, winStage map[string]int64, total int64) {
+	obs.GetFloatGauge("profile.cpu.utilization").Set(snap.CPUUtil)
+	n := 0
+	for _, s := range sortedKeysNs(p.stageNs) {
+		if n++; n > maxStageGauges {
+			break
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = float64(winStage[s]) / float64(total)
+		}
+		name := "profile.stage." + sanitizeLabel(s) + ".cpu_fraction"
+		obs.Describe(name, "Fraction of sampled CPU in the latest window labeled stage="+s+".")
+		obs.GetFloatGauge(name).Set(frac)
+	}
+}
+
+// creditFlat folds one stack (leaf-first) into the flat table: self time
+// to the leaf, cumulative time once per function present anywhere in the
+// stack (recursion and inlining must not double-count). Caller holds p.mu.
+func (p *Profiler) creditFlat(stack []string, v int64, seen map[string]bool) {
+	p.frame(stack[0]).selfNs += v
+	for k := range seen {
+		delete(seen, k)
+	}
+	for _, name := range stack {
+		if !seen[name] {
+			seen[name] = true
+			p.frame(name).cumNs += v
+		}
+	}
+}
+
+// frame returns the flat-table row for name, spilling to the shared
+// overflow row once the table is full. Caller holds p.mu.
+func (p *Profiler) frame(name string) *frameStat {
+	f := p.flat[name]
+	if f != nil {
+		return f
+	}
+	if len(p.flat) >= p.cfg.MaxFrames {
+		name = overflowFrame
+		if f = p.flat[name]; f != nil {
+			return f
+		}
+	}
+	f = &frameStat{}
+	p.flat[name] = f
+	return f
+}
+
+// creditTrie folds one stack into the flame trie under its stage
+// pseudo-frame, root-first. Caller holds p.mu.
+func (p *Profiler) creditTrie(stage string, stack []string, v int64) {
+	p.root.cum += v
+	label := "(unlabeled)"
+	if stage != "" {
+		label = "stage." + stage
+	}
+	n := p.child(p.root, label)
+	n.cum += v
+	depth := len(stack)
+	if depth > maxStackDepth {
+		depth = maxStackDepth
+	}
+	for i := depth - 1; i >= 0; i-- {
+		n = p.child(n, stack[i])
+		n.cum += v
+	}
+}
+
+// child returns (creating if within budget) the named child of n,
+// spilling to "(other)" at the node cap. Caller holds p.mu.
+func (p *Profiler) child(n *node, name string) *node {
+	k := n.kids[name]
+	if k != nil {
+		return k
+	}
+	if p.nodeCount >= p.cfg.MaxNodes {
+		name = overflowFrame
+		if k = n.kids[name]; k != nil {
+			return k
+		}
+	}
+	k = &node{name: name}
+	if n.kids == nil {
+		n.kids = make(map[string]*node)
+	}
+	n.kids[name] = k
+	p.nodeCount++
+	return k
+}
+
+// heapTotals sums inuse_space and alloc_space across a heap profile.
+func heapTotals(raw []byte) (inuse, alloc int64, ok bool) {
+	if len(raw) == 0 {
+		return 0, 0, false
+	}
+	hp, err := pprofparse.Parse(raw)
+	if err != nil {
+		return 0, 0, false
+	}
+	ii, ai := hp.TypeIndex("inuse_space"), hp.TypeIndex("alloc_space")
+	if ii < 0 && ai < 0 {
+		return 0, 0, false
+	}
+	for _, s := range hp.Samples {
+		if ii >= 0 && ii < len(s.Values) {
+			inuse += s.Values[ii]
+		}
+		if ai >= 0 && ai < len(s.Values) {
+			alloc += s.Values[ai]
+		}
+	}
+	return inuse, alloc, true
+}
+
+// Windows returns ring snapshots within [from, to] unix milliseconds
+// (0 = unbounded), oldest first.
+func (p *Profiler) Windows(from, to int64) []WindowSnap {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ringN == 0 {
+		return nil
+	}
+	n := p.ringN
+	if n > len(p.ring) {
+		n = len(p.ring)
+	}
+	out := make([]WindowSnap, 0, n)
+	for i := p.ringN - n; i < p.ringN; i++ {
+		w := p.ring[i%len(p.ring)]
+		if from != 0 && w.UnixMs < from {
+			continue
+		}
+		if to != 0 && w.UnixMs > to {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// TopFrames returns the top-n flat frames ordered by the given field
+// ("self" or anything else meaning cumulative), with percentages against
+// the aggregate sampled total.
+func (p *Profiler) TopFrames(n int, by string) []FrameStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]FrameStat, 0, len(p.flat))
+	for name, f := range p.flat {
+		fs := FrameStat{Func: name, SelfNs: f.selfNs, CumNs: f.cumNs}
+		if p.totalNs > 0 {
+			fs.SelfPct = 100 * float64(f.selfNs) / float64(p.totalNs)
+			fs.CumPct = 100 * float64(f.cumNs) / float64(p.totalNs)
+		}
+		out = append(out, fs)
+	}
+	bySelf := by == "self"
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].CumNs, out[j].CumNs
+		if bySelf {
+			a, b = out[i].SelfNs, out[j].SelfNs
+		}
+		if a != b {
+			return a > b
+		}
+		return out[i].Func < out[j].Func
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// LabelNs returns the aggregate per-stage and per-codec sampled
+// nanoseconds plus the count of distinct chunk labels seen (chunk is
+// unbounded-cardinality, so only its count is retained).
+func (p *Profiler) LabelNs() (stages, codecs map[string]int64, chunks int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stages = make(map[string]int64, len(p.stageNs))
+	for k, v := range p.stageNs {
+		stages[k] = v
+	}
+	codecs = make(map[string]int64, len(p.codecNs))
+	for k, v := range p.codecNs {
+		codecs[k] = v
+	}
+	return stages, codecs, len(p.chunksHot)
+}
+
+// sanitizeLabel maps a pprof label value into the metric-name alphabet.
+func sanitizeLabel(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_', c == '-':
+		case c >= 'A' && c <= 'Z':
+			b[i] = c + ('a' - 'A')
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// sortedKeysNs returns m's keys ordered by descending value then name, so
+// the gauge cap keeps the hottest stages.
+func sortedKeysNs(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -1,0 +1,637 @@
+package profile
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"encoding/xml"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+
+	"lrm/internal/obs"
+)
+
+// --- synthetic profile builder -----------------------------------------
+//
+// A tiny protobuf writer mirroring the one in pprofparse's tests, but
+// generalized: any sample types, stacks, values, and string labels. Tests
+// here need deterministic profile bytes, not the runtime's.
+
+type pbe struct{ buf []byte }
+
+func (e *pbe) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+func (e *pbe) varintField(num int, v uint64) {
+	e.uvarint(uint64(num)<<3 | 0)
+	e.uvarint(v)
+}
+
+func (e *pbe) bytesField(num int, b []byte) {
+	e.uvarint(uint64(num)<<3 | 2)
+	e.uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *pbe) msgField(num int, fn func(*pbe)) {
+	var inner pbe
+	fn(&inner)
+	e.bytesField(num, inner.buf)
+}
+
+func (e *pbe) packedField(num int, vs ...uint64) {
+	var inner pbe
+	for _, v := range vs {
+		inner.uvarint(v)
+	}
+	e.bytesField(num, inner.buf)
+}
+
+type tsample struct {
+	stack  []string // leaf-first function names
+	values []int64
+	labels map[string]string
+}
+
+func buildProfile(types [][2]string, samples []tsample) []byte {
+	strIdx := map[string]uint64{"": 0}
+	strs := []string{""}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+	funcIdx := map[string]uint64{}
+	funcOrder := []string{}
+	fn := func(name string) uint64 {
+		if i, ok := funcIdx[name]; ok {
+			return i
+		}
+		i := uint64(len(funcIdx) + 1)
+		funcIdx[name] = i
+		funcOrder = append(funcOrder, name)
+		intern(name)
+		return i
+	}
+
+	var e pbe
+	for _, t := range types {
+		ti, ui := intern(t[0]), intern(t[1])
+		e.msgField(1, func(m *pbe) { m.varintField(1, ti); m.varintField(2, ui) })
+	}
+	for _, s := range samples {
+		locs := make([]uint64, 0, len(s.stack))
+		for _, f := range s.stack {
+			locs = append(locs, fn(f))
+		}
+		vals := make([]uint64, 0, len(s.values))
+		for _, v := range s.values {
+			vals = append(vals, uint64(v))
+		}
+		lkeys := make([]string, 0, len(s.labels))
+		for k := range s.labels {
+			lkeys = append(lkeys, k)
+		}
+		e.msgField(2, func(m *pbe) {
+			m.packedField(1, locs...)
+			m.packedField(2, vals...)
+			for _, k := range lkeys {
+				ki, vi := intern(k), intern(s.labels[k])
+				m.msgField(3, func(l *pbe) { l.varintField(1, ki); l.varintField(2, vi) })
+			}
+		})
+	}
+	for _, name := range funcOrder {
+		id := funcIdx[name]
+		e.msgField(4, func(m *pbe) {
+			m.varintField(1, id)
+			m.msgField(4, func(l *pbe) { l.varintField(1, id) })
+		})
+		ni := strIdx[name]
+		e.msgField(5, func(m *pbe) { m.varintField(1, id); m.varintField(2, ni) })
+	}
+	for _, s := range strs {
+		e.bytesField(6, []byte(s))
+	}
+	return e.buf
+}
+
+var cpuTypes = [][2]string{{"samples", "count"}, {"cpu", "nanoseconds"}}
+
+// cpuWindow is the canonical synthetic CPU window used across the tests:
+//
+//	main<-encode  400ns  stage=chunk_compress codec=sz
+//	main<-decode  200ns  stage=chunk_decode
+//	main          400ns  unlabeled
+func cpuWindow() []byte {
+	return buildProfile(cpuTypes, []tsample{
+		{stack: []string{"encode", "main"}, values: []int64{4, 400},
+			labels: map[string]string{"stage": "chunk_compress", "codec": "sz"}},
+		{stack: []string{"decode", "main"}, values: []int64{2, 200},
+			labels: map[string]string{"stage": "chunk_decode"}},
+		{stack: []string{"main"}, values: []int64{4, 400}},
+	})
+}
+
+func heapWindow(inuse, alloc int64) []byte {
+	return buildProfile(
+		[][2]string{{"alloc_objects", "count"}, {"alloc_space", "bytes"},
+			{"inuse_objects", "count"}, {"inuse_space", "bytes"}},
+		[]tsample{{stack: []string{"alloca", "main"}, values: []int64{1, alloc, 1, inuse}}},
+	)
+}
+
+func resetObs(t *testing.T) {
+	t.Helper()
+	prev := obs.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.SetEnabled(prev)
+		obs.Reset()
+	})
+	obs.Reset()
+}
+
+// TestIngestAggregates pins the core rollup: flat self/cum crediting,
+// per-stage and per-codec fractions, CPU utilization, window ring, and
+// the gauges exported into the obs registry.
+func TestIngestAggregates(t *testing.T) {
+	resetObs(t)
+	p := New(Config{})
+	start := time.Now()
+	if err := p.ingest(cpuWindow(), heapWindow(1<<20, 1<<22), start, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+
+	top := p.TopFrames(10, "cum")
+	if len(top) != 3 {
+		t.Fatalf("flat frames %+v, want 3", top)
+	}
+	if top[0].Func != "main" || top[0].CumNs != 1000 || top[0].SelfNs != 400 {
+		t.Fatalf("main row %+v", top[0])
+	}
+	if top[1].Func != "encode" || top[1].CumNs != 400 || top[1].SelfNs != 400 {
+		t.Fatalf("encode row %+v", top[1])
+	}
+	if top[0].CumPct != 100 {
+		t.Fatalf("main cum pct %v", top[0].CumPct)
+	}
+	bySelf := p.TopFrames(1, "self")
+	if len(bySelf) != 1 || bySelf[0].SelfNs != 400 {
+		t.Fatalf("top self %+v", bySelf)
+	}
+
+	stages, codecs, _ := p.LabelNs()
+	if stages["chunk_compress"] != 400 || stages["chunk_decode"] != 200 {
+		t.Fatalf("stage ns %v", stages)
+	}
+	if codecs["sz"] != 400 {
+		t.Fatalf("codec ns %v", codecs)
+	}
+
+	wins := p.Windows(0, 0)
+	if len(wins) != 1 {
+		t.Fatalf("ring %+v", wins)
+	}
+	w := wins[0]
+	if w.Samples != 3 || w.TotalNs != 1000 {
+		t.Fatalf("window %+v", w)
+	}
+	if w.Stages["chunk_compress"] != 0.4 || w.Codecs["sz"] != 0.4 {
+		t.Fatalf("window fractions %+v", w)
+	}
+	if w.CPUUtil != 1000.0/1000.0 { //lrmlint:ignore floatcmp exact by construction: 1000ns sampled over 1us wall
+		t.Fatalf("cpu util %v", w.CPUUtil)
+	}
+	if w.HeapInuseBytes != 1<<20 {
+		t.Fatalf("heap inuse %d", w.HeapInuseBytes)
+	}
+	if w.HeapAllocBytes != 0 { // first window has no alloc predecessor
+		t.Fatalf("first-window alloc delta %d", w.HeapAllocBytes)
+	}
+
+	if g := obs.GetFloatGauge("profile.stage.chunk_compress.cpu_fraction").Value(); g != 0.4 { //lrmlint:ignore floatcmp 400/1000 is exact in binary
+		t.Fatalf("stage gauge %v", g)
+	}
+	if c := obs.GetCounter("profile.windows").Value(); c != 1 {
+		t.Fatalf("windows counter %d", c)
+	}
+
+	// Second window: alloc delta appears, absent stages decay to 0.
+	only := buildProfile(cpuTypes, []tsample{
+		{stack: []string{"decode", "main"}, values: []int64{1, 100},
+			labels: map[string]string{"stage": "chunk_decode"}},
+	})
+	if err := p.ingest(only, heapWindow(1<<20, 1<<22+512), start.Add(time.Second), time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	wins = p.Windows(0, 0)
+	if len(wins) != 2 || wins[1].HeapAllocBytes != 512 {
+		t.Fatalf("second window %+v", wins)
+	}
+	if g := obs.GetFloatGauge("profile.stage.chunk_compress.cpu_fraction").Value(); g != 0 {
+		t.Fatalf("absent stage gauge not decayed: %v", g)
+	}
+	if g := obs.GetFloatGauge("profile.stage.chunk_decode.cpu_fraction").Value(); g != 1.0 {
+		t.Fatalf("decode stage gauge %v", g)
+	}
+
+	// Range query on the ring.
+	if got := p.Windows(start.Add(time.Second).UnixMilli(), 0); len(got) != 1 {
+		t.Fatalf("from filter %+v", got)
+	}
+	if got := p.Windows(0, start.UnixMilli()); len(got) != 1 {
+		t.Fatalf("to filter %+v", got)
+	}
+}
+
+// TestTablesBounded: frame table and trie spill into "(other)" instead of
+// growing without bound under adversarial symbol cardinality.
+func TestTablesBounded(t *testing.T) {
+	resetObs(t)
+	p := New(Config{MaxFrames: 4, MaxNodes: 8})
+	samples := make([]tsample, 0, 64)
+	for i := 0; i < 64; i++ {
+		samples = append(samples, tsample{
+			stack:  []string{"fn" + strings.Repeat("x", i%8) + string(rune('a'+i%26)) + string(rune('a'+i/26))},
+			values: []int64{1, 100},
+		})
+	}
+	if err := p.ingest(buildProfile(cpuTypes, samples), nil, time.Now(), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	flatN, nodeN := len(p.flat), p.nodeCount
+	_, hasOther := p.flat[overflowFrame]
+	p.mu.Unlock()
+	if flatN > 5 || !hasOther {
+		t.Fatalf("flat table %d rows (other=%v), want spill at 4", flatN, hasOther)
+	}
+	if nodeN > 9 {
+		t.Fatalf("trie %d nodes, want spill at 8", nodeN)
+	}
+	var total int64
+	for _, f := range p.TopFrames(10, "cum") {
+		total += f.CumNs
+	}
+	if total != 6400 {
+		t.Fatalf("spilled table lost time: cum total %d, want 6400", total)
+	}
+}
+
+// TestRingWraps: the window ring retains the most recent Ring windows.
+func TestRingWraps(t *testing.T) {
+	resetObs(t)
+	p := New(Config{Ring: 3})
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := p.ingest(cpuWindow(), nil, base.Add(time.Duration(i)*time.Second), time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wins := p.Windows(0, 0)
+	if len(wins) != 3 {
+		t.Fatalf("ring kept %d windows, want 3", len(wins))
+	}
+	if wins[0].UnixMs != base.Add(2*time.Second).UnixMilli() {
+		t.Fatalf("oldest retained window %+v", wins[0])
+	}
+}
+
+// TestProfileHandler pins the /debug/profile JSON contract and its query
+// validation.
+func TestProfileHandler(t *testing.T) {
+	resetObs(t)
+	p := New(Config{})
+	if err := p.ingest(cpuWindow(), nil, time.Now(), time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	h := p.ProfileHandler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profile?n=2", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Windows int    `json:"windows"`
+		TopCum  []struct {
+			Func  string `json:"func"`
+			CumNs int64  `json:"cum_ns"`
+		} `json:"top_cum"`
+		Stages []struct {
+			Value string  `json:"value"`
+			Frac  float64 `json:"frac"`
+		} `json:"stages"`
+		Ring []WindowSnap `json:"ring"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body)
+	}
+	if doc.Schema != profileSchema || doc.Windows != 1 || len(doc.Ring) != 1 {
+		t.Fatalf("doc %+v", doc)
+	}
+	if len(doc.TopCum) != 2 || doc.TopCum[0].Func != "main" {
+		t.Fatalf("top_cum %+v", doc.TopCum)
+	}
+	if len(doc.Stages) != 2 || doc.Stages[0].Value != "chunk_compress" {
+		t.Fatalf("stages %+v", doc.Stages)
+	}
+
+	for _, bad := range []string{"?bogus=1", "?n=0", "?since=-5m", "?from=9&to=3", "?format=xml"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profile"+bad, nil))
+		if rr.Code != 400 {
+			t.Errorf("%s: status %d, want 400", bad, rr.Code)
+		}
+	}
+
+	// format=baseline emits the diff-reference document.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profile?format=baseline", nil))
+	var base baselineDoc
+	if err := json.Unmarshal(rr.Body.Bytes(), &base); err != nil || base.Schema != BaselineSchema {
+		t.Fatalf("baseline doc: %v %+v", err, base)
+	}
+	if base.Frames["main"] != 1.0 {
+		t.Fatalf("baseline frames %v", base.Frames)
+	}
+}
+
+// TestBaselineRoundTrip: WriteBaseline output loads back; wrong schema is
+// refused.
+func TestBaselineRoundTrip(t *testing.T) {
+	resetObs(t)
+	p := New(Config{})
+	if err := p.ingest(cpuWindow(), nil, time.Now(), time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteBaseline(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q := New(Config{})
+	if err := q.LoadBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	q.mu.Lock()
+	frac := q.baseline["encode"]
+	q.mu.Unlock()
+	if frac != 0.4 { //lrmlint:ignore floatcmp 400/1000 is exact in binary
+		t.Fatalf("round-tripped encode fraction %v", frac)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope","frames":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.LoadBaseline(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch not refused: %v", err)
+	}
+}
+
+// wellFormedXML runs the bytes through an XML token scan — the "SVG is
+// well-formed" acceptance check without a DOM dependency.
+func wellFormedXML(t *testing.T, raw []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(raw))
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+// TestFlameSVG: the rendered graph is well-formed XML, carries the stage
+// pseudo-frames above the stacks, and escapes hostile frame names.
+func TestFlameSVG(t *testing.T) {
+	resetObs(t)
+	p := New(Config{})
+	hostile := buildProfile(cpuTypes, []tsample{
+		{stack: []string{`evil<script>&"frame`, "main"}, values: []int64{10, 1000},
+			labels: map[string]string{"stage": "chunk_compress"}},
+	})
+	if err := p.ingest(hostile, nil, time.Now(), time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteFlameSVG(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("not an <svg> document: %.80s", svg)
+	}
+	if !strings.Contains(svg, "stage.chunk_compress") {
+		t.Fatal("stage pseudo-frame missing from flame")
+	}
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("frame name not escaped")
+	}
+	wellFormedXML(t, buf.Bytes())
+}
+
+// TestFlameDiff: diff mode against a baseline colors grown frames red and
+// shrunk frames blue, and the handler 404s without a baseline.
+func TestFlameDiff(t *testing.T) {
+	resetObs(t)
+	p := New(Config{})
+	if err := p.ingest(cpuWindow(), nil, time.Now(), time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+
+	h := p.FlameHandler()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flame?diff=1", nil))
+	if rr.Code != 404 {
+		t.Fatalf("diff without baseline: status %d", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flame?diff=2", nil))
+	if rr.Code != 400 {
+		t.Fatalf("diff=2: status %d", rr.Code)
+	}
+
+	// encode grew vs baseline (0.4 now, 0.1 then); decode shrank.
+	p.SetBaseline(map[string]float64{"encode": 0.1, "decode": 0.9, "main": 1.0})
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/flame?diff=1", nil))
+	if rr.Code != 200 {
+		t.Fatalf("diff: status %d", rr.Code)
+	}
+	svg := rr.Body.String()
+	if !strings.Contains(svg, "diff vs baseline") {
+		t.Fatal("diff header missing")
+	}
+	if !strings.Contains(svg, `fill="rgb(235,`) {
+		t.Fatal("no red (grown) frame in diff")
+	}
+	if !strings.Contains(svg, `,235)"`) {
+		t.Fatal("no blue (shrunk) frame in diff")
+	}
+	wellFormedXML(t, rr.Body.Bytes())
+}
+
+// TestDumpFiles writes both offline artifacts.
+func TestDumpFiles(t *testing.T) {
+	resetObs(t)
+	p := New(Config{})
+	if err := p.ingest(cpuWindow(), nil, time.Now(), time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	jp, sp := filepath.Join(dir, "prof.json"), filepath.Join(dir, "flame.svg")
+	if err := p.DumpFiles(jp, sp); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(profileSchema)) {
+		t.Fatalf("json dump missing schema: %.120s", raw)
+	}
+	svg, err := os.ReadFile(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormedXML(t, svg)
+
+	// nil profiler: both dumps are no-ops, not panics.
+	var nilp *Profiler
+	if err := nilp.DumpFiles(jp, sp); err != nil {
+		t.Fatal(err)
+	}
+	nilp.Start()
+	nilp.Stop()
+	nilp.Mount()
+}
+
+// TestWindowCaptureEndToEnd runs the real capture loop at a fast cadence
+// over labeled CPU-bound work and checks samples land with their stage
+// attribution — the in-process version of the serve-smoke scrape.
+func TestWindowCaptureEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("captures real CPU windows")
+	}
+	resetObs(t)
+	p := New(Config{Interval: 300 * time.Millisecond, Window: 150 * time.Millisecond})
+	p.Start()
+	defer p.Stop()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	for g := 0; g < 2; g++ {
+		go func(stop chan struct{}) {
+			pprof.Do(context.Background(), pprof.Labels("stage", "spin_stage"), func(context.Context) {
+				sink := 0.0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						for i := 0; i < 1_000_000; i++ {
+							sink += float64(i&15) * 0.5
+						}
+					}
+				}
+			})
+		}(stop)
+	}
+
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		stages, _, _ := p.LabelNs()
+		if stages["spin_stage"] > 0 {
+			if c := obs.GetCounter("profile.windows").Value(); c < 1 {
+				t.Fatalf("windows counter %d after attributed samples", c)
+			}
+			if g := obs.GetFloatGauge("profile.stage.spin_stage.cpu_fraction").Value(); g <= 0 {
+				t.Fatalf("stage gauge %v after attributed samples", g)
+			}
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("no spin_stage samples after 20s: windows=%d errors=%d",
+		obs.GetCounter("profile.windows").Value(), obs.GetCounter("profile.window_errors").Value())
+}
+
+// TestStopFlushesInflightWindow: stopping mid-window cuts the capture
+// short and still flushes it into the ring — the drain contract.
+func TestStopFlushesInflightWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("captures a real CPU window")
+	}
+	resetObs(t)
+	p := New(Config{Interval: time.Minute, Window: 20 * time.Second})
+	p.Start()
+	time.Sleep(200 * time.Millisecond) // first window is now in flight
+	p.Stop()
+	wins := p.Windows(0, 0)
+	if len(wins) != 1 {
+		t.Fatalf("ring after stop %+v, want the flushed in-flight window", wins)
+	}
+	if wins[0].Err != "" {
+		t.Fatalf("flushed window errored: %s", wins[0].Err)
+	}
+	if wins[0].DurMs >= 20_000 {
+		t.Fatalf("window ran full %dms despite stop", wins[0].DurMs)
+	}
+}
+
+// TestWindowRefusedWhileCPUProfileHeld: when -cpuprofile (or anything
+// else) holds the runtime profiler, the window fails visibly — counted,
+// and the ring entry names the holder.
+func TestWindowRefusedWhileCPUProfileHeld(t *testing.T) {
+	resetObs(t)
+	release, err := obs.AcquireCPUProfiler("-cpuprofile cpu.pprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	p := New(Config{Interval: time.Minute, Window: 50 * time.Millisecond})
+	p.captureWindow(make(chan struct{}))
+	if c := obs.GetCounter("profile.window_errors").Value(); c != 1 {
+		t.Fatalf("window_errors %d", c)
+	}
+	wins := p.Windows(0, 0)
+	if len(wins) != 1 || !strings.Contains(wins[0].Err, "-cpuprofile cpu.pprof") {
+		t.Fatalf("ring after refused window %+v", wins)
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	cases := map[string]string{
+		"chunk_compress": "chunk_compress",
+		"SZ(abs=1e-3)":   "sz_abs_1e-3_",
+		"a b/c":          "a_b_c",
+	}
+	for in, want := range cases {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

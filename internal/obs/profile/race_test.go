@@ -1,0 +1,81 @@
+package profile
+
+import (
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lrm/internal/obs"
+)
+
+// TestConcurrentWindowsAndScrapes rotates real profiling windows at a
+// fast cadence while /debug/profile and /debug/flame are scraped and the
+// obs registry is Reset concurrently — the -race stress for the whole
+// serving surface. Assertions are minimal: no panic, no race, every
+// scrape answers.
+func TestConcurrentWindowsAndScrapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rotates real CPU windows")
+	}
+	prev := obs.SetEnabled(true)
+	defer func() {
+		obs.SetEnabled(prev)
+		obs.Reset()
+	}()
+
+	p := New(Config{Interval: 100 * time.Millisecond, Window: 40 * time.Millisecond, Ring: 4})
+	p.SetBaseline(map[string]float64{"main": 0.5})
+	p.Start()
+	defer p.Stop()
+
+	profSrv := httptest.NewServer(p.ProfileHandler())
+	defer profSrv.Close()
+	flameSrv := httptest.NewServer(p.FlameHandler())
+	defer flameSrv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	scrape := func(url string) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := profSrv.Client().Get(url)
+			if err != nil {
+				t.Errorf("scrape %s: %v", url, err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+	}
+	wg.Add(4)
+	go scrape(profSrv.URL + "/debug/profile")
+	go scrape(profSrv.URL + "/debug/profile?since=1m&n=3")
+	go scrape(flameSrv.URL + "/debug/flame")
+	go scrape(flameSrv.URL + "/debug/flame?diff=1")
+	wg.Add(1)
+	go func(stop chan struct{}) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				obs.Reset()
+				_, _, _ = p.LabelNs()
+				_ = p.TopFrames(5, "self")
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}(stop)
+
+	time.Sleep(1200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

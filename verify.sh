@@ -47,6 +47,9 @@ if [ "${1:-}" != "quick" ]; then
 	# Trace race-stress: concurrent Start/End/Snapshot/export/Reset on the
 	# trace recorder specifically, repeated so interleavings vary.
 	step go test -race -run TestConcurrentTraceStress -count=2 ./internal/obs/trace
+	# Profiler race-stress: real profiling windows rotating concurrently
+	# with /debug/profile + /debug/flame scrapes and registry Reset.
+	step go test -race -run TestConcurrentWindowsAndScrapes -count=2 ./internal/obs/profile
 	# Benchmark smoke: one iteration of the JSON benchmark harness proves
 	# the artifact pipeline end to end without paying full measurement cost,
 	# and the traced pass exercises span propagation through the pool.
@@ -76,6 +79,7 @@ if [ "${1:-}" != "quick" ]; then
 	step go test -fuzz=FuzzDecompressChunked -fuzztime=10s -run='^$' ./internal/core
 	step go test -fuzz=FuzzWriteChromeTrace -fuzztime=10s -run='^$' ./internal/obs/trace
 	step go test -fuzz=FuzzHistoryQuery -fuzztime=10s -run='^$' ./internal/obs/tsdb
+	step go test -fuzz=FuzzParsePprof -fuzztime=10s -run='^$' ./internal/obs/pprofparse
 fi
 
 echo "==> verify OK"
